@@ -1,0 +1,1 @@
+# Makes the benchmark suite importable (shared protocol helpers).

@@ -1,0 +1,55 @@
+"""Ablation — the §3.6 clamp width (eb/4 .. 4eb).
+
+The clamp guards against partitions the models fit poorly.  clamp=1
+degenerates to static; very wide clamps chase the unconstrained optimum
+but expose quality to model error (wider realized bound spread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.baselines import StaticBaseline
+from repro.core.config import OptimizerSettings
+from repro.core.pipeline import AdaptiveCompressionPipeline
+from repro.util.tables import format_table
+
+
+def test_ablation_clamp_factor(snapshot, decomposition, rate_models, benchmark):
+    field = "baryon_density"
+    data = snapshot[field]
+    eb_avg = 0.3
+    static_ratio = StaticBaseline().run(data, decomposition, eb_avg).overall_ratio
+
+    def run():
+        rows = []
+        for clamp in (1.0, 2.0, 4.0, 16.0):
+            pipe = AdaptiveCompressionPipeline(
+                rate_models[field].rate_model,
+                settings=OptimizerSettings(clamp_factor=clamp),
+            )
+            res = pipe.run(data, decomposition, eb_avg=eb_avg)
+            rows.append(
+                [
+                    clamp,
+                    res.overall_ratio,
+                    100.0 * (res.overall_ratio / static_ratio - 1.0),
+                    float(res.ebs.max() / res.ebs.min()),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["clamp factor", "ratio", "gain vs static %", "realized eb spread"],
+            rows,
+            title=f"Ablation: clamp width (static ratio {static_ratio:.2f})",
+        )
+    )
+    # clamp=1 is exactly static.
+    assert abs(rows[0][2]) < 0.5
+    # Wider clamps can only expand the realized spread.
+    spreads = [r[3] for r in rows]
+    assert all(spreads[i] <= spreads[i + 1] + 1e-9 for i in range(len(spreads) - 1))

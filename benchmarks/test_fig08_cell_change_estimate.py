@@ -1,0 +1,56 @@
+"""Figure 8 — estimated vs measured changed-candidate-cell counts.
+
+Paper: the Eq. 11/13 estimate (red line) tracks the measured per-
+configuration cell-count changes (blue dots) across mixed per-partition
+bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor, decompress
+from repro.models.halo_error import boundary_cell_count, expected_fault_cells
+from repro.util.rng import default_rng
+from repro.util.tables import format_table
+
+
+def test_fig08_estimated_vs_measured_flips(snapshot, decomposition, benchmark):
+    rho = snapshot["baryon_density"].astype(np.float64)
+    t_boundary = float(np.percentile(rho, 97.0))
+    comp = SZCompressor()
+    rng = default_rng(3)
+
+    def run():
+        rows = []
+        for eb_avg in (0.25, 0.5, 1.0, 2.0):
+            ebs = eb_avg * rng.uniform(0.5, 1.5, decomposition.n_partitions)
+            predicted = 0.0
+            recon = np.empty_like(rho)
+            for p, eb in zip(decomposition, ebs):
+                part = rho[p.slices]
+                predicted += float(
+                    expected_fault_cells(boundary_cell_count(part, t_boundary, eb))
+                )
+                recon[p.slices] = decompress(comp.compress(part, float(eb)))
+            # Flips happen in both directions; the model counts one side.
+            measured = int(np.count_nonzero((rho > t_boundary) != (recon > t_boundary)))
+            rows.append([eb_avg, 2 * predicted, measured, measured / (2 * predicted)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["eb_avg", "estimated flips", "measured flips", "ratio"],
+            rows,
+            title=f"Fig. 8 reproduction (t_boundary={t_boundary:.2f})",
+        )
+    )
+    for row in rows:
+        assert 0.25 <= row[3] <= 2.5, "estimate must track measurement to ~2x"
+    # Both series must grow with the bound.
+    est = [r[1] for r in rows]
+    meas = [r[2] for r in rows]
+    assert est == sorted(est)
+    assert meas == sorted(meas)

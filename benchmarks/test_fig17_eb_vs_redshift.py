@@ -1,0 +1,51 @@
+"""Figure 17 — optimized error-bound maps, early vs late redshift.
+
+Paper: early (smooth) snapshots yield near-uniform optimized bounds;
+late snapshots, with stronger partition contrast, yield strongly
+heterogeneous maps — the reason static-adaptive configurations decay
+(Fig. 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import extract_features
+from repro.core.optimizer import optimize_for_spectrum
+from repro.util.tables import format_table
+
+
+def test_fig17_eb_maps_early_vs_late(simulator, decomposition, rate_models, benchmark):
+    field = "baryon_density"
+    cal = rate_models[field]
+    eb_avg = 0.3
+
+    def bounds_at(z: float) -> np.ndarray:
+        snap = simulator.snapshot(z=z)
+        feats = [
+            extract_features(v, rank=i)
+            for i, v in enumerate(decomposition.partition_views(snap[field]))
+        ]
+        return optimize_for_spectrum(feats, cal.rate_model, eb_avg).ebs
+
+    def run():
+        return bounds_at(4.0), bounds_at(0.2)
+
+    early, late = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def stats(ebs):
+        return [float(ebs.min()), float(ebs.max()), float(ebs.max() / ebs.min()), float(ebs.std() / ebs.mean())]
+
+    print()
+    print(
+        format_table(
+            ["snapshot", "eb min", "eb max", "spread", "cv"],
+            [["early (z=4.0)", *stats(early)], ["late (z=0.2)", *stats(late)]],
+            title="Fig. 17 reproduction: optimized bound maps early vs late",
+        )
+    )
+    # Late-time bounds must be more heterogeneous than early-time bounds.
+    assert late.std() / late.mean() > early.std() / early.mean()
+    assert late.max() / late.min() > early.max() / early.min()
+    # And the maps must genuinely differ (static reuse is suboptimal).
+    assert not np.allclose(early, late, rtol=0.05)

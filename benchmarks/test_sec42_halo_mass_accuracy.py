@@ -1,0 +1,70 @@
+"""§4.2 — halo-mass accuracy: adaptive vs traditional at equal budget.
+
+Paper: the halo-aware optimization provides 29.8% higher halo-mass
+accuracy than the traditional method (at comparable rate), because
+feature-dense partitions receive tighter bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import MIN_HALO_CELLS
+from repro.analysis.catalog import compare_catalogs
+from repro.analysis.halos import find_halos
+from repro.core.baselines import StaticBaseline
+from repro.core.config import HaloQualitySpec
+from repro.core.pipeline import AdaptiveCompressionPipeline
+from repro.models.halo_error import FAULT_PROBABILITY, effective_cell_rate
+from repro.util.tables import format_table
+
+
+def test_sec42_halo_mass_accuracy(snapshot, decomposition, rate_models, benchmark):
+    field = "baryon_density"
+    data = snapshot[field].astype(np.float64)
+    tb = float(np.percentile(data, 99.5))
+    cat0 = find_halos(data, tb)
+    eb_static = 0.5
+    # Budget the halo-aware optimizer to exactly the *predicted* damage of
+    # the static configuration, so rate is comparable by construction.
+    rates = np.array(
+        [
+            effective_cell_rate(v, tb, reference_eb=min(1.0, eb_static))
+            for v in decomposition.partition_views(data)
+        ]
+    )
+    budget = tb * FAULT_PROBABILITY * float(np.sum(rates * eb_static))
+    halo = HaloQualitySpec(t_boundary=tb, mass_budget=budget, reference_eb=min(1.0, eb_static))
+    pipe = AdaptiveCompressionPipeline(rate_models[field].rate_model)
+
+    def run():
+        adaptive = pipe.run(snapshot[field], decomposition, eb_avg=eb_static, halo=halo)
+        static = StaticBaseline().run(snapshot[field], decomposition, eb_static)
+        out = {}
+        for name, result in (("adaptive", adaptive), ("static", static)):
+            recon = result.reconstruct(decomposition)
+            cmp = compare_catalogs(cat0, find_halos(recon, tb))
+            out[name] = (
+                result.overall_ratio,
+                cmp.mass_rmse_above(tb * MIN_HALO_CELLS),
+                cmp.mass_rmse,
+                cmp.count_change,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["method", "ratio", "mass RMSE (mid/large)", "mass RMSE (all)", "count change"],
+            [[k, *v] for k, v in out.items()],
+            title=f"§4.2 reproduction: halo-mass accuracy at matched budget (t_boundary={tb:.2f})",
+        )
+    )
+    rmse_a = out["adaptive"][2]
+    rmse_s = out["static"][2]
+    if np.isfinite(rmse_a) and np.isfinite(rmse_s) and rmse_s > 0:
+        gain = 100.0 * (1.0 - rmse_a / rmse_s)
+        print(f"halo-mass accuracy gain: {gain:.1f}%  (paper: 29.8%)")
+        # The adaptive method must not be less accurate at matched budget.
+        assert rmse_a <= rmse_s * 1.25

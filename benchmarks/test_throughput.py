@@ -1,0 +1,56 @@
+"""Compression/decompression throughput per codec backend.
+
+Context for §4.3: the paper quotes 31.6 GB/s for cuSZ on a V100; our
+substrate is pure NumPy on CPU, so the absolute numbers differ by
+orders of magnitude — what matters for the reproduction is that the
+*relative* overhead accounting (sec43 bench) is measured against this
+real compression speed.  This bench records it per entropy backend.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor, decompress
+from repro.util.tables import format_table
+
+
+def test_throughput_per_codec(snapshot, benchmark):
+    data = snapshot["temperature"]
+    eb = float(np.ptp(data.astype(np.float64))) * 3e-3
+    nbytes = data.nbytes
+
+    def run():
+        rows = []
+        for codec in ("zlib", "huffman", "raw"):
+            comp = SZCompressor(codec=codec)
+            t0 = time.perf_counter()
+            block = comp.compress(data, eb)
+            t_c = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            decompress(block)
+            t_d = time.perf_counter() - t0
+            rows.append(
+                [
+                    codec,
+                    block.ratio,
+                    nbytes / t_c / 1e6,
+                    nbytes / t_d / 1e6,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["codec", "ratio", "compress MB/s", "decompress MB/s"],
+            rows,
+            title="Throughput (pure NumPy on CPU; paper's cuSZ: ~31.6 GB/s on V100)",
+        )
+    )
+    for row in rows:
+        assert row[2] > 1.0, "compression must run at usable speed"
+        assert row[3] > 1.0

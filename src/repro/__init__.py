@@ -1,0 +1,76 @@
+"""repro — adaptive in situ lossy compression for cosmology simulations.
+
+Reproduction of Jin et al., "Adaptive Configuration of In Situ Lossy
+Compression for Cosmology Simulations via Fine-Grained Rate-Quality
+Modeling" (HPDC '21).
+
+Quick start::
+
+    from repro import (
+        NyxSimulator, BlockDecomposition, SZCompressor,
+        calibrate_rate_model, AdaptiveCompressionPipeline,
+    )
+
+    sim = NyxSimulator(shape=(64, 64, 64), seed=42)
+    snap = sim.snapshot(z=2.0)
+    dec = BlockDecomposition(snap.shape, blocks=4)
+
+    cal = calibrate_rate_model(dec.partition_views(snap["temperature"]),
+                               eb_scale=1.0)
+    pipe = AdaptiveCompressionPipeline(cal.rate_model)
+    result = pipe.run(snap["temperature"], dec, eb_avg=1.0)
+    print(result.overall_ratio)
+
+Subpackages: :mod:`repro.core` (adaptive configuration),
+:mod:`repro.models` (rate-quality models), :mod:`repro.compression`
+(SZ-style compressor), :mod:`repro.sim` (synthetic Nyx),
+:mod:`repro.analysis` (power spectrum / halo finder),
+:mod:`repro.parallel` (simulated MPI), :mod:`repro.foresight`
+(evaluation harness).
+"""
+
+from repro.compression import (
+    AdaptiveSZCompressor,
+    SZCompressor,
+    ZFPLikeCompressor,
+    decompress,
+)
+from repro.core import (
+    AdaptiveCompressionPipeline,
+    CompressionCampaign,
+    FieldSpec,
+    HaloQualitySpec,
+    OptimizerSettings,
+    QualityTargets,
+    SnapshotResult,
+    StaticBaseline,
+    TrialAndErrorSearch,
+)
+from repro.models import RateModel, calibrate_rate_model
+from repro.parallel import BlockDecomposition, run_spmd
+from repro.sim import NyxSimulator, NyxSnapshot
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SZCompressor",
+    "AdaptiveSZCompressor",
+    "CompressionCampaign",
+    "FieldSpec",
+    "ZFPLikeCompressor",
+    "decompress",
+    "AdaptiveCompressionPipeline",
+    "SnapshotResult",
+    "StaticBaseline",
+    "TrialAndErrorSearch",
+    "QualityTargets",
+    "OptimizerSettings",
+    "HaloQualitySpec",
+    "RateModel",
+    "calibrate_rate_model",
+    "BlockDecomposition",
+    "run_spmd",
+    "NyxSimulator",
+    "NyxSnapshot",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Halo catalog comparison — the paper's three halo-quality metrics.
+
+§2.1 lists the quantities to preserve through lossy compression:
+
+1. halo positions,
+2. the number of halos detected,
+3. per-halo mass change (the paper's preferred control quantity, §3.4),
+
+with mid/large halos weighted over small ones.  Halos are matched by
+nearest centroid within a tolerance; RMSE of matched mass ratios is the
+quantity the paper keeps within ``1 +/- 0.01`` (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.halos import HaloCatalog
+
+__all__ = ["CatalogComparison", "compare_catalogs", "match_halos"]
+
+
+@dataclass
+class CatalogComparison:
+    """Result of matching a reconstructed catalog against the original."""
+
+    n_original: int
+    n_reconstructed: int
+    n_matched: int
+    mass_ratios: np.ndarray  # matched reconstructed/original masses
+    position_errors: np.ndarray  # matched centroid distances (cells)
+    matched_original_masses: np.ndarray
+
+    @property
+    def count_change(self) -> int:
+        """Detected-halo count difference (reconstructed - original)."""
+        return self.n_reconstructed - self.n_original
+
+    @property
+    def mass_rmse(self) -> float:
+        """RMSE of the matched mass ratio around 1 (paper's §4.2 metric)."""
+        if len(self.mass_ratios) == 0:
+            return float("nan")
+        return float(np.sqrt(np.mean((self.mass_ratios - 1.0) ** 2)))
+
+    @property
+    def max_position_error(self) -> float:
+        if len(self.position_errors) == 0:
+            return float("nan")
+        return float(self.position_errors.max())
+
+    def mass_rmse_above(self, min_mass: float) -> float:
+        """Mass RMSE restricted to halos above ``min_mass`` (mid/large halos)."""
+        keep = self.matched_original_masses >= min_mass
+        if not keep.any():
+            return float("nan")
+        return float(np.sqrt(np.mean((self.mass_ratios[keep] - 1.0) ** 2)))
+
+
+def match_halos(
+    original: HaloCatalog,
+    reconstructed: HaloCatalog,
+    max_distance: float = 2.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy nearest-centroid matching (descending original mass).
+
+    Returns index arrays ``(orig_idx, rec_idx)`` of matched pairs.  Each
+    reconstructed halo is used at most once.
+    """
+    if original.n_halos == 0 or reconstructed.n_halos == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    rec_pos = reconstructed.positions
+    taken = np.zeros(reconstructed.n_halos, dtype=bool)
+    oi: list[int] = []
+    ri: list[int] = []
+    # Catalogs are mass-sorted; match big halos first.
+    for i in range(original.n_halos):
+        d2 = ((rec_pos - original.positions[i]) ** 2).sum(axis=1)
+        d2[taken] = np.inf
+        j = int(np.argmin(d2))
+        if d2[j] <= max_distance**2:
+            taken[j] = True
+            oi.append(i)
+            ri.append(j)
+    return np.array(oi, dtype=np.int64), np.array(ri, dtype=np.int64)
+
+
+def compare_catalogs(
+    original: HaloCatalog,
+    reconstructed: HaloCatalog,
+    max_distance: float = 2.0,
+) -> CatalogComparison:
+    """Match catalogs and compute the paper's halo-quality metrics."""
+    oi, ri = match_halos(original, reconstructed, max_distance)
+    if len(oi):
+        mass_ratios = reconstructed.masses[ri] / original.masses[oi]
+        pos_err = np.linalg.norm(
+            reconstructed.positions[ri] - original.positions[oi], axis=1
+        )
+        matched_mass = original.masses[oi]
+    else:
+        mass_ratios = np.empty(0)
+        pos_err = np.empty(0)
+        matched_mass = np.empty(0)
+    return CatalogComparison(
+        n_original=original.n_halos,
+        n_reconstructed=reconstructed.n_halos,
+        n_matched=len(oi),
+        mass_ratios=mass_ratios,
+        position_errors=pos_err,
+        matched_original_masses=matched_mass,
+    )

@@ -1,0 +1,125 @@
+"""From-scratch connected-component labeling for sparse 3-D masks.
+
+The grid halo finder needs connected components of the boolean mask
+``density > t_boundary`` under 6-connectivity.  Halo candidates are
+sparse (a small fraction of cells), so instead of a dense two-pass scan
+we work on the candidate list directly:
+
+1. extract flat indices of candidate cells (sorted by construction),
+2. for each of the three positive axis directions, compute candidate
+   neighbours via a vectorized ``searchsorted`` membership test,
+3. union-find over the (few) resulting edges.
+
+The only Python-level loop runs over edges between candidate cells,
+which is O(candidates); everything else is vectorized.  Equivalence with
+``scipy.ndimage.label`` is property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["label_components", "UnionFind"]
+
+
+class UnionFind:
+    """Array-based union-find with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+
+    def roots(self) -> np.ndarray:
+        """Root id of every element (fully compressed)."""
+        # Iterated gather converges in O(log depth) passes.
+        parent = self.parent
+        while True:
+            grand = parent[parent]
+            if (grand == parent).all():
+                return parent
+            parent = grand
+
+
+def label_components(mask: np.ndarray, periodic: bool = False) -> tuple[np.ndarray, int]:
+    """Label 6-connected components of a 3-D boolean mask.
+
+    Parameters
+    ----------
+    mask:
+        3-D boolean array.
+    periodic:
+        If True, components wrap around the box boundaries (cosmology
+        boxes are periodic).
+
+    Returns
+    -------
+    labels, n_components:
+        ``labels`` has the mask's shape: 0 for background, 1..n for
+        components (ordering follows the first flat index of each
+        component).
+    """
+    mask = np.asarray(mask)
+    if mask.ndim != 3:
+        raise ValueError(f"mask must be 3-D, got shape {mask.shape}")
+    if mask.dtype != np.bool_:
+        mask = mask.astype(bool)
+
+    flat_idx = np.flatnonzero(mask.ravel())
+    labels = np.zeros(mask.shape, dtype=np.int64)
+    m = len(flat_idx)
+    if m == 0:
+        return labels, 0
+
+    nx, ny, nz = mask.shape
+    # Recover coordinates of candidate cells once.
+    cx, cy, cz = np.unravel_index(flat_idx, mask.shape)
+
+    uf = UnionFind(m)
+    strides = (ny * nz, nz, 1)
+    dims = (nx, ny, nz)
+    coords = (cx, cy, cz)
+
+    for axis in range(3):
+        c = coords[axis]
+        if periodic:
+            neighbor_coord = (c + 1) % dims[axis]
+            valid = np.ones(m, dtype=bool)
+        else:
+            neighbor_coord = c + 1
+            valid = neighbor_coord < dims[axis]
+        # Flat index of the +1 neighbour along this axis.
+        delta = (neighbor_coord.astype(np.int64) - c) * strides[axis]
+        nbr_flat = flat_idx + delta
+        # Membership test: which neighbours are candidates themselves?
+        pos = np.searchsorted(flat_idx, nbr_flat[valid])
+        pos_clipped = np.minimum(pos, m - 1)
+        hits = flat_idx[pos_clipped] == nbr_flat[valid]
+        src = np.flatnonzero(valid)[hits]
+        dst = pos_clipped[hits]
+        for a, b in zip(src.tolist(), dst.tolist()):
+            uf.union(a, b)
+
+    roots = uf.roots()
+    # Compact root ids to 1..n in order of first appearance.
+    _, first_pos, compact = np.unique(roots, return_index=True, return_inverse=True)
+    order = np.argsort(np.argsort(first_pos))
+    labels.ravel()[flat_idx] = order[compact] + 1
+    return labels, int(len(first_pos))

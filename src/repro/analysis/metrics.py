@@ -1,0 +1,58 @@
+"""General-purpose distortion metrics (PSNR, MSE, NRMSE, MRE).
+
+The paper's motivating argument (§1, §2.1) is that these metrics alone
+cannot capture post-hoc analysis quality — "PSNR does not tell us how
+the mass of a halo would be impacted".  They are still computed
+throughout the benchmark reports for context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "nrmse", "psnr", "mean_relative_error"]
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise ValueError("arrays must be non-empty")
+    return a, b
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    return float(np.mean((a - b) ** 2))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the original value range."""
+    a, b = _pair(original, reconstructed)
+    rng = float(a.max() - a.min())
+    if rng == 0:
+        raise ValueError("original data has zero range; NRMSE undefined")
+    return float(np.sqrt(np.mean((a - b) ** 2)) / rng)
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical arrays)."""
+    a, b = _pair(original, reconstructed)
+    err = np.mean((a - b) ** 2)
+    if err == 0:
+        return float("inf")
+    rng = float(a.max() - a.min())
+    if rng == 0:
+        raise ValueError("original data has zero range; PSNR undefined")
+    return float(20.0 * np.log10(rng) - 10.0 * np.log10(err))
+
+
+def mean_relative_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean pointwise relative error (original must be nonzero everywhere)."""
+    a, b = _pair(original, reconstructed)
+    if (a == 0).any():
+        raise ValueError("mean relative error undefined: original contains zeros")
+    return float(np.mean(np.abs((b - a) / a)))

@@ -1,0 +1,124 @@
+"""Structural similarity (SSIM) for 3-D scientific fields.
+
+The paper's stated future work is applying the framework "to other HPC
+applications and post-hoc analysis metrics such as climate simulation
+with SSIM" (§5).  This module provides that extension point: a windowed
+3-D SSIM implemented with box-filter moments (fully vectorized via
+cumulative sums), plus the distortion model hook the optimizer needs —
+an empirical SSIM-vs-eb curve fit in the same spirit as Eq. 15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_3d
+
+__all__ = ["ssim3d", "fit_ssim_curve", "ssim_tolerance_to_eb"]
+
+
+def _box_filter(arr: np.ndarray, w: int) -> np.ndarray:
+    """Mean over w^3 windows (valid positions only) via integral images."""
+    c = arr
+    for axis in range(3):
+        c = np.cumsum(c, axis=axis)
+        pad_shape = list(c.shape)
+        pad_shape[axis] = 1
+        c = np.concatenate([np.zeros(pad_shape, dtype=c.dtype), c], axis=axis)
+    # Windowed sums via 8-corner inclusion-exclusion on the integral image.
+    def corner(dx: int, dy: int, dz: int) -> np.ndarray:
+        nx, ny, nz = arr.shape
+        return c[
+            dx : nx - w + 1 + dx,
+            dy : ny - w + 1 + dy,
+            dz : nz - w + 1 + dz,
+        ]
+
+    total = (
+        corner(w, w, w)
+        - corner(0, w, w)
+        - corner(w, 0, w)
+        - corner(w, w, 0)
+        + corner(0, 0, w)
+        + corner(0, w, 0)
+        + corner(w, 0, 0)
+        - corner(0, 0, 0)
+    )
+    return total / float(w**3)
+
+
+def ssim3d(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    window: int = 7,
+    data_range: float | None = None,
+) -> float:
+    """Mean structural similarity between two 3-D fields.
+
+    Standard SSIM (Wang et al. 2004) with cubic windows; constants
+    ``C1 = (0.01 L)^2`` and ``C2 = (0.03 L)^2`` where ``L`` is the value
+    range of the original data.
+    """
+    x = check_3d(original, "original")
+    y = check_3d(reconstructed, "reconstructed")
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    if any(s < window for s in x.shape):
+        raise ValueError(f"window {window} exceeds field extent {x.shape}")
+    if data_range is None:
+        data_range = float(x.max() - x.min())
+    if data_range <= 0:
+        raise ValueError("original field has zero range; SSIM undefined")
+
+    mu_x = _box_filter(x, window)
+    mu_y = _box_filter(y, window)
+    xx = _box_filter(x * x, window) - mu_x**2
+    yy = _box_filter(y * y, window) - mu_y**2
+    xy = _box_filter(x * y, window) - mu_x * mu_y
+    # Clamp tiny negative variances from floating-point cancellation.
+    xx = np.maximum(xx, 0.0)
+    yy = np.maximum(yy, 0.0)
+
+    c1 = (0.01 * data_range) ** 2
+    c2 = (0.03 * data_range) ** 2
+    num = (2 * mu_x * mu_y + c1) * (2 * xy + c2)
+    den = (mu_x**2 + mu_y**2 + c1) * (xx + yy + c2)
+    return float(np.mean(num / den))
+
+
+def fit_ssim_curve(
+    field: np.ndarray,
+    compressor,
+    probe_ebs: list[float],
+    window: int = 7,
+) -> tuple[float, float]:
+    """Fit ``1 - SSIM = A * eb**p`` from probe compressions.
+
+    Returns ``(A, p)``.  Mirrors the paper's empirical rate-model
+    methodology (§3.5) for a distortion metric with no tractable
+    closed-form propagation.
+    """
+    if len(probe_ebs) < 2:
+        raise ValueError("need at least two probe error bounds")
+    from repro.compression.sz import decompress
+
+    f64 = np.asarray(field, dtype=np.float64)
+    losses = []
+    for eb in probe_ebs:
+        recon = decompress(compressor.compress(field, float(eb)))
+        losses.append(max(1.0 - ssim3d(f64, recon, window=window), 1e-12))
+    x = np.log(np.asarray(probe_ebs, dtype=np.float64))
+    y = np.log(np.asarray(losses))
+    p, log_a = np.polyfit(x, y, 1)
+    return float(np.exp(log_a)), float(p)
+
+
+def ssim_tolerance_to_eb(a: float, p: float, min_ssim: float) -> float:
+    """Invert the fitted curve: largest eb with ``SSIM >= min_ssim``."""
+    if not 0 < min_ssim < 1:
+        raise ValueError(f"min_ssim must be in (0, 1), got {min_ssim}")
+    if a <= 0 or p <= 0:
+        raise ValueError("curve parameters must be positive (loss grows with eb)")
+    return float(((1.0 - min_ssim) / a) ** (1.0 / p))

@@ -1,0 +1,207 @@
+"""Command-line interface: generate, compress, analyze, report.
+
+A small operational layer over the library for shell-driven workflows::
+
+    python -m repro.cli generate --shape 64 --redshift 0.5 --out snap.npz
+    python -m repro.cli compress --snapshot snap.npz --field temperature \
+        --blocks 4 --eb-avg 500 --out blocks.npz
+    python -m repro.cli analyze --snapshot snap.npz --field temperature \
+        --compressed blocks.npz
+    python -m repro.cli sweep --snapshot snap.npz --field baryon_density \
+        --ebs 0.1,0.2,0.4
+
+Compressed containers are ``.npz`` archives holding every partition's
+payloads plus layout metadata, loadable back into
+:class:`repro.compression.sz.CompressedBlock` objects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.core.pipeline import AdaptiveCompressionPipeline
+from repro.models.calibration import calibrate_rate_model
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.io import load_snapshot, save_snapshot
+from repro.sim.nyx import NyxSimulator
+from repro.util.tables import format_table
+
+__all__ = ["main", "save_blocks", "load_blocks"]
+
+
+def save_blocks(path: str, blocks: list[CompressedBlock], ebs: np.ndarray, blocks_per_axis: int) -> None:
+    """Persist compressed partitions to an ``.npz`` container."""
+    payload: dict[str, np.ndarray] = {
+        "__ebs": np.asarray(ebs, dtype=np.float64),
+        "__blocks_per_axis": np.array(blocks_per_axis),
+        "__meta": np.array(
+            [
+                (
+                    ",".join(map(str, b.shape)),
+                    b.source_itemsize,
+                    b.eb,
+                    b.mode,
+                    b.engine,
+                    b.codec_name,
+                    b.radius,
+                    b.n_outliers,
+                )
+                for b in blocks
+            ],
+            dtype=object,
+        ),
+    }
+    for i, b in enumerate(blocks):
+        for name, blob in b.payloads.items():
+            payload[f"p{i}_{name}"] = np.frombuffer(blob, dtype=np.uint8)
+    np.savez_compressed(path, **payload, allow_pickle=True)
+
+
+def load_blocks(path: str) -> tuple[list[CompressedBlock], np.ndarray, int]:
+    """Inverse of :func:`save_blocks`."""
+    with np.load(path, allow_pickle=True) as data:
+        meta = data["__meta"]
+        ebs = data["__ebs"]
+        bpa = int(data["__blocks_per_axis"])
+        blocks = []
+        for i, row in enumerate(meta):
+            shape_s, itemsize, eb, mode, engine, codec, radius, n_out = row
+            payloads = {}
+            for key in data.files:
+                prefix = f"p{i}_"
+                if key.startswith(prefix):
+                    payloads[key[len(prefix) :]] = data[key].tobytes()
+            blocks.append(
+                CompressedBlock(
+                    shape=tuple(int(s) for s in shape_s.split(",")),
+                    source_itemsize=int(itemsize),
+                    eb=float(eb),
+                    mode=str(mode),
+                    engine=str(engine),
+                    codec_name=str(codec),
+                    radius=int(radius),
+                    n_outliers=int(n_out),
+                    payloads=payloads,
+                )
+            )
+    return blocks, ebs, bpa
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    sim = NyxSimulator(
+        shape=(args.shape,) * 3, box_size=float(args.shape), seed=args.seed
+    )
+    snap = sim.snapshot(z=args.redshift)
+    save_snapshot(snap, args.out)
+    print(f"wrote {args.out}: shape {snap.shape}, z={snap.redshift}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    snap = load_snapshot(args.snapshot)
+    data = snap[args.field]
+    dec = BlockDecomposition(data.shape, blocks=args.blocks)
+    eb_avg = args.eb_avg
+    if eb_avg is None:
+        eb_avg = float(np.ptp(data.astype(np.float64))) * 3e-3
+    cal = calibrate_rate_model(dec.partition_views(data), eb_scale=eb_avg, seed=0)
+    pipe = AdaptiveCompressionPipeline(cal.rate_model, compressor=SZCompressor(codec=args.codec))
+    result = pipe.run(data, dec, eb_avg=eb_avg)
+    save_blocks(args.out, result.blocks, result.ebs, args.blocks)
+    print(
+        f"wrote {args.out}: {dec.n_partitions} partitions, "
+        f"ratio {result.overall_ratio:.2f}x, bit rate {result.overall_bit_rate:.3f}, "
+        f"bounds {result.ebs.min():.4g}..{result.ebs.max():.4g}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import nrmse, psnr
+    from repro.analysis.spectrum import check_spectrum_quality
+
+    snap = load_snapshot(args.snapshot)
+    data = snap[args.field].astype(np.float64)
+    blocks, ebs, bpa = load_blocks(args.compressed)
+    dec = BlockDecomposition(data.shape, blocks=bpa)
+    recon = dec.assemble([decompress(b) for b in blocks])
+    ok, dev = check_spectrum_quality(data, recon, tolerance=args.tolerance)
+    rows = [
+        ["max abs error", float(np.max(np.abs(recon - data)))],
+        ["largest bound", float(ebs.max())],
+        ["PSNR (dB)", psnr(data, recon)],
+        ["NRMSE", nrmse(data, recon)],
+        ["P(k) worst deviation (k<10)", dev],
+        ["P(k) within band", "yes" if ok else "NO"],
+    ]
+    print(format_table(["metric", "value"], rows, title=f"analysis: {args.field}"))
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.foresight import QualityCriteria, records_to_table, run_sweep
+
+    snap = load_snapshot(args.snapshot)
+    data = snap[args.field]
+    dec = BlockDecomposition(data.shape, blocks=args.blocks)
+    ebs = [float(e) for e in args.ebs.split(",")]
+    records = run_sweep(
+        {args.field: data},
+        ebs,
+        {args.field: QualityCriteria(spectrum_tolerance=args.tolerance)},
+        decomposition=dec,
+    )
+    print(records_to_table(records, title=f"sweep: {args.field}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Adaptive in situ lossy compression toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="synthesize a Nyx-like snapshot")
+    g.add_argument("--shape", type=int, default=64)
+    g.add_argument("--redshift", type=float, default=0.5)
+    g.add_argument("--seed", type=int, default=42)
+    g.add_argument("--out", required=True)
+    g.set_defaults(fn=_cmd_generate)
+
+    c = sub.add_parser("compress", help="adaptively compress one field")
+    c.add_argument("--snapshot", required=True)
+    c.add_argument("--field", required=True)
+    c.add_argument("--blocks", type=int, default=4)
+    c.add_argument("--eb-avg", type=float, default=None)
+    c.add_argument("--codec", default="zlib", choices=["zlib", "huffman", "raw"])
+    c.add_argument("--out", required=True)
+    c.set_defaults(fn=_cmd_compress)
+
+    a = sub.add_parser("analyze", help="verify a compressed field")
+    a.add_argument("--snapshot", required=True)
+    a.add_argument("--field", required=True)
+    a.add_argument("--compressed", required=True)
+    a.add_argument("--tolerance", type=float, default=0.01)
+    a.set_defaults(fn=_cmd_analyze)
+
+    s = sub.add_parser("sweep", help="trial-and-error sweep over bounds")
+    s.add_argument("--snapshot", required=True)
+    s.add_argument("--field", required=True)
+    s.add_argument("--blocks", type=int, default=4)
+    s.add_argument("--ebs", required=True, help="comma-separated error bounds")
+    s.add_argument("--tolerance", type=float, default=0.01)
+    s.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

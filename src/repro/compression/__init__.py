@@ -1,0 +1,46 @@
+"""Error-bounded lossy compression substrate (SZ-like, from scratch).
+
+The paper compresses Nyx fields with SZ/cuSZ.  This package rebuilds that
+pipeline in vectorized NumPy:
+
+- :mod:`repro.compression.lorenzo` — the Lorenzo predictor as an
+  invertible integer transform (n-fold mixed first difference),
+- :mod:`repro.compression.quantizer` — linear-scaling dual quantization
+  with ABS and PW_REL error-bound modes plus an outlier channel,
+- :mod:`repro.compression.huffman` — canonical Huffman coding with a
+  vectorized encoder and table-driven decoder,
+- :mod:`repro.compression.codecs` — pluggable entropy stages (Huffman,
+  zlib/DEFLATE, raw),
+- :mod:`repro.compression.sz` — the assembled error-bounded compressor,
+- :mod:`repro.compression.zfp_like` — a fixed-rate transform codec used
+  as the ZFP-style comparator.
+"""
+
+from repro.compression.sz import SZCompressor, CompressedBlock, decompress
+from repro.compression.zfp_like import ZFPLikeCompressor
+from repro.compression.regression import AdaptiveSZCompressor
+from repro.compression.codecs import HuffmanCodec, RawCodec, ZlibCodec, get_codec
+from repro.compression.stats import (
+    CompressionStats,
+    bit_rate,
+    compression_ratio,
+    max_abs_error,
+    max_pointwise_rel_error,
+)
+
+__all__ = [
+    "SZCompressor",
+    "CompressedBlock",
+    "decompress",
+    "ZFPLikeCompressor",
+    "AdaptiveSZCompressor",
+    "HuffmanCodec",
+    "ZlibCodec",
+    "RawCodec",
+    "get_codec",
+    "CompressionStats",
+    "bit_rate",
+    "compression_ratio",
+    "max_abs_error",
+    "max_pointwise_rel_error",
+]

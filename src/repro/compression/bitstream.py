@@ -1,0 +1,79 @@
+"""Bit-level packing helpers.
+
+The Huffman coder produces variable-length codes; these helpers pack a
+flat bit array into bytes and read it back.  Everything is vectorized via
+:func:`numpy.packbits` / :func:`numpy.unpackbits`; no per-bit Python loop
+is ever executed on the encode path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "BitReader"]
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 array (MSB-first within each byte) into bytes.
+
+    The final byte is zero-padded; callers must remember the true bit
+    count to decode.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim != 1:
+        raise ValueError(f"bits must be 1-D, got shape {bits.shape}")
+    return np.packbits(bits).tobytes()
+
+
+def unpack_bits(blob: bytes, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns exactly ``nbits`` bits."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be non-negative, got {nbits}")
+    if nbits > len(blob) * 8:
+        raise ValueError(f"requested {nbits} bits but blob holds only {len(blob) * 8}")
+    arr = np.unpackbits(np.frombuffer(blob, dtype=np.uint8), count=nbits)
+    return arr
+
+
+class BitReader:
+    """Sequential MSB-first bit reader over a byte blob.
+
+    Used by the Huffman decoder, which needs a peek/consume interface:
+    it peeks ``max_code_length`` bits, looks the window up in a table,
+    then consumes only the true code length.  The hot loop keeps the
+    buffer in a plain Python int for speed.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self._data = blob
+        self._pos = 0  # next byte index
+        self._buf = 0  # bit buffer, left-aligned at bit _nbuf-1
+        self._nbuf = 0  # number of valid bits in _buf
+
+    def peek(self, width: int) -> int:
+        """Return the next ``width`` bits as an int without consuming.
+
+        If fewer than ``width`` bits remain the result is left-shifted
+        (zero-padded on the right), matching the zero padding written by
+        :func:`pack_bits`.
+        """
+        while self._nbuf < width and self._pos < len(self._data):
+            self._buf = (self._buf << 8) | self._data[self._pos]
+            self._pos += 1
+            self._nbuf += 8
+        if self._nbuf >= width:
+            return (self._buf >> (self._nbuf - width)) & ((1 << width) - 1)
+        return (self._buf << (width - self._nbuf)) & ((1 << width) - 1)
+
+    def consume(self, width: int) -> None:
+        """Discard ``width`` bits (must not exceed what peek buffered)."""
+        if width > self._nbuf:
+            # peek() pads with phantom zero bits at the stream tail; keep
+            # the accounting consistent by clamping.
+            width = self._nbuf
+        self._nbuf -= width
+        self._buf &= (1 << self._nbuf) - 1
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._nbuf + 8 * (len(self._data) - self._pos)

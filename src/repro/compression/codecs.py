@@ -1,0 +1,178 @@
+"""Entropy-stage codecs for quantization codes.
+
+SZ entropy-codes the quantization integers (Huffman + a lossless pass);
+this module provides interchangeable backends:
+
+- :class:`HuffmanCodec` — from-scratch canonical Huffman
+  (:mod:`repro.compression.huffman`) followed by a zlib pass over the
+  packed bits, mirroring SZ's Huffman+Zstd stack.
+- :class:`ZlibCodec` — DEFLATE over the raw code bytes.  DEFLATE is
+  itself LZ77+Huffman, so rate behaviour is close to the Huffman stack
+  while encode/decode run at C speed; it is the default for large
+  experiments.
+- :class:`RawCodec` — no entropy coding (debug / ablation baseline).
+
+All codecs operate on non-negative integer arrays and round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.compression.huffman import DEFAULT_MAX_CODE_LENGTH, HuffmanTable
+
+__all__ = ["Codec", "RawCodec", "ZlibCodec", "HuffmanCodec", "get_codec"]
+
+
+def _minimal_uint_dtype(max_value: int) -> np.dtype:
+    """Smallest unsigned dtype able to hold ``max_value``."""
+    for dt in (np.uint8, np.uint16, np.uint32, np.uint64):
+        if max_value <= np.iinfo(dt).max:
+            return np.dtype(dt)
+    raise ValueError(f"value {max_value} exceeds uint64 range")
+
+
+class Codec(ABC):
+    """Round-trip codec for 1-D non-negative integer arrays."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, codes: np.ndarray) -> bytes:
+        """Encode ``codes`` into a self-describing byte blob."""
+
+    @abstractmethod
+    def decode(self, blob: bytes, n: int) -> np.ndarray:
+        """Recover exactly ``n`` codes from ``blob`` (dtype int64)."""
+
+    @staticmethod
+    def _validate(codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        if codes.ndim != 1:
+            raise ValueError(f"codes must be 1-D, got shape {codes.shape}")
+        if codes.size and codes.min() < 0:
+            raise ValueError("codes must be non-negative")
+        return codes
+
+
+class RawCodec(Codec):
+    """Store codes verbatim in the minimal unsigned dtype."""
+
+    name = "raw"
+
+    def encode(self, codes: np.ndarray) -> bytes:
+        codes = self._validate(codes)
+        if codes.size == 0:
+            return b"\x01"
+        dt = _minimal_uint_dtype(int(codes.max()))
+        return bytes([dt.itemsize]) + codes.astype(dt).tobytes()
+
+    def decode(self, blob: bytes, n: int) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        itemsize = blob[0]
+        dt = np.dtype(f"u{itemsize}")
+        return np.frombuffer(blob, dtype=dt, offset=1, count=n).astype(np.int64)
+
+
+class ZlibCodec(Codec):
+    """DEFLATE over the minimal-width byte representation of the codes."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError(f"zlib level must be in [0, 9], got {level}")
+        self.level = level
+
+    def encode(self, codes: np.ndarray) -> bytes:
+        codes = self._validate(codes)
+        if codes.size == 0:
+            return b"\x01"
+        dt = _minimal_uint_dtype(int(codes.max()))
+        payload = codes.astype(dt).tobytes()
+        return bytes([dt.itemsize]) + zlib.compress(payload, self.level)
+
+    def decode(self, blob: bytes, n: int) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        itemsize = blob[0]
+        dt = np.dtype(f"u{itemsize}")
+        payload = zlib.decompress(blob[1:])
+        return np.frombuffer(payload, dtype=dt, count=n).astype(np.int64)
+
+
+class HuffmanCodec(Codec):
+    """Canonical Huffman + zlib pass, mirroring SZ's Huffman+lossless stack.
+
+    The blob layout is::
+
+        [4B alphabet size][4B bit count][zlib(code lengths)][zlib(packed bits)]
+
+    where each zlib'd section is prefixed by its 4-byte length.
+    """
+
+    name = "huffman"
+
+    def __init__(self, max_code_length: int = DEFAULT_MAX_CODE_LENGTH, level: int = 6) -> None:
+        if max_code_length < 1 or max_code_length > 24:
+            raise ValueError(f"max_code_length must be in [1, 24], got {max_code_length}")
+        self.max_code_length = max_code_length
+        self.level = level
+
+    def encode(self, codes: np.ndarray) -> bytes:
+        codes = self._validate(codes)
+        if codes.size == 0:
+            return (0).to_bytes(4, "little") + (0).to_bytes(4, "little")
+        alphabet = int(codes.max()) + 1
+        freqs = np.bincount(codes, minlength=alphabet)
+        table = HuffmanTable.from_frequencies(freqs, max_length=self.max_code_length)
+        bits_blob, nbits = table.encode(codes)
+        lens_z = zlib.compress(table.serialize_lengths(), self.level)
+        bits_z = zlib.compress(bits_blob, self.level)
+        header = alphabet.to_bytes(4, "little") + nbits.to_bytes(4, "little")
+        return (
+            header
+            + len(lens_z).to_bytes(4, "little")
+            + lens_z
+            + len(bits_z).to_bytes(4, "little")
+            + bits_z
+        )
+
+    def decode(self, blob: bytes, n: int) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        alphabet = int.from_bytes(blob[0:4], "little")
+        if alphabet == 0:
+            raise ValueError("empty Huffman blob cannot decode symbols")
+        pos = 8
+        lens_size = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        lengths = np.frombuffer(zlib.decompress(blob[pos : pos + lens_size]), dtype=np.uint8)
+        pos += lens_size
+        bits_size = int.from_bytes(blob[pos : pos + 4], "little")
+        pos += 4
+        bits_blob = zlib.decompress(blob[pos : pos + bits_size])
+        table = HuffmanTable.from_lengths(lengths)
+        return table.decode(bits_blob, n)
+
+
+_CODECS: dict[str, type[Codec]] = {
+    "raw": RawCodec,
+    "zlib": ZlibCodec,
+    "huffman": HuffmanCodec,
+}
+
+
+def get_codec(name: str | Codec, **kwargs: object) -> Codec:
+    """Resolve a codec by name (``raw`` / ``zlib`` / ``huffman``) or pass through."""
+    if isinstance(name, Codec):
+        return name
+    try:
+        cls = _CODECS[name]
+    except KeyError:
+        raise ValueError(f"unknown codec {name!r}; options: {sorted(_CODECS)}") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

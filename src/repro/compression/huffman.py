@@ -1,0 +1,240 @@
+"""Canonical Huffman coding, built from scratch.
+
+SZ's third stage entropy-codes the quantization integers with a
+customized Huffman coder.  This module reimplements that stage:
+
+- tree construction with :mod:`heapq` over the (small) symbol alphabet,
+- *length-limited* codes (max length 16 by default) via iterative
+  frequency flattening, so the decoder can use a single flat lookup
+  table of ``2**max_len`` entries,
+- canonical code assignment, so the table serializes as just the code
+  lengths,
+- a fully vectorized encoder (bit matrix + boolean mask + ``packbits``),
+- a table-driven sequential decoder (the only per-symbol Python loop in
+  the library; decode is off the hot path for the experiments).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.bitstream import BitReader, pack_bits
+
+__all__ = ["HuffmanTable", "build_code_lengths", "canonical_codewords"]
+
+DEFAULT_MAX_CODE_LENGTH = 16
+
+
+def build_code_lengths(freqs: np.ndarray, max_length: int = DEFAULT_MAX_CODE_LENGTH) -> np.ndarray:
+    """Compute Huffman code lengths for ``freqs`` (zero-frequency symbols get 0).
+
+    If the optimal tree exceeds ``max_length``, frequencies are halved
+    (flattening the distribution) and the tree rebuilt — the same
+    pragmatic length-limiting strategy zlib uses.  The resulting code is
+    prefix-free and complete over the used symbols.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError(f"freqs must be 1-D, got shape {freqs.shape}")
+    if (freqs < 0).any():
+        raise ValueError("freqs must be non-negative")
+    used = np.flatnonzero(freqs)
+    lengths = np.zeros(len(freqs), dtype=np.uint8)
+    if len(used) == 0:
+        return lengths
+    if len(used) == 1:
+        lengths[used[0]] = 1
+        return lengths
+    if len(used) > (1 << max_length):
+        raise ValueError(
+            f"{len(used)} distinct symbols cannot all receive codes of "
+            f"length <= {max_length}"
+        )
+
+    work = freqs.copy()
+    while True:
+        lens = _tree_code_lengths(work, used)
+        if lens.max() <= max_length:
+            lengths[used] = lens
+            return lengths
+        # Halve (rounding up so no used symbol drops to zero) and retry.
+        # Terminates: once all frequencies reach 1 the tree is balanced
+        # with depth ceil(log2(m)) <= max_length (guarded above).
+        if (work[used] == 1).all():  # pragma: no cover - defensive
+            raise RuntimeError("length limiting failed to converge")
+        work[used] = (work[used] + 1) // 2
+
+
+def _tree_code_lengths(freqs: np.ndarray, used: np.ndarray) -> np.ndarray:
+    """Code lengths (aligned with ``used``) from a standard Huffman tree."""
+    m = len(used)
+    # Heap items: (freq, node_id). Leaves are 0..m-1; internal nodes get
+    # increasing ids, so a parent's id always exceeds its children's.
+    heap: list[tuple[int, int]] = [(int(freqs[s]), i) for i, s in enumerate(used)]
+    heapq.heapify(heap)
+    merges: list[tuple[int, int]] = []  # children of internal node m + k
+    next_id = m
+    while len(heap) > 1:
+        f1, n1 = heapq.heappop(heap)
+        f2, n2 = heapq.heappop(heap)
+        merges.append((n1, n2))
+        heapq.heappush(heap, (f1 + f2, next_id))
+        next_id += 1
+    # Top-down depth assignment: parents (higher ids) before children.
+    depth = np.zeros(next_id, dtype=np.int64)
+    for node_id in range(next_id - 1, m - 1, -1):
+        left, right = merges[node_id - m]
+        depth[left] = depth[node_id] + 1
+        depth[right] = depth[node_id] + 1
+    return depth[:m]
+
+
+def canonical_codewords(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords (right-aligned ints) for ``lengths``.
+
+    Symbols are ordered by (length, symbol); codes of equal length are
+    consecutive integers.  Zero-length symbols get codeword 0 (unused).
+    """
+    lengths = np.asarray(lengths, dtype=np.uint8)
+    codewords = np.zeros(len(lengths), dtype=np.uint32)
+    used = np.flatnonzero(lengths)
+    if len(used) == 0:
+        return codewords
+    order = used[np.lexsort((used, lengths[used]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:
+        cur_len = int(lengths[sym])
+        code <<= cur_len - prev_len
+        codewords[sym] = code
+        code += 1
+        prev_len = cur_len
+    return codewords
+
+
+@dataclass
+class HuffmanTable:
+    """A canonical Huffman code over the alphabet ``0..nsymbols-1``.
+
+    Attributes
+    ----------
+    lengths:
+        Per-symbol code length in bits (0 for unused symbols).
+    codewords:
+        Right-aligned canonical codewords.
+    max_length:
+        Longest code in the table; the decode table has ``2**max_length``
+        entries.
+    """
+
+    lengths: np.ndarray
+    codewords: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lengths = np.asarray(self.lengths, dtype=np.uint8)
+        self.codewords = np.asarray(self.codewords, dtype=np.uint32)
+        self.max_length = int(self.lengths.max()) if self.lengths.size else 0
+        self._decode_sym: np.ndarray | None = None
+        self._decode_len: np.ndarray | None = None
+
+    @classmethod
+    def from_frequencies(
+        cls, freqs: np.ndarray, max_length: int = DEFAULT_MAX_CODE_LENGTH
+    ) -> "HuffmanTable":
+        lengths = build_code_lengths(freqs, max_length=max_length)
+        return cls(lengths=lengths, codewords=canonical_codewords(lengths))
+
+    @classmethod
+    def from_lengths(cls, lengths: np.ndarray) -> "HuffmanTable":
+        """Rebuild the table from serialized code lengths (canonical codes)."""
+        lengths = np.asarray(lengths, dtype=np.uint8)
+        return cls(lengths=lengths, codewords=canonical_codewords(lengths))
+
+    # -- encode ---------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> tuple[bytes, int]:
+        """Encode ``symbols`` to a packed bitstream.
+
+        Returns ``(blob, nbits)``.  Fully vectorized: builds an
+        ``(n, max_length)`` bit matrix and selects the valid bits with a
+        boolean mask, which NumPy flattens in row-major (i.e. stream)
+        order.
+        """
+        symbols = np.asarray(symbols)
+        if symbols.ndim != 1:
+            raise ValueError(f"symbols must be 1-D, got shape {symbols.shape}")
+        if symbols.size == 0:
+            return b"", 0
+        if symbols.min() < 0 or symbols.max() >= len(self.lengths):
+            raise ValueError("symbol out of alphabet range")
+        lens = self.lengths[symbols]
+        if (lens == 0).any():
+            raise ValueError("attempted to encode a symbol with no codeword")
+        cw = self.codewords[symbols].astype(np.uint32)
+        L = self.max_length
+        # bit j (MSB-first) of a code of length l is (cw >> (l-1-j)) & 1.
+        shift = lens[:, None].astype(np.int32) - 1 - np.arange(L, dtype=np.int32)[None, :]
+        valid = shift >= 0
+        bits = (cw[:, None] >> np.maximum(shift, 0).astype(np.uint32)) & 1
+        flat = bits[valid].astype(np.uint8)
+        return pack_bits(flat), int(flat.size)
+
+    def encoded_nbits(self, symbols: np.ndarray) -> int:
+        """Exact bit count :meth:`encode` would produce (without encoding)."""
+        symbols = np.asarray(symbols)
+        return int(self.lengths[symbols].astype(np.int64).sum())
+
+    # -- decode ---------------------------------------------------------
+
+    def _build_decode_table(self) -> None:
+        L = self.max_length
+        size = 1 << L
+        sym_table = np.zeros(size, dtype=np.int32)
+        len_table = np.zeros(size, dtype=np.uint8)
+        for sym in np.flatnonzero(self.lengths):
+            l = int(self.lengths[sym])
+            cw = int(self.codewords[sym])
+            lo = cw << (L - l)
+            hi = (cw + 1) << (L - l)
+            sym_table[lo:hi] = sym
+            len_table[lo:hi] = l
+        self._decode_sym = sym_table
+        self._decode_len = len_table
+
+    def decode(self, blob: bytes, nsymbols: int) -> np.ndarray:
+        """Decode ``nsymbols`` symbols from a packed bitstream."""
+        if nsymbols == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.max_length == 0:
+            raise ValueError("cannot decode with an empty table")
+        if self._decode_sym is None:
+            self._build_decode_table()
+        assert self._decode_sym is not None and self._decode_len is not None
+        sym_table = self._decode_sym.tolist()
+        len_table = self._decode_len.tolist()
+        L = self.max_length
+        out = np.empty(nsymbols, dtype=np.int64)
+        reader = BitReader(blob)
+        peek = reader.peek
+        consume = reader.consume
+        for i in range(nsymbols):
+            window = peek(L)
+            code_len = len_table[window]
+            if code_len == 0:
+                raise ValueError("corrupt bitstream: no code matches window")
+            out[i] = sym_table[window]
+            consume(code_len)
+        return out
+
+    # -- serialization ---------------------------------------------------
+
+    def serialize_lengths(self) -> bytes:
+        """Serialize the table as its code-length array (canonical codes)."""
+        return self.lengths.tobytes()
+
+    @classmethod
+    def deserialize_lengths(cls, blob: bytes) -> "HuffmanTable":
+        return cls.from_lengths(np.frombuffer(blob, dtype=np.uint8))

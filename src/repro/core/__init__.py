@@ -1,0 +1,51 @@
+"""The paper's primary contribution: fine-grained adaptive configuration.
+
+Given a snapshot partitioned across ranks, select a per-partition error
+bound that maximizes the overall compression ratio while keeping the
+modeled post-hoc analysis distortion (power spectrum; halo masses for
+baryon density) within a user budget — with in situ overhead limited to
+cheap per-partition features plus one collective.
+
+- :mod:`repro.core.features` — in situ feature extraction (mean |value|,
+  boundary-cell rate),
+- :mod:`repro.core.optimizer` — per-partition bound selection (Eq. 16
+  closed form with §3.6's clamping), spectrum- and halo-constrained,
+- :mod:`repro.core.pipeline` — the in situ pipeline (serial rank loop or
+  thread-SPMD with collectives),
+- :mod:`repro.core.baselines` — the traditional static configuration and
+  the Foresight-style trial-and-error search,
+- :mod:`repro.core.overhead` — overhead accounting for §4.3.
+"""
+
+from repro.core.config import HaloQualitySpec, OptimizerSettings, QualityTargets
+from repro.core.features import PartitionFeatures, extract_features
+from repro.core.optimizer import (
+    OptimizationResult,
+    optimize_combined,
+    optimize_for_halo,
+    optimize_for_spectrum,
+)
+from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
+from repro.core.baselines import StaticBaseline, TrialAndErrorSearch
+from repro.core.overhead import OverheadReport, measure_overhead
+from repro.core.campaign import CompressionCampaign, FieldSpec
+
+__all__ = [
+    "QualityTargets",
+    "OptimizerSettings",
+    "HaloQualitySpec",
+    "PartitionFeatures",
+    "extract_features",
+    "OptimizationResult",
+    "optimize_for_spectrum",
+    "optimize_for_halo",
+    "optimize_combined",
+    "AdaptiveCompressionPipeline",
+    "SnapshotResult",
+    "StaticBaseline",
+    "TrialAndErrorSearch",
+    "OverheadReport",
+    "CompressionCampaign",
+    "FieldSpec",
+    "measure_overhead",
+]

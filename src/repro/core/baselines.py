@@ -1,0 +1,137 @@
+"""Baselines the paper compares against (§4).
+
+- :class:`StaticBaseline` — the "traditional method": one error bound
+  for the whole dataset, every partition compressed identically.
+- :class:`TrialAndErrorSearch` — the Foresight-style broad-spectrum
+  search: try bounds from a grid, run the *actual* post-hoc analysis on
+  the decompressed data, keep the largest bound that passes.  This is
+  the expensive empirical procedure (§4.3: compression + decompression
+  + analysis per trial) the models make unnecessary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.stats import CompressionStats
+from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.parallel.decomposition import BlockDecomposition
+from repro.util.timer import TimingBreakdown
+
+__all__ = ["StaticBaseline", "StaticResult", "TrialAndErrorSearch", "TrialRecord"]
+
+
+@dataclass
+class StaticResult:
+    """Outcome of compressing every partition at one bound."""
+
+    eb: float
+    blocks: list[CompressedBlock]
+    timings: TimingBreakdown
+
+    @property
+    def stats(self) -> CompressionStats:
+        return CompressionStats.from_blocks(self.blocks)
+
+    @property
+    def overall_ratio(self) -> float:
+        return self.stats.overall_ratio
+
+    @property
+    def overall_bit_rate(self) -> float:
+        return self.stats.overall_bit_rate
+
+    def reconstruct(self, decomposition: BlockDecomposition, dtype=np.float64) -> np.ndarray:
+        return decomposition.assemble([decompress(b) for b in self.blocks], dtype=dtype)
+
+
+class StaticBaseline:
+    """Traditional static configuration: one bound for every partition."""
+
+    def __init__(self, compressor: SZCompressor | None = None) -> None:
+        self.compressor = compressor or SZCompressor()
+
+    def run(
+        self, data: np.ndarray, decomposition: BlockDecomposition, eb: float
+    ) -> StaticResult:
+        if eb <= 0:
+            raise ValueError(f"error bound must be positive, got {eb}")
+        timings = TimingBreakdown()
+        blocks = []
+        with timings.phase("compress"):
+            for view in decomposition.partition_views(data):
+                blocks.append(self.compressor.compress(view, eb))
+        return StaticResult(eb=float(eb), blocks=blocks, timings=timings)
+
+
+@dataclass
+class TrialRecord:
+    """One trial of the empirical search."""
+
+    eb: float
+    passed: bool
+    ratio: float
+    quality_metric: float
+
+
+class TrialAndErrorSearch:
+    """Foresight-style empirical bound selection.
+
+    Parameters
+    ----------
+    quality_check:
+        Callable ``(original, reconstructed) -> (passed, metric)`` — e.g.
+        :func:`repro.analysis.spectrum.check_spectrum_quality` or a halo
+        criterion.
+    compressor:
+        Error-bounded compressor to trial.
+    """
+
+    def __init__(
+        self,
+        quality_check: Callable[[np.ndarray, np.ndarray], tuple[bool, float]],
+        compressor: SZCompressor | None = None,
+    ) -> None:
+        self.quality_check = quality_check
+        self.compressor = compressor or SZCompressor()
+        self.trials: list[TrialRecord] = []
+
+    def search(
+        self,
+        data: np.ndarray,
+        decomposition: BlockDecomposition,
+        candidate_ebs: Sequence[float],
+    ) -> StaticResult:
+        """Return the static result at the largest passing candidate bound.
+
+        Candidates are tried in descending order; every trial costs a
+        full compress + decompress + analysis pass (the expense the
+        paper's models eliminate).  Raises if no candidate passes.
+        """
+        candidates = sorted(set(float(e) for e in candidate_ebs), reverse=True)
+        if not candidates:
+            raise ValueError("need at least one candidate error bound")
+        if any(e <= 0 for e in candidates):
+            raise ValueError("candidate error bounds must be positive")
+        baseline = StaticBaseline(self.compressor)
+        self.trials = []
+        for eb in candidates:
+            result = baseline.run(data, decomposition, eb)
+            recon = result.reconstruct(decomposition)
+            passed, metric = self.quality_check(np.asarray(data, dtype=np.float64), recon)
+            self.trials.append(
+                TrialRecord(eb=eb, passed=passed, ratio=result.overall_ratio, quality_metric=metric)
+            )
+            if passed:
+                return result
+        raise ValueError(
+            "no candidate error bound satisfied the quality check; smallest "
+            f"tried was {candidates[-1]}"
+        )
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)

@@ -1,0 +1,259 @@
+"""Campaign orchestration: whole snapshots, all fields, many dumps.
+
+The paper's motivating arithmetic (§1) is storage for a *campaign*: one
+4096³ Nyx run dumps ~2.8 TB per snapshot, 200 snapshots per run.  This
+module packages the per-field machinery into that workflow:
+
+- :class:`FieldSpec` — per-field quality configuration (spectrum
+  tolerance, optional halo constraint, PW_REL mode, ...),
+- :class:`CompressionCampaign` — calibrates once, then compresses every
+  field of every snapshot adaptively, accumulating storage accounting
+  (raw vs compressed bytes, per-field ratios, per-snapshot trends).
+
+Budgets are re-derived per snapshot from the models (cheap), exactly as
+the in situ deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import HaloQualitySpec, OptimizerSettings
+from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
+from repro.compression.sz import SZCompressor
+from repro.models.calibration import CalibrationResult, calibrate_rate_model
+from repro.models.fft_error import (
+    spectrum_ratio_tolerance_to_eb,
+    sub_threshold_power_estimate,
+)
+from repro.analysis.halos import find_halos
+from repro.analysis.spectrum import power_spectrum
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSnapshot
+
+__all__ = ["FieldSpec", "FieldOutcome", "CampaignReport", "CompressionCampaign"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Quality/configuration policy for one field.
+
+    Attributes
+    ----------
+    spectrum_tolerance / spectrum_k_max / confidence_z:
+        P(k) acceptance band driving the model-derived budget.
+    correlated_fraction:
+        §3.5-revision knob for the budget inversion (0 = paper's model).
+    halo_aware:
+        Apply the combined §3.6 optimization (density fields).
+    halo_percentile:
+        Percentile of the field defining ``t_boundary``.
+    halo_mass_fraction:
+        Mass budget as a fraction of the total halo mass (Eq. 11).
+    eb_override:
+        Skip the model inversion and use this average bound directly.
+    """
+
+    spectrum_tolerance: float = 0.01
+    spectrum_k_max: int = 10
+    confidence_z: float = 2.0
+    correlated_fraction: float = 0.0
+    halo_aware: bool = False
+    halo_percentile: float = 99.5
+    halo_mass_fraction: float = 0.01
+    eb_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.spectrum_tolerance <= 0:
+            raise ValueError("spectrum_tolerance must be positive")
+        if not 0 <= self.correlated_fraction <= 1:
+            raise ValueError("correlated_fraction must be in [0, 1]")
+        if not 50 <= self.halo_percentile < 100:
+            raise ValueError("halo_percentile must be in [50, 100)")
+        if self.eb_override is not None and self.eb_override <= 0:
+            raise ValueError("eb_override must be positive")
+
+
+@dataclass
+class FieldOutcome:
+    """One field of one snapshot, compressed."""
+
+    field: str
+    redshift: float
+    eb_avg: float
+    result: SnapshotResult
+
+    @property
+    def ratio(self) -> float:
+        return self.result.overall_ratio
+
+    @property
+    def raw_bytes(self) -> int:
+        stats = self.result.stats
+        return stats.source_itemsize * stats.total_elements
+
+    @property
+    def compressed_bytes(self) -> int:
+        return self.result.stats.total_nbytes
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated storage accounting across a campaign."""
+
+    outcomes: list[FieldOutcome] = field(default_factory=list)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(o.raw_bytes for o in self.outcomes)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(o.compressed_bytes for o in self.outcomes)
+
+    @property
+    def overall_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            raise ValueError("campaign is empty")
+        return self.raw_bytes / self.compressed_bytes
+
+    def field_ratio(self, name: str) -> float:
+        rows = [o for o in self.outcomes if o.field == name]
+        if not rows:
+            raise KeyError(f"no outcomes recorded for field {name!r}")
+        raw = sum(o.raw_bytes for o in rows)
+        comp = sum(o.compressed_bytes for o in rows)
+        return raw / comp
+
+    def snapshot_ratio(self, redshift: float) -> float:
+        rows = [o for o in self.outcomes if o.redshift == redshift]
+        if not rows:
+            raise KeyError(f"no outcomes recorded for z={redshift}")
+        return sum(o.raw_bytes for o in rows) / sum(o.compressed_bytes for o in rows)
+
+    def as_rows(self) -> list[list[object]]:
+        return [
+            [o.redshift, o.field, o.eb_avg, o.ratio, o.compressed_bytes]
+            for o in self.outcomes
+        ]
+
+
+class CompressionCampaign:
+    """Adaptive compression of whole snapshots across a dump schedule.
+
+    Parameters
+    ----------
+    decomposition:
+        Rank layout shared by every field.
+    field_specs:
+        Field name -> :class:`FieldSpec`; fields without an entry use the
+        default spec.
+    compressor:
+        Error-bounded compressor shared across fields.
+    settings:
+        Optimizer settings.
+
+    Examples
+    --------
+    >>> from repro.sim.nyx import NyxSimulator
+    >>> from repro.parallel.decomposition import BlockDecomposition
+    >>> sim = NyxSimulator(shape=(16, 16, 16), seed=0)
+    >>> dec = BlockDecomposition((16, 16, 16), blocks=2)
+    >>> campaign = CompressionCampaign(dec)
+    >>> campaign.calibrate(sim.snapshot(z=2.0))
+    >>> report = campaign.compress_snapshot(sim.snapshot(z=1.0))
+    >>> report.overall_ratio > 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        decomposition: BlockDecomposition,
+        field_specs: dict[str, FieldSpec] | None = None,
+        compressor: SZCompressor | None = None,
+        settings: OptimizerSettings | None = None,
+    ) -> None:
+        self.decomposition = decomposition
+        self.field_specs = dict(field_specs or {})
+        self.compressor = compressor or SZCompressor()
+        self.settings = settings or OptimizerSettings()
+        self.calibrations: dict[str, CalibrationResult] = {}
+        self.report = CampaignReport()
+
+    def spec_for(self, name: str) -> FieldSpec:
+        return self.field_specs.get(name, FieldSpec())
+
+    # -- calibration --------------------------------------------------------
+
+    def calibrate(self, snapshot: NyxSnapshot, max_partitions: int = 24, seed: int = 0) -> None:
+        """Fit the rate model per field (offline, once per campaign)."""
+        for name, data in snapshot.fields.items():
+            eb_scale = self._budget(name, data)
+            self.calibrations[name] = calibrate_rate_model(
+                self.decomposition.partition_views(data),
+                compressor=self.compressor,
+                eb_scale=eb_scale,
+                max_partitions=max_partitions,
+                seed=seed,
+            )
+
+    # -- per-snapshot compression --------------------------------------------
+
+    def compress_snapshot(self, snapshot: NyxSnapshot) -> CampaignReport:
+        """Adaptively compress every field; returns the cumulative report."""
+        if not self.calibrations:
+            raise RuntimeError("call calibrate() before compressing snapshots")
+        for name, data in snapshot.fields.items():
+            if name not in self.calibrations:
+                raise KeyError(f"field {name!r} was not calibrated")
+            spec = self.spec_for(name)
+            eb_avg = self._budget(name, data)
+            halo = self._halo_spec(name, data, eb_avg) if spec.halo_aware else None
+            pipe = AdaptiveCompressionPipeline(
+                self.calibrations[name].rate_model,
+                compressor=self.compressor,
+                settings=self.settings,
+            )
+            result = pipe.run(data, self.decomposition, eb_avg=eb_avg, halo=halo)
+            self.report.outcomes.append(
+                FieldOutcome(
+                    field=name,
+                    redshift=snapshot.redshift,
+                    eb_avg=eb_avg,
+                    result=result,
+                )
+            )
+        return self.report
+
+    # -- internals -------------------------------------------------------------
+
+    def _budget(self, name: str, data: np.ndarray) -> float:
+        spec = self.spec_for(name)
+        if spec.eb_override is not None:
+            return spec.eb_override
+        f64 = np.asarray(data, dtype=np.float64)
+        ps = power_spectrum(f64)
+        return spectrum_ratio_tolerance_to_eb(
+            ps,
+            f64.size,
+            tolerance=spec.spectrum_tolerance,
+            k_max=spec.spectrum_k_max,
+            confidence_z=spec.confidence_z,
+            sub_power_fn=lambda e: sub_threshold_power_estimate(f64, e, stride=2),
+            correlated_fraction=spec.correlated_fraction,
+        )
+
+    def _halo_spec(self, name: str, data: np.ndarray, eb_avg: float) -> HaloQualitySpec | None:
+        spec = self.spec_for(name)
+        f64 = np.asarray(data, dtype=np.float64)
+        t_boundary = float(np.percentile(f64, spec.halo_percentile))
+        catalog = find_halos(f64, t_boundary)
+        if catalog.n_halos == 0:
+            return None
+        return HaloQualitySpec(
+            t_boundary=t_boundary,
+            mass_budget=spec.halo_mass_fraction * float(catalog.masses.sum()),
+            reference_eb=min(1.0, eb_avg),
+        )

@@ -1,0 +1,101 @@
+"""Configuration dataclasses for the adaptive pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QualityTargets", "OptimizerSettings", "HaloQualitySpec"]
+
+
+@dataclass(frozen=True)
+class QualityTargets:
+    """Post-hoc analysis quality requirements (§2.1 defaults).
+
+    Attributes
+    ----------
+    spectrum_tolerance:
+        Admissible ``|P'(k)/P(k) - 1|`` (paper: 0.01).
+    spectrum_k_max:
+        Wavenumber cutoff for the spectrum test (paper: 10).
+    confidence_z:
+        Sigma multiplier mapping model variance to the tolerance
+        (paper: 2, i.e. 95.4% confidence).
+    halo_mass_rmse:
+        Admissible RMSE of matched halo mass ratios (paper: 0.01).
+    """
+
+    spectrum_tolerance: float = 0.01
+    spectrum_k_max: int = 10
+    confidence_z: float = 2.0
+    halo_mass_rmse: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.spectrum_tolerance <= 0:
+            raise ValueError("spectrum_tolerance must be positive")
+        if self.spectrum_k_max < 2:
+            raise ValueError("spectrum_k_max must be at least 2")
+        if self.confidence_z <= 0:
+            raise ValueError("confidence_z must be positive")
+        if self.halo_mass_rmse <= 0:
+            raise ValueError("halo_mass_rmse must be positive")
+
+
+@dataclass(frozen=True)
+class OptimizerSettings:
+    """Knobs of the per-partition optimizer (§3.6 defaults).
+
+    Attributes
+    ----------
+    clamp_factor:
+        Bounds are clamped to ``[eb_avg/clamp, clamp*eb_avg]``
+        (paper: 4) to contain partitions the models fit poorly.
+    normalization:
+        ``"exact"`` — allgather the per-partition features and solve the
+        constrained optimum exactly (default); ``"local"`` — the paper's
+        cheaper protocol needing only one allreduce: every rank applies
+        the closed form against the coefficient of the *global mean*
+        feature (the constraint then holds approximately).
+    constraint_mode:
+        How per-partition bounds combine in the FFT error model:
+        ``"paper"`` (Eq. 10, linear average) or ``"rms"`` (exact).
+    """
+
+    clamp_factor: float = 4.0
+    normalization: str = "exact"
+    constraint_mode: str = "paper"
+
+    def __post_init__(self) -> None:
+        if self.clamp_factor < 1:
+            raise ValueError("clamp_factor must be >= 1")
+        if self.normalization not in ("exact", "local"):
+            raise ValueError("normalization must be 'exact' or 'local'")
+        if self.constraint_mode not in ("paper", "rms"):
+            raise ValueError("constraint_mode must be 'paper' or 'rms'")
+
+
+@dataclass(frozen=True)
+class HaloQualitySpec:
+    """Halo-finder constraint inputs for a density field (§3.4/§3.6).
+
+    Attributes
+    ----------
+    t_boundary:
+        Candidate-cell threshold of the downstream halo finder.
+    mass_budget:
+        Admissible total absolute halo-mass change (Eq. 11 budget).
+    reference_eb:
+        Error bound at which boundary cells are counted once; counts
+        extrapolate linearly (§4.2).
+    """
+
+    t_boundary: float
+    mass_budget: float
+    reference_eb: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.t_boundary <= 0:
+            raise ValueError("t_boundary must be positive")
+        if self.mass_budget <= 0:
+            raise ValueError("mass_budget must be positive")
+        if self.reference_eb <= 0:
+            raise ValueError("reference_eb must be positive")

@@ -1,0 +1,78 @@
+"""In situ per-partition feature extraction (§3.6, §4.3).
+
+The whole point of the paper's design is that the optimizer needs only
+*cheap* per-partition summaries:
+
+- ``mean |value|`` — predicts the rate coefficient ``C_m``
+  (1-1.5% of compression time on CPUs per the paper),
+- the boundary-cell rate around ``t_boundary`` — the halo-finder
+  feature, extracted only for the density field (up to 5%),
+- optionally the value-histogram entropy, the more expensive feature the
+  paper considered and rejected (kept for the ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.halo_error import effective_cell_rate
+
+__all__ = ["PartitionFeatures", "extract_features", "histogram_entropy"]
+
+
+@dataclass(frozen=True)
+class PartitionFeatures:
+    """Summaries of one partition consumed by the optimizer."""
+
+    rank: int
+    n_cells: int
+    mean_abs: float
+    effective_cell_rate: float | None = None  # boundary cells per unit eb
+    entropy: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_cells <= 0:
+            raise ValueError("n_cells must be positive")
+        if self.mean_abs < 0:
+            raise ValueError("mean_abs must be non-negative")
+
+
+def histogram_entropy(partition: np.ndarray, bins: int = 256) -> float:
+    """Shannon entropy (bits) of the value histogram — the costly feature."""
+    arr = np.asarray(partition, dtype=np.float64).ravel()
+    lo, hi = arr.min(), arr.max()
+    if hi == lo:
+        return 0.0
+    counts, _ = np.histogram(arr, bins=bins, range=(lo, hi))
+    p = counts[counts > 0] / arr.size
+    return float(-(p * np.log2(p)).sum())
+
+
+def extract_features(
+    partition: np.ndarray,
+    rank: int = 0,
+    t_boundary: float | None = None,
+    reference_eb: float = 1.0,
+    with_entropy: bool = False,
+) -> PartitionFeatures:
+    """Extract the in situ features of one partition.
+
+    ``t_boundary`` enables the halo feature (density fields only).
+    """
+    arr = np.asarray(partition)
+    if arr.size == 0:
+        raise ValueError("partition must be non-empty")
+    rate = None
+    if t_boundary is not None:
+        rate = effective_cell_rate(
+            np.asarray(arr, dtype=np.float64), t_boundary, reference_eb
+        )
+    return PartitionFeatures(
+        rank=rank,
+        n_cells=int(arr.size),
+        mean_abs=float(np.mean(np.abs(arr))),
+        effective_cell_rate=rate,
+        entropy=histogram_entropy(arr) if with_entropy else None,
+    )

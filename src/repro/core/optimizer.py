@@ -1,0 +1,205 @@
+"""Per-partition error-bound optimization (§3.6).
+
+Three entry points:
+
+- :func:`optimize_for_spectrum` — power-spectrum constraint: the FFT
+  error model (Eq. 10) depends only on the *average* bound, so the
+  optimizer redistributes bounds at fixed average to equalize marginal
+  bit cost (Eq. 16 closed form + clamping),
+- :func:`optimize_for_halo` — halo-mass budget (Eq. 11): the constraint
+  weights each partition by its boundary-cell rate, so feature-dense
+  partitions are pushed toward smaller bounds,
+- :func:`optimize_combined` — the paper's §3.6 strategy for baryon
+  density: solve for the spectrum, check the halo budget; if violated,
+  solve for the halo budget and use it as a per-partition cap
+  ("boundary condition").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import HaloQualitySpec, OptimizerSettings
+from repro.core.features import PartitionFeatures
+from repro.models.halo_error import FAULT_PROBABILITY, halo_mass_error_budget
+from repro.models.rate_model import RateModel, optimal_error_bounds
+from repro.util.validation import check_positive
+
+__all__ = [
+    "OptimizationResult",
+    "optimize_for_spectrum",
+    "optimize_for_halo",
+    "optimize_combined",
+]
+
+
+@dataclass
+class OptimizationResult:
+    """Per-partition bounds plus diagnostics."""
+
+    ebs: np.ndarray
+    eb_avg_target: float
+    constraint: str  # "spectrum", "halo", or "combined"
+    predicted_bitrates: np.ndarray
+    halo_budget_used: float | None = None
+    halo_constrained: bool = False
+
+    @property
+    def eb_mean(self) -> float:
+        return float(self.ebs.mean())
+
+    @property
+    def predicted_mean_bitrate(self) -> float:
+        return float(self.predicted_bitrates.mean())
+
+
+def _coefficients(features: Sequence[PartitionFeatures], model: RateModel) -> np.ndarray:
+    if not features:
+        raise ValueError("need at least one partition's features")
+    means = np.array([f.mean_abs for f in features], dtype=np.float64)
+    return np.asarray(model.predict_coefficient(means), dtype=np.float64)
+
+
+def optimize_for_spectrum(
+    features: Sequence[PartitionFeatures],
+    rate_model: RateModel,
+    eb_avg: float,
+    settings: OptimizerSettings | None = None,
+) -> OptimizationResult:
+    """Maximize ratio at fixed average bound (power-spectrum constraint).
+
+    With ``settings.normalization == "local"`` the paper's cheap protocol
+    is used: Eq. 16 evaluated against the coefficient of the global mean
+    feature, no renormalization (the average-bound constraint then holds
+    only approximately; the clamp keeps the drift small).
+    """
+    settings = settings or OptimizerSettings()
+    eb_avg = check_positive(eb_avg, "eb_avg")
+    coeffs = _coefficients(features, rate_model)
+    c = rate_model.exponent
+
+    if settings.normalization == "local":
+        global_mean = float(np.mean([f.mean_abs for f in features]))
+        c_a = float(rate_model.predict_coefficient(global_mean))
+        ebs = eb_avg * (coeffs / c_a) ** (1.0 / (1.0 - c))
+        ebs = np.clip(ebs, eb_avg / settings.clamp_factor, eb_avg * settings.clamp_factor)
+    else:
+        # constraint_mode "paper" fixes the average bound (Eq. 10);
+        # "rms" fixes the root-mean-square bound (the exact variance
+        # combination), which redistributes more cautiously.
+        constraint = "mean" if settings.constraint_mode == "paper" else "rms"
+        ebs = optimal_error_bounds(
+            coeffs,
+            eb_avg,
+            c,
+            weights=None,
+            clamp_factor=settings.clamp_factor,
+            constraint=constraint,
+        )
+    return OptimizationResult(
+        ebs=ebs,
+        eb_avg_target=eb_avg,
+        constraint="spectrum",
+        predicted_bitrates=coeffs * ebs**c,
+    )
+
+
+def optimize_for_halo(
+    features: Sequence[PartitionFeatures],
+    rate_model: RateModel,
+    halo: HaloQualitySpec,
+    settings: OptimizerSettings | None = None,
+) -> OptimizationResult:
+    """Maximize ratio subject to the halo-mass budget (Eq. 11).
+
+    The constraint ``t_boundary * p_fault * sum_m rate_m * eb_m <=
+    mass_budget`` is linear in the bounds with weights equal to the
+    boundary-cell rates, so the same closed form applies with those
+    weights.
+    """
+    settings = settings or OptimizerSettings()
+    coeffs = _coefficients(features, rate_model)
+    c = rate_model.exponent
+    rates = np.array(
+        [f.effective_cell_rate if f.effective_cell_rate is not None else np.nan for f in features]
+    )
+    if np.isnan(rates).any():
+        raise ValueError(
+            "halo optimization requires effective_cell_rate in every partition's "
+            "features (extract with t_boundary set)"
+        )
+
+    # Linear budget on sum(rate_m * eb_m).
+    weighted_sum_budget = halo.mass_budget / (halo.t_boundary * FAULT_PROBABILITY)
+    total_weight = float(rates.sum())
+    if total_weight <= 0:
+        # No boundary cells anywhere: the halo constraint is inactive.
+        raise ValueError(
+            "no partition has boundary cells; halo constraint is vacuous — "
+            "use optimize_for_spectrum instead"
+        )
+    eb_avg_equiv = weighted_sum_budget / total_weight
+    ebs = optimal_error_bounds(
+        coeffs,
+        eb_avg_equiv,
+        c,
+        weights=rates,
+        clamp_factor=settings.clamp_factor,
+    )
+    return OptimizationResult(
+        ebs=ebs,
+        eb_avg_target=eb_avg_equiv,
+        constraint="halo",
+        predicted_bitrates=coeffs * ebs**c,
+        halo_budget_used=halo_mass_error_budget(halo.t_boundary, rates, ebs),
+    )
+
+
+def optimize_combined(
+    features: Sequence[PartitionFeatures],
+    rate_model: RateModel,
+    eb_avg: float,
+    halo: HaloQualitySpec,
+    settings: OptimizerSettings | None = None,
+) -> OptimizationResult:
+    """§3.6's two-constraint strategy for baryon density.
+
+    1. Optimize for the power spectrum.
+    2. Evaluate the resulting halo-mass error (Eq. 11).  If within
+       budget, accept.
+    3. Otherwise optimize for the halo budget and cap the spectrum
+       solution partition-wise by the halo solution (the "boundary
+       condition") — both constraints then hold: the average bound can
+       only decrease, and the weighted halo sum is below budget.
+    """
+    settings = settings or OptimizerSettings()
+    spec_result = optimize_for_spectrum(features, rate_model, eb_avg, settings)
+    rates = np.array(
+        [f.effective_cell_rate if f.effective_cell_rate is not None else np.nan for f in features]
+    )
+    if np.isnan(rates).any():
+        raise ValueError("combined optimization requires effective_cell_rate features")
+    budget_at_spec = halo_mass_error_budget(halo.t_boundary, rates, spec_result.ebs)
+    if budget_at_spec <= halo.mass_budget or rates.sum() == 0:
+        return OptimizationResult(
+            ebs=spec_result.ebs,
+            eb_avg_target=eb_avg,
+            constraint="combined",
+            predicted_bitrates=spec_result.predicted_bitrates,
+            halo_budget_used=budget_at_spec,
+            halo_constrained=False,
+        )
+    halo_result = optimize_for_halo(features, rate_model, halo, settings)
+    ebs = np.minimum(spec_result.ebs, halo_result.ebs)
+    coeffs = _coefficients(features, rate_model)
+    return OptimizationResult(
+        ebs=ebs,
+        eb_avg_target=eb_avg,
+        constraint="combined",
+        predicted_bitrates=coeffs * ebs**rate_model.exponent,
+        halo_budget_used=halo_mass_error_budget(halo.t_boundary, rates, ebs),
+        halo_constrained=True,
+    )

@@ -1,0 +1,89 @@
+"""Post-hoc quality acceptance criteria (§2.1's thresholds).
+
+Bundles the paper's two domain criteria — power-spectrum ratio within
+``1 +/- 0.01`` below ``k_max`` and halo-mass RMSE within 0.01 — together
+with the generic metrics, into a single evaluation call used by the
+Foresight-style sweeps and the trial-and-error baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.catalog import compare_catalogs
+from repro.analysis.halos import find_halos
+from repro.analysis.metrics import nrmse, psnr
+from repro.analysis.spectrum import check_spectrum_quality
+
+__all__ = ["QualityCriteria", "QualityReport", "evaluate_quality"]
+
+
+@dataclass(frozen=True)
+class QualityCriteria:
+    """Acceptance thresholds for one field."""
+
+    spectrum_tolerance: float = 0.01
+    spectrum_k_max: int = 10
+    check_halos: bool = False
+    t_boundary: float | None = None
+    t_halo: float | None = None
+    halo_mass_rmse: float = 0.01
+    halo_match_distance: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.spectrum_tolerance <= 0:
+            raise ValueError("spectrum_tolerance must be positive")
+        if self.check_halos and self.t_boundary is None:
+            raise ValueError("halo checks require t_boundary")
+
+
+@dataclass
+class QualityReport:
+    """All quality measurements for one (field, configuration) pair."""
+
+    spectrum_ok: bool
+    spectrum_worst_deviation: float
+    halo_ok: bool | None
+    halo_mass_rmse: float | None
+    halo_count_change: int | None
+    psnr_db: float
+    nrmse_value: float
+
+    @property
+    def passed(self) -> bool:
+        return self.spectrum_ok and (self.halo_ok is None or self.halo_ok)
+
+
+def evaluate_quality(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    criteria: QualityCriteria,
+) -> QualityReport:
+    """Run every configured check on a reconstructed field."""
+    orig = np.asarray(original, dtype=np.float64)
+    rec = np.asarray(reconstructed, dtype=np.float64)
+    spectrum_ok, worst = check_spectrum_quality(
+        orig, rec, tolerance=criteria.spectrum_tolerance, k_max=criteria.spectrum_k_max
+    )
+    halo_ok: bool | None = None
+    halo_rmse: float | None = None
+    halo_dcount: int | None = None
+    if criteria.check_halos:
+        assert criteria.t_boundary is not None
+        cat_o = find_halos(orig, criteria.t_boundary, criteria.t_halo)
+        cat_r = find_halos(rec, criteria.t_boundary, criteria.t_halo)
+        cmp = compare_catalogs(cat_o, cat_r, max_distance=criteria.halo_match_distance)
+        halo_rmse = cmp.mass_rmse
+        halo_dcount = cmp.count_change
+        halo_ok = bool(np.isfinite(halo_rmse) and halo_rmse <= criteria.halo_mass_rmse)
+    return QualityReport(
+        spectrum_ok=spectrum_ok,
+        spectrum_worst_deviation=worst,
+        halo_ok=halo_ok,
+        halo_mass_rmse=halo_rmse,
+        halo_count_change=halo_dcount,
+        psnr_db=psnr(orig, rec),
+        nrmse_value=nrmse(orig, rec),
+    )

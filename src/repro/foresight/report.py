@@ -1,0 +1,50 @@
+"""Rendering sweep results as tables / CSV."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+from repro.foresight.sweep import SweepRecord
+from repro.util.tables import format_table
+
+__all__ = ["records_to_table", "records_to_csv"]
+
+_COLUMNS = (
+    "field",
+    "eb",
+    "bit_rate",
+    "ratio",
+    "spectrum_dev",
+    "halo_mass_rmse",
+    "psnr_db",
+    "passed",
+)
+
+
+def _row(r: SweepRecord) -> list[object]:
+    return [
+        r.field,
+        r.eb,
+        r.bit_rate,
+        r.ratio,
+        r.quality.spectrum_worst_deviation,
+        r.quality.halo_mass_rmse if r.quality.halo_mass_rmse is not None else float("nan"),
+        r.quality.psnr_db,
+        r.passed,
+    ]
+
+
+def records_to_table(records: Sequence[SweepRecord], title: str | None = None) -> str:
+    """Aligned plain-text table of sweep records."""
+    return format_table(_COLUMNS, [_row(r) for r in records], title=title)
+
+
+def records_to_csv(records: Sequence[SweepRecord]) -> str:
+    """CSV rendering (header + one line per record)."""
+    buf = io.StringIO()
+    buf.write(",".join(_COLUMNS) + "\n")
+    for r in records:
+        cells = _row(r)
+        buf.write(",".join(str(c) for c in cells) + "\n")
+    return buf.getvalue()

@@ -1,0 +1,90 @@
+"""Configuration sweeps: compress -> decompress -> analyze over a grid.
+
+This is the broad-spectrum empirical methodology (Foresight) the paper
+uses for ground truth and baselines.  Each record carries rate *and*
+quality, so downstream code can pick operating points or validate the
+models' predictions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor, decompress
+from repro.foresight.quality import QualityCriteria, QualityReport, evaluate_quality
+from repro.parallel.decomposition import BlockDecomposition
+
+__all__ = ["SweepRecord", "run_sweep"]
+
+
+@dataclass
+class SweepRecord:
+    """One (field, eb) evaluation."""
+
+    field: str
+    eb: float
+    bit_rate: float
+    ratio: float
+    quality: QualityReport
+
+    @property
+    def passed(self) -> bool:
+        return self.quality.passed
+
+
+def run_sweep(
+    fields: dict[str, np.ndarray],
+    ebs: Sequence[float],
+    criteria: dict[str, QualityCriteria],
+    decomposition: BlockDecomposition | None = None,
+    compressor: SZCompressor | None = None,
+) -> list[SweepRecord]:
+    """Evaluate every (field, eb) combination.
+
+    Parameters
+    ----------
+    fields:
+        Field name -> 3-D array.
+    ebs:
+        Error bounds to trial (absolute).
+    criteria:
+        Field name -> acceptance criteria (fields without an entry use
+        spectrum-only defaults).
+    decomposition:
+        If given, fields are compressed partition-wise (matching the in
+        situ layout); otherwise whole-field.
+    """
+    if not fields:
+        raise ValueError("need at least one field")
+    if not ebs:
+        raise ValueError("need at least one error bound")
+    comp = compressor or SZCompressor()
+    records: list[SweepRecord] = []
+    for name, data in fields.items():
+        crit = criteria.get(name, QualityCriteria())
+        for eb in ebs:
+            eb = float(eb)
+            if decomposition is not None:
+                blocks = [comp.compress(v, eb) for v in decomposition.partition_views(data)]
+                nbytes = sum(b.nbytes for b in blocks)
+                n = sum(b.n_elements for b in blocks)
+                itemsize = blocks[0].source_itemsize
+                recon = decomposition.assemble([decompress(b) for b in blocks])
+            else:
+                block = comp.compress(data, eb)
+                nbytes, n, itemsize = block.nbytes, block.n_elements, block.source_itemsize
+                recon = decompress(block)
+            quality = evaluate_quality(data, recon, crit)
+            records.append(
+                SweepRecord(
+                    field=name,
+                    eb=eb,
+                    bit_rate=8.0 * nbytes / n,
+                    ratio=itemsize * n / nbytes,
+                    quality=quality,
+                )
+            )
+    return records

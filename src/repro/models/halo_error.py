@@ -1,0 +1,98 @@
+"""Halo-finder error model (§3.4, Eqs. 11-14).
+
+Compression perturbs halo analysis almost exclusively by flipping *edge
+cells* across the candidate threshold ``t_boundary`` (Table 1: the mass
+change per flipped cell is ~``t_boundary``).  Because the local value
+histogram is approximately flat, a cell within ``eb`` of the threshold
+flips with probability 1/4 (Eq. 12).  Hence per partition:
+
+- expected flipped cells  ``e_m = n_bc / 4``                    (Eq. 13)
+- total mass error budget ``M_fault = t_boundary * sum_m e_m``  (Eq. 11)
+- cell-count fluctuation  ``sigma = sqrt(n_bc / 3)``            (Eq. 14)
+
+where ``n_bc`` counts cells with values in
+``(t_boundary - eb, t_boundary + eb)``.  The count is extracted once at
+a reference bound and extrapolated linearly (``n_bc = n * eb``, §4.2),
+which is what makes the in situ feature extraction cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_3d, check_positive
+
+__all__ = [
+    "FAULT_PROBABILITY",
+    "boundary_cell_count",
+    "effective_cell_rate",
+    "expected_fault_cells",
+    "fault_cell_sigma",
+    "halo_mass_error_budget",
+]
+
+#: Eq. 12 — probability a boundary cell flips under uniform error.
+FAULT_PROBABILITY = 0.25
+
+
+def boundary_cell_count(density: np.ndarray, t_boundary: float, eb: float) -> int:
+    """Number of cells with value in ``(t_boundary - eb, t_boundary + eb)``."""
+    rho = check_3d(density, "density")
+    t = float(t_boundary)
+    eb = check_positive(eb, "eb")
+    return int(np.count_nonzero((rho > t - eb) & (rho < t + eb)))
+
+
+def effective_cell_rate(
+    density: np.ndarray, t_boundary: float, reference_eb: float = 1.0
+) -> float:
+    """Boundary cells per unit error bound (the feature extracted in situ).
+
+    The local histogram is flat at the threshold scale, so
+    ``n_bc(eb) ~ rate * eb``; extracting the count once at
+    ``reference_eb`` suffices for all candidate bounds (§4.2, Fig. 14).
+    """
+    count = boundary_cell_count(density, t_boundary, reference_eb)
+    return count / reference_eb
+
+
+def expected_fault_cells(n_bc: float | np.ndarray, fault_probability: float = FAULT_PROBABILITY) -> float | np.ndarray:
+    """Eq. 13: expected flipped cells given boundary-cell count(s)."""
+    if not 0 < fault_probability < 1:
+        raise ValueError(f"fault_probability must be in (0,1), got {fault_probability}")
+    return np.asarray(n_bc, dtype=np.float64) * fault_probability
+
+
+def fault_cell_sigma(n_bc: float) -> float:
+    """Eq. 14: std of the flipped-cell count for a halo with ``n_bc`` edge cells."""
+    if n_bc < 0:
+        raise ValueError(f"n_bc must be non-negative, got {n_bc}")
+    return float(np.sqrt(n_bc / 3.0))
+
+
+def halo_mass_error_budget(
+    t_boundary: float,
+    effective_rates: np.ndarray,
+    ebs: np.ndarray,
+    fault_probability: float = FAULT_PROBABILITY,
+) -> float:
+    """Eq. 11: total absolute halo-mass change across partitions.
+
+    Parameters
+    ----------
+    t_boundary:
+        Candidate threshold (mass contributed per flipped cell).
+    effective_rates:
+        Per-partition boundary cells per unit ``eb``
+        (:func:`effective_cell_rate`).
+    ebs:
+        Per-partition error bounds.
+    """
+    rates = np.asarray(effective_rates, dtype=np.float64)
+    ebs = np.asarray(ebs, dtype=np.float64)
+    if rates.shape != ebs.shape:
+        raise ValueError(f"shape mismatch: rates {rates.shape} vs ebs {ebs.shape}")
+    if (ebs <= 0).any():
+        raise ValueError("all error bounds must be positive")
+    e_m = expected_fault_cells(rates * ebs, fault_probability)
+    return float(t_boundary * np.sum(e_m))

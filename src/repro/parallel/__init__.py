@@ -1,0 +1,30 @@
+"""Simulated MPI runtime and domain decomposition.
+
+Nyx partitions its grid across MPI ranks; the paper's in situ protocol
+is "every rank extracts its partition's features, one ``MPI_Allreduce``
+shares the global mean, every rank solves for its own bound and
+compresses".  This package reproduces that pattern without real MPI:
+
+- :mod:`repro.parallel.comm` — the communicator interface plus the
+  trivial serial implementation,
+- :mod:`repro.parallel.simcomm` — a thread-backed SPMD communicator with
+  barrier-synchronized collectives (allreduce/allgather/bcast/gather),
+- :mod:`repro.parallel.executor` — ``run_spmd(nranks, fn)`` launching one
+  thread per rank,
+- :mod:`repro.parallel.decomposition` — 3-D block decomposition mapping
+  ranks to grid partitions (views, no copies).
+"""
+
+from repro.parallel.comm import Communicator, SerialComm
+from repro.parallel.simcomm import ThreadComm
+from repro.parallel.executor import run_spmd
+from repro.parallel.decomposition import BlockDecomposition, Partition
+
+__all__ = [
+    "Communicator",
+    "SerialComm",
+    "ThreadComm",
+    "run_spmd",
+    "BlockDecomposition",
+    "Partition",
+]

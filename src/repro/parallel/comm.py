@@ -1,0 +1,93 @@
+"""Communicator interface (mpi4py-flavoured) and serial implementation.
+
+The library's in situ code is written against this minimal API so it
+runs identically under the serial communicator (rank loop) and the
+thread-backed SPMD communicator, and would port to mpi4py by a thin
+adapter exposing the same five methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from typing import Any
+
+__all__ = ["Communicator", "SerialComm", "REDUCE_OPS"]
+
+REDUCE_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "sum": lambda a, b: a + b,
+    "max": max,
+    "min": min,
+}
+
+
+class Communicator(ABC):
+    """Minimal collective-communication interface."""
+
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This process's rank in ``[0, size)``."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks."""
+
+    @abstractmethod
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce ``value`` across ranks with ``op``; all ranks get the result."""
+
+    @abstractmethod
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather every rank's ``value``; all ranks get the full list."""
+
+    @abstractmethod
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast ``value`` from ``root`` to all ranks."""
+
+    @abstractmethod
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather values at ``root`` (others receive ``None``)."""
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+
+    def _check_op(self, op: str) -> Callable[[Any, Any], Any]:
+        try:
+            return REDUCE_OPS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduce op {op!r}; options: {sorted(REDUCE_OPS)}") from None
+
+
+class SerialComm(Communicator):
+    """Single-rank communicator; collectives are identities."""
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        self._check_op(op)
+        return value
+
+    def allgather(self, value: Any) -> list[Any]:
+        return [value]
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if root != 0:
+            raise ValueError(f"serial communicator has only rank 0, got root={root}")
+        return value
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        if root != 0:
+            raise ValueError(f"serial communicator has only rank 0, got root={root}")
+        return [value]
+
+    def barrier(self) -> None:
+        return None

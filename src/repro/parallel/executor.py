@@ -1,0 +1,70 @@
+"""SPMD launcher: run one function per simulated MPI rank.
+
+``run_spmd(nranks, fn)`` starts ``nranks`` threads, hands each a
+:class:`ThreadComm`, and returns the per-rank results in rank order.
+Exceptions raised by any rank are re-raised in the caller (after the
+other ranks are released, so no thread leaks).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from typing import Any
+
+from repro.parallel.simcomm import CommGroup, ThreadComm
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> list[Any]:
+    """Execute ``fn(comm, *args, **kwargs)`` on ``nranks`` thread ranks.
+
+    Parameters
+    ----------
+    nranks:
+        Number of simulated ranks.
+    fn:
+        SPMD function; receives a :class:`ThreadComm` as first argument.
+
+    Returns
+    -------
+    List of per-rank return values, indexed by rank.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+    group = CommGroup(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+
+    def _worker(rank: int) -> None:
+        comm = ThreadComm(group, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+            errors.append((rank, exc))
+            group.barrier.abort()
+
+    threads = [
+        threading.Thread(target=_worker, args=(r,), name=f"spmd-rank-{r}")
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        # threading.BrokenBarrierError on other ranks is collateral of the
+        # abort; surface the original failure.
+        non_barrier = [e for e in errors if not isinstance(e[1], threading.BrokenBarrierError)]
+        if non_barrier:
+            rank, exc = min(non_barrier, key=lambda e: e[0])
+        raise RuntimeError(f"SPMD rank {rank} failed: {exc!r}") from exc
+    return results

@@ -1,0 +1,88 @@
+"""Thread-backed SPMD communicator with barrier collectives.
+
+Each simulated rank runs in its own thread; collectives deposit values
+in a shared slot table and synchronize with a reusable
+:class:`threading.Barrier`.  Two barrier phases per collective (fill,
+then read) keep successive collectives from racing on the shared slots.
+NumPy releases the GIL for array work, so per-rank compression genuinely
+overlaps.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.parallel.comm import Communicator
+
+__all__ = ["ThreadComm", "CommGroup"]
+
+
+class CommGroup:
+    """Shared state for one group of thread ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"group size must be >= 1, got {size}")
+        self.size = size
+        self.slots: list[Any] = [None] * size
+        self.barrier = threading.Barrier(size)
+        self.result: Any = None
+
+    def comm(self, rank: int) -> "ThreadComm":
+        return ThreadComm(self, rank)
+
+
+class ThreadComm(Communicator):
+    """Per-rank handle onto a :class:`CommGroup`."""
+
+    def __init__(self, group: CommGroup, rank: int) -> None:
+        if not 0 <= rank < group.size:
+            raise ValueError(f"rank {rank} outside group of size {group.size}")
+        self._group = group
+        self._rank = rank
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._group.size
+
+    # -- collectives -----------------------------------------------------
+
+    def _exchange(self, value: Any) -> list[Any]:
+        """Deposit ``value``, wait, snapshot all slots, wait again."""
+        g = self._group
+        g.slots[self._rank] = value
+        g.barrier.wait()
+        snapshot = list(g.slots)
+        g.barrier.wait()
+        return snapshot
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        fn = self._check_op(op)
+        values = self._exchange(value)
+        acc = values[0]
+        for v in values[1:]:
+            acc = fn(acc, v)
+        return acc
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._exchange(value)
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} outside group of size {self.size}")
+        values = self._exchange(value if self._rank == root else None)
+        return values[root]
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} outside group of size {self.size}")
+        values = self._exchange(value)
+        return values if self._rank == root else None
+
+    def barrier(self) -> None:
+        self._group.barrier.wait()

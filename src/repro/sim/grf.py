@@ -1,0 +1,79 @@
+"""Gaussian random field synthesis via FFT filtering.
+
+Standard approach: draw real white noise, transform to Fourier space,
+multiply by ``sqrt(P(k))``, transform back.  Because the filter is real
+and even, the result is exactly real.  Phases are a function of the seed
+alone, so two fields generated with the same seed but different ``P(k)``
+amplitudes (e.g. different redshifts) have identical structure at
+different contrast — the property the multi-snapshot experiments need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.util.rng import default_rng
+
+__all__ = ["wavenumber_grid", "gaussian_random_field"]
+
+
+def wavenumber_grid(shape: tuple[int, ...], box_size: float = 1.0) -> np.ndarray:
+    """Magnitude of the comoving wavevector for every FFT mode.
+
+    ``k`` is in units of ``2*pi/box_size`` times integer mode numbers,
+    i.e. the fundamental mode has ``|k| = 2*pi/box_size``.
+    """
+    if box_size <= 0:
+        raise ValueError(f"box_size must be positive, got {box_size}")
+    axes = [np.fft.fftfreq(n, d=box_size / n) * 2.0 * np.pi for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    k2 = sum(g**2 for g in grids)
+    return np.sqrt(k2)
+
+
+def gaussian_random_field(
+    shape: tuple[int, int, int],
+    power_spectrum: Callable[[np.ndarray], np.ndarray],
+    seed: int | np.random.Generator | None = None,
+    box_size: float = 1.0,
+    target_sigma: float | None = None,
+) -> np.ndarray:
+    """Generate a real 3-D Gaussian random field with spectrum ``P(k)``.
+
+    Parameters
+    ----------
+    shape:
+        Grid dimensions.
+    power_spectrum:
+        Callable mapping ``|k|`` (array) to non-negative power.
+    seed:
+        Seed or generator; fixes the phases.
+    box_size:
+        Physical box size (sets the k units fed to ``power_spectrum``).
+    target_sigma:
+        If given, rescale the field to this exact standard deviation
+        (mean is always removed).
+    """
+    rng = default_rng(seed)
+    if len(shape) != 3:
+        raise ValueError(f"shape must be 3-D, got {shape}")
+    white = rng.standard_normal(shape)
+    k = wavenumber_grid(shape, box_size)
+    pk = np.asarray(power_spectrum(k), dtype=np.float64)
+    if pk.shape != k.shape:
+        raise ValueError("power_spectrum must return an array matching the k grid")
+    if (pk < 0).any():
+        raise ValueError("power spectrum must be non-negative")
+    pk[(0,) * len(shape)] = 0.0  # remove the DC mode
+    field = np.fft.ifftn(np.fft.fftn(white) * np.sqrt(pk)).real
+    field -= field.mean()
+    if target_sigma is not None:
+        if target_sigma <= 0:
+            raise ValueError(f"target_sigma must be positive, got {target_sigma}")
+        current = field.std()
+        if current == 0:
+            raise ValueError("degenerate field (zero variance); check power spectrum")
+        field *= target_sigma / current
+    return field

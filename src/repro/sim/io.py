@@ -1,0 +1,50 @@
+"""Snapshot persistence.
+
+Nyx writes HDF5/AMReX plotfiles; the offline environment has no h5py, so
+snapshots round-trip through a compressed ``.npz`` container with the
+same logical layout (one array per field plus scalar metadata).  The
+substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.sim.nyx import NyxSnapshot
+
+__all__ = ["save_snapshot", "load_snapshot"]
+
+_META_PREFIX = "__meta_"
+
+
+def save_snapshot(snapshot: NyxSnapshot, path: str | os.PathLike) -> None:
+    """Write ``snapshot`` to ``path`` (``.npz`` appended if missing)."""
+    payload: dict[str, np.ndarray] = dict(snapshot.fields)
+    payload["__redshift"] = np.array(snapshot.redshift)
+    payload["__box_size"] = np.array(snapshot.box_size)
+    for key, value in snapshot.meta.items():
+        payload[_META_PREFIX + key] = np.array(value)
+    np.savez_compressed(path, **payload)
+
+
+def load_snapshot(path: str | os.PathLike) -> NyxSnapshot:
+    """Read a snapshot written by :func:`save_snapshot`."""
+    with np.load(path) as data:
+        fields = {}
+        meta = {}
+        redshift = None
+        box_size = None
+        for key in data.files:
+            if key == "__redshift":
+                redshift = float(data[key])
+            elif key == "__box_size":
+                box_size = float(data[key])
+            elif key.startswith(_META_PREFIX):
+                meta[key[len(_META_PREFIX) :]] = float(data[key])
+            else:
+                fields[key] = data[key]
+    if redshift is None or box_size is None:
+        raise ValueError(f"{path!r} is not a snapshot container (missing metadata)")
+    return NyxSnapshot(fields=fields, redshift=redshift, box_size=box_size, meta=meta)

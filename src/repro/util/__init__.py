@@ -1,0 +1,23 @@
+"""Shared utilities: RNG handling, timers, ascii tables, validation."""
+
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.timer import Timer, TimingBreakdown
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_3d,
+    check_finite,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "Timer",
+    "TimingBreakdown",
+    "format_table",
+    "check_3d",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+]

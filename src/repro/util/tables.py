@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints the rows/series of its paper table or figure; this
+helper keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_fmt: str = ".4g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned ascii table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Sequence of rows; each row must have ``len(headers)`` entries.
+    float_fmt:
+        ``format`` spec applied to floats.
+    title:
+        Optional title line printed above the table.
+    """
+    ncol = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != ncol:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {ncol}")
+        rendered.append([_render_cell(v, float_fmt) for v in row])
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(ncol)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)))
+    lines.append(sep)
+    for row in rendered[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

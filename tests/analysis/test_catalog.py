@@ -1,0 +1,90 @@
+"""Halo catalog matching and quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.catalog import compare_catalogs, match_halos
+from repro.analysis.halos import HaloCatalog
+
+
+def _catalog(masses, positions) -> HaloCatalog:
+    masses = np.asarray(masses, dtype=np.float64)
+    order = np.argsort(-masses)
+    return HaloCatalog(
+        masses=masses[order],
+        positions=np.asarray(positions, dtype=np.float64)[order],
+        sizes=np.maximum(masses[order].astype(np.int64) // 10, 1),
+        peak_densities=masses[order],
+        t_boundary=10.0,
+        t_halo=20.0,
+        n_candidate_cells=int(masses.sum() / 10),
+    )
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        cat = _catalog([100, 50], [[1, 1, 1], [5, 5, 5]])
+        oi, ri = match_halos(cat, cat)
+        assert len(oi) == 2
+        assert np.array_equal(oi, ri)
+
+    def test_displaced_within_tolerance(self):
+        a = _catalog([100], [[1, 1, 1]])
+        b = _catalog([95], [[1.5, 1, 1]])
+        oi, ri = match_halos(a, b, max_distance=2.0)
+        assert len(oi) == 1
+
+    def test_displaced_beyond_tolerance(self):
+        a = _catalog([100], [[1, 1, 1]])
+        b = _catalog([95], [[9, 9, 9]])
+        oi, _ = match_halos(a, b, max_distance=2.0)
+        assert len(oi) == 0
+
+    def test_each_reconstructed_used_once(self):
+        a = _catalog([100, 90], [[1, 1, 1], [1.5, 1, 1]])
+        b = _catalog([95], [[1.2, 1, 1]])
+        oi, ri = match_halos(a, b)
+        assert len(ri) == len(set(ri.tolist())) == 1
+
+    def test_empty_catalogs(self):
+        a = _catalog([100], [[1, 1, 1]])
+        empty = _catalog([], np.empty((0, 3)))
+        assert match_halos(a, empty)[0].size == 0
+        assert match_halos(empty, a)[0].size == 0
+
+
+class TestComparison:
+    def test_identical_catalogs(self):
+        cat = _catalog([100, 50, 25], [[1, 1, 1], [5, 5, 5], [9, 9, 9]])
+        cmp = compare_catalogs(cat, cat)
+        assert cmp.n_matched == 3
+        assert cmp.mass_rmse == 0.0
+        assert cmp.count_change == 0
+        assert cmp.max_position_error == 0.0
+
+    def test_mass_rmse(self):
+        a = _catalog([100.0], [[1, 1, 1]])
+        b = _catalog([102.0], [[1, 1, 1]])
+        cmp = compare_catalogs(a, b)
+        assert cmp.mass_rmse == pytest.approx(0.02)
+
+    def test_count_change(self):
+        a = _catalog([100, 50], [[1, 1, 1], [5, 5, 5]])
+        b = _catalog([100], [[1, 1, 1]])
+        cmp = compare_catalogs(a, b)
+        assert cmp.count_change == -1
+
+    def test_mass_rmse_above_restricts(self):
+        a = _catalog([1000.0, 10.0], [[1, 1, 1], [5, 5, 5]])
+        b = _catalog([1000.0, 15.0], [[1, 1, 1], [5, 5, 5]])
+        cmp = compare_catalogs(a, b)
+        assert cmp.mass_rmse > 0.1  # small halo ruins the global number
+        assert cmp.mass_rmse_above(100.0) == pytest.approx(0.0)
+
+    def test_no_matches_gives_nan(self):
+        a = _catalog([100], [[0, 0, 0]])
+        b = _catalog([100], [[9, 9, 9]])
+        cmp = compare_catalogs(a, b)
+        assert np.isnan(cmp.mass_rmse)

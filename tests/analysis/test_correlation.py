@@ -1,0 +1,33 @@
+"""Two-point correlation function checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import two_point_correlation
+from repro.sim.grf import gaussian_random_field
+
+
+class TestCorrelation:
+    def test_zero_lag_is_variance(self):
+        f = np.random.default_rng(0).normal(0, 2, (16, 16, 16))
+        r, xi = two_point_correlation(f)
+        assert xi[0] == pytest.approx(f.var(), rel=1e-10)
+
+    def test_white_noise_decorrelates(self):
+        f = np.random.default_rng(1).normal(0, 1, (24, 24, 24))
+        r, xi = two_point_correlation(f)
+        assert abs(xi[4]) < 0.05 * xi[0]
+
+    def test_correlated_field_decays_slowly(self):
+        steep = lambda k: np.where(k > 0, np.maximum(k, 1e-9) ** -2.5, 0.0)  # noqa: E731
+        f = gaussian_random_field((24, 24, 24), steep, seed=2, target_sigma=1.0)
+        r, xi = two_point_correlation(f)
+        # A red field keeps meaningful correlation at lag 3; white noise
+        # (next test) would be < 0.05 there.
+        assert xi[3] > 0.15 * xi[0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            two_point_correlation(np.zeros((4, 4)))

@@ -1,0 +1,80 @@
+"""Particle friends-of-friends finder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import friends_of_friends
+
+
+class TestFoF:
+    def test_two_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal([2, 2, 2], 0.05, (50, 3))
+        b = rng.normal([8, 8, 8], 0.05, (30, 3))
+        pos = np.vstack([a, b])
+        res = friends_of_friends(pos, linking_length=0.5)
+        big = res.groups_with_at_least(10)
+        assert len(big) == 2
+        assert sorted(res.group_sizes[big].tolist()) == [30, 50]
+
+    def test_chain_connectivity(self):
+        """FoF links transitively: a chain forms one group."""
+        pos = np.array([[float(i) * 0.9, 0.0, 0.0] for i in range(10)])
+        res = friends_of_friends(pos + 5.0, linking_length=1.0)
+        assert res.n_groups == 1
+
+    def test_chain_breaks_beyond_linking_length(self):
+        pos = np.array([[float(i) * 1.1, 0.0, 0.0] for i in range(10)])
+        res = friends_of_friends(pos + 5.0, linking_length=1.0)
+        assert res.n_groups == 10
+
+    def test_isolated_particles_are_singletons(self):
+        pos = np.array([[0.0, 0, 0], [10.0, 0, 0], [20.0, 0, 0]]) + 1.0
+        res = friends_of_friends(pos, linking_length=0.5)
+        assert res.n_groups == 3
+        assert (res.group_sizes == 1).all()
+
+    def test_periodic_wrapping(self):
+        pos = np.array([[0.05, 5.0, 5.0], [9.95, 5.0, 5.0]])
+        res_open = friends_of_friends(pos, linking_length=0.2)
+        res_periodic = friends_of_friends(pos, linking_length=0.2, box_size=10.0)
+        assert res_open.n_groups == 2
+        assert res_periodic.n_groups == 1
+
+    def test_centers_of_mass(self):
+        pos = np.array([[1.0, 1.0, 1.0], [1.2, 1.0, 1.0]])
+        res = friends_of_friends(pos, linking_length=0.5)
+        assert res.n_groups == 1
+        assert np.allclose(res.centers[0], [1.1, 1.0, 1.0])
+
+    def test_most_connected_particle(self):
+        """The hub of a star topology has the most friends (§2.1)."""
+        hub = np.array([[5.0, 5.0, 5.0]])
+        spokes = hub + np.array(
+            [[0.4, 0, 0], [-0.4, 0, 0], [0, 0.4, 0], [0, -0.4, 0], [0, 0, 0.4]]
+        )
+        pos = np.vstack([hub, spokes])
+        res = friends_of_friends(pos, linking_length=0.5)
+        assert res.n_groups == 1
+        assert res.most_connected[0] == 0
+
+    def test_empty_input(self):
+        res = friends_of_friends(np.empty((0, 3)), linking_length=1.0)
+        assert res.n_groups == 0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            friends_of_friends(np.zeros((5, 2)), linking_length=1.0)
+
+    def test_rejects_bad_linking_length(self):
+        with pytest.raises(ValueError, match="linking_length"):
+            friends_of_friends(np.zeros((3, 3)), linking_length=0.0)
+
+    def test_group_ids_consistent_with_sizes(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((200, 3)) * 10
+        res = friends_of_friends(pos, linking_length=0.7)
+        counted = np.bincount(res.group_ids, minlength=res.n_groups)
+        assert np.array_equal(counted, res.group_sizes)

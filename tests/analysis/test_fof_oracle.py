@@ -1,0 +1,58 @@
+"""FoF against a brute-force O(n^2) oracle (property-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fof import friends_of_friends
+from repro.analysis.labeling import UnionFind
+
+
+def _brute_force_groups(pos: np.ndarray, ll: float, box: float | None) -> np.ndarray:
+    """Reference grouping: check every pair."""
+    n = len(pos)
+    uf = UnionFind(n)
+    for i in range(n):
+        d = pos[i + 1 :] - pos[i]
+        if box is not None:
+            d -= box * np.rint(d / box)
+        close = (d**2).sum(axis=1) <= ll**2
+        for j in np.flatnonzero(close):
+            uf.union(i, i + 1 + int(j))
+    roots = uf.roots()
+    _, ids = np.unique(roots, return_inverse=True)
+    return ids
+
+
+def _partitions_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Two labelings describe the same partition of indices."""
+    pairs = set(zip(a.tolist(), b.tolist()))
+    return len(pairs) == len(set(a.tolist())) == len(set(b.tolist()))
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(2, 60),
+    st.floats(0.05, 0.8),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_fof_matches_brute_force(seed, n, ll, periodic):
+    rng = np.random.default_rng(seed)
+    box = 4.0
+    pos = rng.random((n, 3)) * box
+    res = friends_of_friends(pos, ll, box_size=box if periodic else None)
+    oracle = _brute_force_groups(pos, ll, box if periodic else None)
+    assert _partitions_equal(res.group_ids, oracle)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(5, 40))
+@settings(max_examples=20, deadline=None)
+def test_group_sizes_partition_total(seed, n):
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, 3)) * 5.0
+    res = friends_of_friends(pos, 0.4)
+    assert res.group_sizes.sum() == n
+    assert res.centers.shape == (res.n_groups, 3)

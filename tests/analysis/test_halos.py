@@ -1,0 +1,100 @@
+"""Grid halo finder on constructed density fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.halos import candidate_mask, find_halos
+
+
+def _field_with_blobs() -> np.ndarray:
+    """Two well-separated halos of known mass plus background."""
+    rho = np.full((24, 24, 24), 0.1)
+    rho[4:7, 4:7, 4:7] = 100.0  # 27 cells, mass 2700
+    rho[16:18, 16:18, 16:18] = 50.0  # 8 cells, mass 400
+    return rho
+
+
+class TestFindHalos:
+    def test_finds_both_blobs(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert cat.n_halos == 2
+
+    def test_masses_exact(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert cat.masses[0] == pytest.approx(2700.0)
+        assert cat.masses[1] == pytest.approx(400.0)
+
+    def test_sorted_by_mass(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert (np.diff(cat.masses) <= 0).all()
+
+    def test_positions_are_centroids(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert np.allclose(cat.positions[0], [5.0, 5.0, 5.0])
+        assert np.allclose(cat.positions[1], [16.5, 16.5, 16.5])
+
+    def test_sizes_and_peaks(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert list(cat.sizes) == [27, 8]
+        assert cat.peak_densities[0] == pytest.approx(100.0)
+
+    def test_t_halo_filters_peaks(self):
+        """A group whose peak stays below t_halo is not a halo."""
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=60.0)
+        assert cat.n_halos == 1
+        assert cat.masses[0] == pytest.approx(2700.0)
+
+    def test_default_t_halo(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=30.0)
+        assert cat.t_halo == 60.0
+
+    def test_min_cells(self):
+        cat = find_halos(
+            _field_with_blobs(), t_boundary=10.0, t_halo=20.0, min_cells=10
+        )
+        assert cat.n_halos == 1
+
+    def test_cell_volume_scales_mass(self):
+        c1 = find_halos(_field_with_blobs(), 10.0, 20.0, cell_volume=1.0)
+        c2 = find_halos(_field_with_blobs(), 10.0, 20.0, cell_volume=2.0)
+        assert np.allclose(c2.masses, 2.0 * c1.masses)
+
+    def test_candidate_count_recorded(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        assert cat.n_candidate_cells == 27 + 8
+
+    def test_empty_field(self):
+        cat = find_halos(np.full((8, 8, 8), 0.1), t_boundary=10.0)
+        assert cat.n_halos == 0
+        assert cat.masses.size == 0
+
+    def test_select_by_mass(self):
+        cat = find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=20.0)
+        big = cat.select_by_mass(1000.0)
+        assert big.n_halos == 1
+
+    def test_rejects_t_halo_below_boundary(self):
+        with pytest.raises(ValueError, match="t_halo"):
+            find_halos(_field_with_blobs(), t_boundary=10.0, t_halo=5.0)
+
+    def test_candidate_mask(self):
+        mask = candidate_mask(_field_with_blobs(), 10.0)
+        assert mask.sum() == 35
+
+    def test_periodic_halo_across_boundary(self):
+        rho = np.full((12, 12, 12), 0.1)
+        rho[0, 5, 5] = rho[11, 5, 5] = 100.0
+        cat_p = find_halos(rho, t_boundary=10.0, t_halo=20.0, periodic=True)
+        cat_o = find_halos(rho, t_boundary=10.0, t_halo=20.0, periodic=False)
+        assert cat_p.n_halos == 1
+        assert cat_o.n_halos == 2
+
+    def test_realistic_snapshot(self, snapshot):
+        rho = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(rho, 99.0))
+        cat = find_halos(rho, t_boundary=tb)
+        assert cat.n_halos > 0
+        assert (cat.masses > 0).all()
+        assert (cat.peak_densities > cat.t_halo).all()

@@ -1,0 +1,107 @@
+"""Connected-component labeling vs the scipy oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import ndimage
+
+from repro.analysis.labeling import UnionFind, label_components
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert len({uf.find(i) for i in range(4)}) == 4
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(3)
+        assert uf.find(0) != uf.find(2)
+
+    def test_roots_vectorized_matches_find(self):
+        uf = UnionFind(10)
+        for a, b in [(0, 1), (1, 2), (5, 6), (8, 9), (6, 8)]:
+            uf.union(a, b)
+        roots = uf.roots()
+        for i in range(10):
+            assert roots[i] == uf.find(i)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            UnionFind(-1)
+
+
+class TestLabeling:
+    def test_empty_mask(self):
+        labels, n = label_components(np.zeros((4, 4, 4), dtype=bool))
+        assert n == 0 and labels.sum() == 0
+
+    def test_single_blob(self):
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[2:4, 2:4, 2:4] = True
+        labels, n = label_components(mask)
+        assert n == 1
+        assert (labels[mask] == 1).all()
+        assert (labels[~mask] == 0).all()
+
+    def test_two_separate_blobs(self):
+        mask = np.zeros((8, 8, 8), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[5, 5, 5] = True
+        _, n = label_components(mask)
+        assert n == 2
+
+    def test_diagonal_not_connected(self):
+        """6-connectivity: face neighbours only."""
+        mask = np.zeros((4, 4, 4), dtype=bool)
+        mask[0, 0, 0] = True
+        mask[1, 1, 0] = True
+        _, n = label_components(mask)
+        assert n == 2
+
+    def test_periodic_wrapping(self):
+        mask = np.zeros((6, 6, 6), dtype=bool)
+        mask[0, 2, 2] = True
+        mask[5, 2, 2] = True
+        _, n_open = label_components(mask, periodic=False)
+        _, n_periodic = label_components(mask, periodic=True)
+        assert n_open == 2
+        assert n_periodic == 1
+
+    def test_matches_scipy_on_random_masks(self):
+        rng = np.random.default_rng(0)
+        for density in (0.05, 0.2, 0.5):
+            mask = rng.random((20, 20, 20)) < density
+            _, n_ours = label_components(mask)
+            _, n_scipy = ndimage.label(mask)
+            assert n_ours == n_scipy
+
+    def test_label_partition_matches_scipy(self):
+        """Same partition of cells into components (label ids may differ)."""
+        rng = np.random.default_rng(1)
+        mask = rng.random((15, 15, 15)) < 0.3
+        ours, n = label_components(mask)
+        scipys, sn = ndimage.label(mask)
+        assert n == sn
+        # Build the mapping ours-label -> scipy-label; it must be a bijection.
+        pairs = set(zip(ours[mask].tolist(), scipys[mask].tolist()))
+        assert len(pairs) == n
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            label_components(np.zeros((4, 4), dtype=bool))
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.02, 0.6))
+    @settings(max_examples=25, deadline=None)
+    def test_component_count_property(self, seed, density):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((10, 10, 10)) < density
+        _, n_ours = label_components(mask)
+        _, n_scipy = ndimage.label(mask)
+        assert n_ours == n_scipy

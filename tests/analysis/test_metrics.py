@@ -1,0 +1,59 @@
+"""Generic distortion metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_relative_error, mse, nrmse, psnr
+
+
+class TestMetrics:
+    def test_mse(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([1.0, 1.0])
+        assert mse(a, b) == 1.0
+
+    def test_psnr_identical_infinite(self):
+        a = np.array([1.0, 2.0])
+        assert psnr(a, a.copy()) == float("inf")
+
+    def test_psnr_known_value(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.1, 1.0])
+        expected = 20 * np.log10(1.0) - 10 * np.log10(0.005)
+        assert psnr(a, b) == pytest.approx(expected)
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 1, 1000)
+        p1 = psnr(a, a + rng.normal(0, 0.01, 1000))
+        p2 = psnr(a, a + rng.normal(0, 0.1, 1000))
+        assert p1 > p2
+
+    def test_nrmse_normalized(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert nrmse(a, b) == pytest.approx(np.sqrt(0.5) / 10.0)
+
+    def test_nrmse_zero_range_rejected(self):
+        a = np.ones(5)
+        with pytest.raises(ValueError, match="range"):
+            nrmse(a, a)
+
+    def test_mre(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.1, 2.2])
+        assert mean_relative_error(a, b) == pytest.approx(0.1)
+
+    def test_mre_rejects_zero(self):
+        with pytest.raises(ValueError, match="zeros"):
+            mean_relative_error(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            mse(np.empty(0), np.empty(0))

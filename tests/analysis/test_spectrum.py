@@ -1,0 +1,106 @@
+"""Power spectrum: known-signal checks, Parseval, quality criterion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    check_spectrum_quality,
+    power_spectrum,
+    spectrum_ratio,
+)
+
+
+def _plane_wave(n: int, k: int) -> np.ndarray:
+    x = np.arange(n)
+    return np.cos(2 * np.pi * k * x / n)[:, None, None] * np.ones((1, n, n))
+
+
+class TestPowerSpectrum:
+    def test_plane_wave_peaks_at_right_bin(self):
+        f = _plane_wave(32, 5)
+        ps = power_spectrum(f)
+        assert ps.k[np.argmax(ps.power)] == 5
+
+    def test_parseval(self):
+        """Total binned power equals the field variance (all modes kept)."""
+        rng = np.random.default_rng(0)
+        f = rng.normal(0, 1, (16, 16, 16))
+        ps = power_spectrum(f, nbins=8)
+        # Within the binned range; modes beyond the 1-D Nyquist ball are
+        # excluded, so compare against the power inside those bins.
+        total_binned = float((ps.power * ps.n_modes).sum())
+        fk = np.fft.fftn(f - f.mean())
+        kx = np.fft.fftfreq(16) * 16
+        kk = np.sqrt(
+            kx[:, None, None] ** 2 + kx[None, :, None] ** 2 + kx[None, None, :] ** 2
+        )
+        mask = (np.rint(kk) >= 1) & (np.rint(kk) <= 8)
+        expected = float((np.abs(fk[mask]) ** 2).sum() / f.size)
+        assert total_binned == pytest.approx(expected, rel=1e-10)
+
+    def test_mode_counts_sum(self):
+        ps = power_spectrum(np.random.default_rng(1).normal(0, 1, (16, 16, 16)))
+        assert (ps.n_modes > 0).all()
+        # k=1 bin has the 6 axis modes plus nothing else at integer radius 1.
+        assert ps.n_modes[0] >= 6
+
+    def test_amplitude_scaling(self):
+        f = np.random.default_rng(2).normal(0, 1, (16, 16, 16))
+        p1 = power_spectrum(f).power
+        p2 = power_spectrum(3.0 * f).power
+        assert np.allclose(p2, 9.0 * p1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            power_spectrum(np.zeros((8, 8)))
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="too small"):
+            power_spectrum(np.random.default_rng(0).normal(0, 1, (2, 2, 2)), nbins=0)
+
+
+class TestSpectrumRatio:
+    def test_identity_is_one(self):
+        f = np.random.default_rng(3).normal(0, 1, (16, 16, 16))
+        _, ratio = spectrum_ratio(f, f.copy())
+        assert np.allclose(ratio, 1.0)
+
+    def test_white_noise_raises_ratio(self):
+        rng = np.random.default_rng(4)
+        f = rng.normal(0, 1, (16, 16, 16))
+        noisy = f + rng.normal(0, 0.5, f.shape)
+        _, ratio = spectrum_ratio(f, noisy)
+        assert ratio.mean() > 1.0
+
+
+class TestQualityCheck:
+    def test_identical_passes(self):
+        f = np.random.default_rng(5).normal(0, 1, (16, 16, 16))
+        ok, worst = check_spectrum_quality(f, f.copy())
+        assert ok and worst == 0.0
+
+    def test_distorted_fails(self):
+        rng = np.random.default_rng(6)
+        f = rng.normal(0, 1, (16, 16, 16))
+        ok, worst = check_spectrum_quality(f, f + rng.normal(0, 1.0, f.shape))
+        assert not ok and worst > 0.01
+
+    def test_tolerance_parameter(self):
+        rng = np.random.default_rng(7)
+        f = rng.normal(0, 1, (16, 16, 16))
+        noisy = f + rng.normal(0, 0.05, f.shape)
+        _, worst = check_spectrum_quality(f, noisy)
+        ok_loose, _ = check_spectrum_quality(f, noisy, tolerance=10 * worst)
+        assert ok_loose
+
+    def test_rejects_bad_tolerance(self):
+        f = np.zeros((8, 8, 8))
+        with pytest.raises(ValueError, match="tolerance"):
+            check_spectrum_quality(f, f, tolerance=0.0)
+
+    def test_rejects_unreachable_kmax(self):
+        f = np.random.default_rng(8).normal(0, 1, (8, 8, 8))
+        with pytest.raises(ValueError, match="k_max"):
+            check_spectrum_quality(f, f, k_max=1)

@@ -1,0 +1,92 @@
+"""SSIM extension (the paper's §5 future-work metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ssim import fit_ssim_curve, ssim3d, ssim_tolerance_to_eb
+from repro.compression.sz import SZCompressor
+
+
+class TestSSIM:
+    def test_identical_is_one(self):
+        rng = np.random.default_rng(0)
+        f = rng.normal(0, 1, (16, 16, 16))
+        assert ssim3d(f, f.copy()) == pytest.approx(1.0)
+
+    def test_decreases_with_noise(self):
+        rng = np.random.default_rng(1)
+        f = rng.normal(0, 1, (16, 16, 16))
+        s1 = ssim3d(f, f + rng.normal(0, 0.1, f.shape))
+        s2 = ssim3d(f, f + rng.normal(0, 0.5, f.shape))
+        assert 1.0 > s1 > s2
+
+    def test_mean_shift_penalized(self):
+        rng = np.random.default_rng(2)
+        f = rng.normal(0, 1, (12, 12, 12))
+        assert ssim3d(f, f + 2.0) < 1.0
+
+    def test_symmetric_under_swap(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, (12, 12, 12))
+        b = a + rng.normal(0, 0.2, a.shape)
+        assert ssim3d(a, b, data_range=float(a.max() - a.min())) == pytest.approx(
+            ssim3d(b, a, data_range=float(a.max() - a.min())), rel=1e-10
+        )
+
+    def test_box_filter_window_effects(self):
+        rng = np.random.default_rng(4)
+        f = rng.normal(0, 1, (20, 20, 20))
+        noisy = f + rng.normal(0, 0.3, f.shape)
+        # Any window size gives a value in (0, 1); exact values differ.
+        for w in (3, 5, 9):
+            s = ssim3d(f, noisy, window=w)
+            assert 0.0 < s < 1.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            ssim3d(np.zeros((8, 8, 8)), np.zeros((8, 8, 9)))
+
+    def test_rejects_window_too_large(self):
+        with pytest.raises(ValueError, match="window"):
+            ssim3d(np.zeros((4, 4, 4)), np.zeros((4, 4, 4)), window=5)
+
+    def test_rejects_zero_range(self):
+        f = np.ones((8, 8, 8))
+        with pytest.raises(ValueError, match="range"):
+            ssim3d(f, f)
+
+
+class TestSSIMCurve:
+    def test_fit_and_inversion(self, snapshot):
+        data = snapshot["temperature"]
+        comp = SZCompressor()
+        a, p = fit_ssim_curve(data, comp, probe_ebs=[5.0, 20.0, 80.0])
+        assert a > 0 and p > 0
+        # Invert for a target; the fitted curve must honour it.
+        eb = ssim_tolerance_to_eb(a, p, min_ssim=0.99)
+        predicted_loss = a * eb**p
+        assert predicted_loss == pytest.approx(0.01, rel=1e-6)
+
+    def test_loss_grows_with_eb(self, snapshot):
+        from repro.compression.sz import decompress
+        from repro.analysis.ssim import ssim3d as s3
+
+        data = snapshot["temperature"].astype(np.float64)
+        comp = SZCompressor()
+        losses = []
+        for eb in (5.0, 50.0, 500.0):
+            recon = decompress(comp.compress(snapshot["temperature"], eb))
+            losses.append(1.0 - s3(data, recon))
+        assert losses[0] < losses[1] < losses[2]
+
+    def test_inversion_validation(self):
+        with pytest.raises(ValueError, match="min_ssim"):
+            ssim_tolerance_to_eb(1.0, 1.0, min_ssim=1.5)
+        with pytest.raises(ValueError, match="positive"):
+            ssim_tolerance_to_eb(-1.0, 1.0, min_ssim=0.9)
+
+    def test_fit_requires_two_probes(self, snapshot):
+        with pytest.raises(ValueError, match="two probe"):
+            fit_ssim_curve(snapshot["temperature"], SZCompressor(), probe_ebs=[1.0])

@@ -1,0 +1,74 @@
+"""Bit packing round trips, including the tail-padding contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bitstream import BitReader, pack_bits, unpack_bits
+
+
+class TestPackUnpack:
+    def test_round_trip_simple(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 0, 1, 1, 0], dtype=np.uint8)
+        blob = pack_bits(bits)
+        assert np.array_equal(unpack_bits(blob, len(bits)), bits)
+
+    def test_empty(self):
+        assert pack_bits(np.empty(0, dtype=np.uint8)) == b""
+        assert unpack_bits(b"", 0).size == 0
+
+    def test_padding_is_zero(self):
+        blob = pack_bits(np.array([1, 1, 1], dtype=np.uint8))
+        assert len(blob) == 1
+        assert blob[0] == 0b11100000
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pack_bits(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_unpack_rejects_overread(self):
+        with pytest.raises(ValueError, match="bits"):
+            unpack_bits(b"\x00", 9)
+
+    def test_unpack_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            unpack_bits(b"\x00", -1)
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(arr), len(arr)), arr)
+
+
+class TestBitReader:
+    def test_peek_does_not_consume(self):
+        r = BitReader(bytes([0b10110010]))
+        assert r.peek(3) == 0b101
+        assert r.peek(3) == 0b101
+
+    def test_consume_advances(self):
+        r = BitReader(bytes([0b10110010]))
+        r.peek(3)
+        r.consume(3)
+        assert r.peek(5) == 0b10010
+
+    def test_peek_past_end_zero_pads(self):
+        r = BitReader(bytes([0b11000000]))
+        assert r.peek(12) == 0b110000000000
+
+    def test_bits_remaining(self):
+        r = BitReader(bytes([0xFF, 0xFF]))
+        assert r.bits_remaining == 16
+        r.peek(4)
+        r.consume(4)
+        assert r.bits_remaining == 12
+
+    def test_cross_byte_reads(self):
+        r = BitReader(bytes([0b10101010, 0b01010101]))
+        assert r.peek(16) == 0b1010101001010101
+        r.consume(9)
+        assert r.peek(7) == 0b1010101

@@ -1,0 +1,85 @@
+"""Entropy-stage codecs: exact round trips and registry behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.codecs import HuffmanCodec, RawCodec, ZlibCodec, get_codec
+
+ALL_CODECS = [RawCodec(), ZlibCodec(), HuffmanCodec()]
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS, ids=lambda c: c.name)
+class TestRoundTrips:
+    def test_basic(self, codec):
+        codes = np.array([0, 1, 2, 3, 100, 65535, 3, 3, 3], dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(codes), len(codes)), codes)
+
+    def test_empty(self, codec):
+        blob = codec.encode(np.empty(0, dtype=np.int64))
+        assert codec.decode(blob, 0).size == 0
+
+    def test_constant(self, codec):
+        codes = np.full(1000, 42, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(codes), len(codes)), codes)
+
+    def test_rejects_negative(self, codec):
+        with pytest.raises(ValueError, match="non-negative"):
+            codec.encode(np.array([-1]))
+
+    def test_rejects_2d(self, codec):
+        with pytest.raises(ValueError, match="1-D"):
+            codec.encode(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestCompressionBehaviour:
+    def test_zlib_beats_raw_on_runs(self):
+        codes = np.repeat(np.arange(10), 500)
+        assert len(ZlibCodec().encode(codes)) < len(RawCodec().encode(codes))
+
+    def test_huffman_beats_raw_on_skew(self):
+        rng = np.random.default_rng(0)
+        codes = np.where(rng.random(8000) < 0.95, 7, rng.integers(0, 256, 8000))
+        assert len(HuffmanCodec().encode(codes)) < len(RawCodec().encode(codes))
+
+    def test_raw_uses_minimal_dtype(self):
+        small = np.arange(100, dtype=np.int64)  # fits uint8
+        big = np.arange(100, dtype=np.int64) + 100_000  # needs uint32
+        assert len(RawCodec().encode(small)) < len(RawCodec().encode(big))
+
+    def test_zlib_level_bounds(self):
+        with pytest.raises(ValueError, match="level"):
+            ZlibCodec(level=10)
+
+    def test_huffman_code_length_bounds(self):
+        with pytest.raises(ValueError, match="max_code_length"):
+            HuffmanCodec(max_code_length=0)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_codec("zlib").name == "zlib"
+        assert get_codec("huffman").name == "huffman"
+        assert get_codec("raw").name == "raw"
+
+    def test_pass_through_instance(self):
+        codec = ZlibCodec(level=1)
+        assert get_codec(codec) is codec
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            get_codec("lz4")
+
+
+@given(
+    st.lists(st.integers(0, 70000), min_size=1, max_size=300),
+    st.sampled_from(["raw", "zlib", "huffman"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_round_trip_property(codes, name):
+    arr = np.array(codes, dtype=np.int64)
+    codec = get_codec(name)
+    assert np.array_equal(codec.decode(codec.encode(arr), len(arr)), arr)

@@ -1,0 +1,139 @@
+"""Canonical Huffman coding: optimality, limits, round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.huffman import (
+    HuffmanTable,
+    build_code_lengths,
+    canonical_codewords,
+)
+
+
+class TestCodeLengths:
+    def test_two_symbols_get_one_bit(self):
+        lengths = build_code_lengths(np.array([5, 3]))
+        assert list(lengths) == [1, 1]
+
+    def test_single_symbol(self):
+        lengths = build_code_lengths(np.array([0, 7, 0]))
+        assert lengths[1] == 1
+        assert lengths[0] == lengths[2] == 0
+
+    def test_empty(self):
+        assert build_code_lengths(np.zeros(4, dtype=int)).sum() == 0
+
+    def test_skewed_distribution_short_code_for_frequent(self):
+        freqs = np.array([1000, 1, 1, 1, 1])
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] == min(lengths[lengths > 0])
+
+    def test_kraft_equality(self):
+        """Huffman codes are complete: Kraft sum is exactly 1."""
+        rng = np.random.default_rng(0)
+        freqs = rng.integers(1, 1000, 64)
+        lengths = build_code_lengths(freqs)
+        assert np.isclose(np.sum(2.0 ** -lengths[lengths > 0].astype(float)), 1.0)
+
+    def test_length_limit_respected(self):
+        # Exponential frequencies force long optimal codes.
+        freqs = (2 ** np.arange(30)).astype(np.int64)
+        lengths = build_code_lengths(freqs, max_length=12)
+        assert lengths[lengths > 0].max() <= 12
+        # Still a valid prefix code.
+        assert np.sum(2.0 ** -lengths[lengths > 0].astype(float)) <= 1.0 + 1e-12
+
+    def test_rejects_negative_freqs(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            build_code_lengths(np.array([1, -1]))
+
+    def test_rejects_alphabet_too_large_for_limit(self):
+        with pytest.raises(ValueError, match="cannot all receive"):
+            build_code_lengths(np.ones(100, dtype=int), max_length=6)
+
+    def test_matches_entropy_for_dyadic(self):
+        """Dyadic distributions compress exactly to entropy."""
+        freqs = np.array([8, 4, 2, 1, 1])
+        lengths = build_code_lengths(freqs)
+        assert list(lengths) == [1, 2, 3, 4, 4]
+
+
+class TestCanonicalCodewords:
+    def test_prefix_free(self):
+        lengths = np.array([2, 2, 2, 3, 3], dtype=np.uint8)
+        cw = canonical_codewords(lengths)
+        codes = [
+            format(cw[i], f"0{lengths[i]}b") for i in range(len(lengths)) if lengths[i]
+        ]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_canonical_ordering(self):
+        lengths = np.array([3, 2, 3, 2], dtype=np.uint8)
+        cw = canonical_codewords(lengths)
+        # Shorter codes numerically precede; equal lengths ordered by symbol.
+        assert cw[1] < cw[3]
+        assert cw[0] < cw[2]
+
+
+class TestHuffmanTable:
+    def test_round_trip(self):
+        rng = np.random.default_rng(3)
+        syms = rng.integers(0, 40, 5000)
+        table = HuffmanTable.from_frequencies(np.bincount(syms))
+        blob, nbits = table.encode(syms)
+        assert np.array_equal(table.decode(blob, len(syms)), syms)
+
+    def test_encoded_nbits_matches_encode(self):
+        rng = np.random.default_rng(4)
+        syms = rng.integers(0, 10, 500)
+        table = HuffmanTable.from_frequencies(np.bincount(syms))
+        blob, nbits = table.encode(syms)
+        assert nbits == table.encoded_nbits(syms)
+        assert len(blob) == (nbits + 7) // 8
+
+    def test_compression_close_to_entropy(self):
+        rng = np.random.default_rng(5)
+        p = np.array([0.6, 0.2, 0.1, 0.05, 0.05])
+        syms = rng.choice(5, size=20000, p=p)
+        table = HuffmanTable.from_frequencies(np.bincount(syms))
+        bits_per_sym = table.encoded_nbits(syms) / len(syms)
+        entropy = -(p * np.log2(p)).sum()
+        assert entropy <= bits_per_sym <= entropy + 1.0
+
+    def test_serialization_round_trip(self):
+        syms = np.array([0, 0, 1, 2, 2, 2, 3])
+        table = HuffmanTable.from_frequencies(np.bincount(syms))
+        rebuilt = HuffmanTable.deserialize_lengths(table.serialize_lengths())
+        assert np.array_equal(rebuilt.codewords, table.codewords)
+        blob, _ = table.encode(syms)
+        assert np.array_equal(rebuilt.decode(blob, len(syms)), syms)
+
+    def test_encode_rejects_unknown_symbol(self):
+        table = HuffmanTable.from_frequencies(np.array([1, 1]))
+        with pytest.raises(ValueError, match="alphabet"):
+            table.encode(np.array([5]))
+
+    def test_encode_rejects_zero_length_symbol(self):
+        table = HuffmanTable.from_frequencies(np.array([1, 0, 1]))
+        with pytest.raises(ValueError, match="no codeword"):
+            table.encode(np.array([1]))
+
+    def test_empty_encode(self):
+        table = HuffmanTable.from_frequencies(np.array([1, 1]))
+        blob, nbits = table.encode(np.empty(0, dtype=np.int64))
+        assert blob == b"" and nbits == 0
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, data):
+        syms = np.array(data, dtype=np.int64)
+        table = HuffmanTable.from_frequencies(np.bincount(syms))
+        blob, _ = table.encode(syms)
+        assert np.array_equal(table.decode(blob, len(syms)), syms)

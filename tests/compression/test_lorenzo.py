@@ -1,0 +1,111 @@
+"""Lorenzo transform: exact inversion and predictor semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.lorenzo import (
+    classic_sz_quantize,
+    lorenzo_inverse,
+    lorenzo_transform,
+)
+
+
+class TestTransformInverse:
+    @pytest.mark.parametrize("shape", [(17,), (5, 9), (4, 6, 5)])
+    def test_exact_round_trip_int(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.integers(-1000, 1000, shape).astype(np.int64)
+        assert np.array_equal(lorenzo_inverse(lorenzo_transform(data)), data)
+
+    def test_1d_residual_is_first_difference(self):
+        data = np.array([3, 7, 2, 2], dtype=np.int64)
+        assert np.array_equal(lorenzo_transform(data), [3, 4, -5, 0])
+
+    def test_2d_residual_matches_lorenzo_definition(self):
+        rng = np.random.default_rng(1)
+        d = rng.integers(0, 50, (6, 7)).astype(np.int64)
+        r = lorenzo_transform(d)
+        dp = np.pad(d, ((1, 0), (1, 0)))
+        expected = dp[1:, 1:] - dp[:-1, 1:] - dp[1:, :-1] + dp[:-1, :-1]
+        assert np.array_equal(r, expected)
+
+    def test_3d_residual_matches_inclusion_exclusion(self):
+        rng = np.random.default_rng(2)
+        d = rng.integers(0, 50, (4, 5, 6)).astype(np.int64)
+        r = lorenzo_transform(d)
+        dp = np.pad(d, ((1, 0), (1, 0), (1, 0)))
+        expected = (
+            dp[1:, 1:, 1:]
+            - dp[:-1, 1:, 1:]
+            - dp[1:, :-1, 1:]
+            - dp[1:, 1:, :-1]
+            + dp[:-1, :-1, 1:]
+            + dp[:-1, 1:, :-1]
+            + dp[1:, :-1, :-1]
+            - dp[:-1, :-1, :-1]
+        )
+        assert np.array_equal(r, expected)
+
+    def test_constant_field_residuals_sparse(self):
+        """A constant field has nonzero residual only at the corner."""
+        d = np.full((5, 5, 5), 9, dtype=np.int64)
+        r = lorenzo_transform(d)
+        assert r[0, 0, 0] == 9
+        assert np.count_nonzero(r) == np.count_nonzero(
+            np.abs(r)
+        )  # sanity
+        # all interior residuals vanish
+        assert np.count_nonzero(r[1:, 1:, 1:]) == 0
+
+    def test_smooth_data_gives_small_residuals(self):
+        x = np.arange(20, dtype=np.int64)
+        d = x[:, None, None] + x[None, :, None] * 2 + x[None, None, :] * 3
+        r = lorenzo_transform(d)
+        # A trilinear ramp is exactly predicted away from the boundary.
+        assert np.count_nonzero(r[1:, 1:, 1:]) == 0
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError, match="1-3 dimensions"):
+            lorenzo_transform(np.zeros((2, 2, 2, 2)))
+        with pytest.raises(ValueError, match="1-3 dimensions"):
+            lorenzo_inverse(np.zeros((2, 2, 2, 2)))
+
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+            elements=st.integers(-10_000, 10_000),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, data):
+        assert np.array_equal(lorenzo_inverse(lorenzo_transform(data)), data)
+
+
+class TestClassicSZ:
+    def test_error_bound_holds(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(0, 5, (8, 8, 8))
+        eb = 0.2
+        _codes, recon = classic_sz_quantize(data, eb, radius=32768)
+        assert np.max(np.abs(recon - data)) <= eb + 1e-12
+
+    def test_outliers_preserved_exactly(self):
+        data = np.zeros((4, 4, 4))
+        data[2, 2, 2] = 1e9  # forces an outlier at tiny radius
+        codes, recon = classic_sz_quantize(data, 0.1, radius=4)
+        assert codes[2, 2, 2] == 0
+        assert recon[2, 2, 2] == 1e9
+
+    def test_rejects_bad_eb(self):
+        with pytest.raises(ValueError, match="positive"):
+            classic_sz_quantize(np.zeros((2, 2, 2)), 0.0, radius=8)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            classic_sz_quantize(np.zeros((4, 4)), 0.1, radius=8)

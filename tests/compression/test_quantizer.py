@@ -1,0 +1,109 @@
+"""Quantization: the error-bound contract and the outlier channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.quantizer import (
+    decode_residuals,
+    dequantize_abs,
+    encode_residuals,
+    pw_rel_to_log_abs,
+    quantize_abs,
+)
+
+
+class TestAbsQuantization:
+    def test_bound_holds(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 100, 10_000)
+        for eb in (0.01, 0.5, 7.0):
+            q = quantize_abs(data, eb)
+            recon = dequantize_abs(q, eb)
+            assert np.max(np.abs(recon - data)) <= eb + 1e-12
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_abs(np.zeros(5), 0.1).sum() == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize_abs(np.array([1.0, np.nan]), 0.1)
+
+    def test_rejects_nonpositive_eb(self):
+        with pytest.raises(ValueError, match="positive"):
+            quantize_abs(np.ones(3), 0.0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="int64"):
+            quantize_abs(np.array([1e300]), 1e-10)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100),
+        st.floats(1e-4, 1e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_property(self, values, eb):
+        data = np.array(values)
+        recon = dequantize_abs(quantize_abs(data, eb), eb)
+        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9) + 1e-15
+
+
+class TestPwRel:
+    def test_log_bound_conversion(self):
+        a = pw_rel_to_log_abs(0.01)
+        assert np.isclose(np.expm1(a), 0.01)
+
+    def test_round_trip_bound(self):
+        rng = np.random.default_rng(1)
+        data = np.exp(rng.normal(0, 3, 5000))  # positive, wide range
+        rel = 0.02
+        a = pw_rel_to_log_abs(rel)
+        recon = np.exp(dequantize_abs(quantize_abs(np.log(data), a), a))
+        assert np.max(np.abs(recon / data - 1.0)) <= rel + 1e-12
+
+
+class TestResidualCodes:
+    def test_round_trip_no_outliers(self):
+        res = np.array([-5, 0, 3, 100, -100], dtype=np.int64)
+        qr = encode_residuals(res, radius=512)
+        assert qr.outlier_positions.size == 0
+        assert np.array_equal(decode_residuals(qr), res)
+
+    def test_outliers_routed_and_recovered(self):
+        res = np.array([0, 10_000, -10_000, 2], dtype=np.int64)
+        qr = encode_residuals(res, radius=16)
+        assert set(qr.outlier_positions.tolist()) == {1, 2}
+        assert np.array_equal(decode_residuals(qr), res)
+
+    def test_code_zero_reserved_for_outliers(self):
+        # Residual exactly -radius would map to code 0; must be an outlier.
+        res = np.array([-16], dtype=np.int64)
+        qr = encode_residuals(res, radius=16)
+        assert qr.codes[0] == 0
+        assert qr.outlier_positions.size == 1
+        assert np.array_equal(decode_residuals(qr), res)
+
+    def test_codes_bounded(self):
+        rng = np.random.default_rng(2)
+        res = rng.integers(-10**6, 10**6, 10_000)
+        qr = encode_residuals(res, radius=256)
+        assert qr.codes.min() >= 0
+        assert qr.codes.max() <= 511
+        assert np.array_equal(decode_residuals(qr), res)
+
+    def test_rejects_tiny_radius(self):
+        with pytest.raises(ValueError, match="radius"):
+            encode_residuals(np.zeros(1, dtype=np.int64), radius=1)
+
+    @given(
+        st.lists(st.integers(-(10**9), 10**9), min_size=1, max_size=200),
+        st.integers(2, 1 << 15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, values, radius):
+        res = np.array(values, dtype=np.int64)
+        qr = encode_residuals(res, radius=radius)
+        assert np.array_equal(decode_residuals(qr), res)

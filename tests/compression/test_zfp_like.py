@@ -1,0 +1,96 @@
+"""Fixed-rate comparator codec: rate guarantees and reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.zfp_like import (
+    ZFPLikeCompressor,
+    _bit_allocation,
+    _forward_axis,
+    _inverse_axis,
+)
+
+
+class TestTransform:
+    def test_axis_transform_invertible(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-(2**30), 2**30, (10, 4, 4, 4)).astype(np.int64)
+        for axis in (1, 2, 3):
+            fwd = _forward_axis(blocks, axis)
+            assert np.array_equal(_inverse_axis(fwd, axis), blocks)
+
+    def test_full_3d_transform_invertible(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(-(2**28), 2**28, (5, 4, 4, 4)).astype(np.int64)
+        fwd = blocks
+        for axis in (1, 2, 3):
+            fwd = _forward_axis(fwd, axis)
+        inv = fwd
+        for axis in (3, 2, 1):
+            inv = _inverse_axis(inv, axis)
+        assert np.array_equal(inv, blocks)
+
+
+class TestBitAllocation:
+    def test_budget_met(self):
+        for rate in (2.0, 8.0, 16.0):
+            bits = _bit_allocation(rate)
+            assert bits.sum() <= int(rate * 64)
+
+    def test_low_frequency_favoured(self):
+        bits = _bit_allocation(4.0).reshape(4, 4, 4)
+        assert bits[0, 0, 0] >= bits[3, 3, 3]
+
+
+class TestCodec:
+    def test_round_trip_accuracy_improves_with_rate(self, smooth_field):
+        errs = []
+        for rate in (2.0, 6.0, 12.0):
+            comp = ZFPLikeCompressor(rate=rate)
+            recon = comp.decompress(comp.compress(smooth_field))
+            errs.append(np.sqrt(np.mean((recon - smooth_field) ** 2)))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_bitrate_near_target(self, noisy_field):
+        comp = ZFPLikeCompressor(rate=8.0)
+        stream = comp.compress(noisy_field)
+        # Payload rate is exact; exponents/header add a small overhead.
+        assert 8.0 <= stream.bit_rate <= 10.0
+
+    def test_non_multiple_of_block_shape(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, (10, 7, 5))
+        comp = ZFPLikeCompressor(rate=12.0)
+        recon = comp.decompress(comp.compress(data))
+        assert recon.shape == data.shape
+
+    def test_zero_field(self):
+        comp = ZFPLikeCompressor(rate=4.0)
+        data = np.zeros((8, 8, 8))
+        recon = comp.decompress(comp.compress(data))
+        assert np.allclose(recon, 0.0, atol=1e-6)
+
+    def test_no_absolute_error_bound(self):
+        """The paper's reason for choosing SZ: fixed-rate ZFP cannot bound error.
+
+        Demonstrate that pointwise error at fixed rate grows with data
+        spikiness rather than staying constant.
+        """
+        rng = np.random.default_rng(3)
+        gentle = rng.normal(0, 1, (16, 16, 16))
+        spiky = gentle.copy()
+        spiky[::2, ::2, ::2] *= 1000
+        comp = ZFPLikeCompressor(rate=4.0)
+        err_gentle = np.max(np.abs(comp.decompress(comp.compress(gentle)) - gentle))
+        err_spiky = np.max(np.abs(comp.decompress(comp.compress(spiky)) - spiky))
+        assert err_spiky > 10 * err_gentle
+
+    def test_rejects_low_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            ZFPLikeCompressor(rate=0.5)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            ZFPLikeCompressor(rate=4.0).compress(np.zeros((4, 4)))

@@ -1,0 +1,47 @@
+"""Shared fixtures: a small synthetic snapshot and its decomposition.
+
+Session-scoped so the (moderately expensive) field synthesis happens
+once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSimulator
+
+
+@pytest.fixture(scope="session")
+def simulator() -> NyxSimulator:
+    return NyxSimulator(shape=(32, 32, 32), box_size=32.0, seed=1234, sigma_delta0=2.5)
+
+
+@pytest.fixture(scope="session")
+def snapshot(simulator):
+    return simulator.snapshot(z=0.5)
+
+
+@pytest.fixture(scope="session")
+def decomposition(snapshot) -> BlockDecomposition:
+    return BlockDecomposition(snapshot.shape, blocks=2)
+
+
+@pytest.fixture(scope="session")
+def smooth_field() -> np.ndarray:
+    """A smooth, highly compressible 3-D float32 field."""
+    x = np.linspace(0.0, 4.0 * np.pi, 24)
+    f = (
+        np.sin(x)[:, None, None]
+        * np.cos(0.5 * x)[None, :, None]
+        * np.sin(0.25 * x)[None, None, :]
+    )
+    return (100.0 * f).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def noisy_field() -> np.ndarray:
+    """A hard-to-compress random field."""
+    rng = np.random.default_rng(7)
+    return rng.normal(0.0, 10.0, (24, 24, 24)).astype(np.float32)

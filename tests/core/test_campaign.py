@@ -1,0 +1,107 @@
+"""Campaign orchestration across fields and snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CompressionCampaign, FieldSpec
+from repro.sim.nyx import FIELD_NAMES
+
+
+@pytest.fixture(scope="module")
+def campaign(request):
+    simulator = request.getfixturevalue("simulator")
+    decomposition = request.getfixturevalue("decomposition")
+    specs = {
+        "baryon_density": FieldSpec(
+            spectrum_tolerance=0.02, correlated_fraction=0.5, halo_aware=True
+        ),
+        "dark_matter_density": FieldSpec(
+            spectrum_tolerance=0.02, correlated_fraction=0.5, halo_aware=True
+        ),
+        "temperature": FieldSpec(correlated_fraction=0.5),
+    }
+    c = CompressionCampaign(decomposition, field_specs=specs)
+    c.calibrate(simulator.snapshot(z=2.0), max_partitions=8)
+    return c
+
+
+class TestFieldSpec:
+    def test_defaults_valid(self):
+        FieldSpec()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spectrum_tolerance": 0.0},
+            {"correlated_fraction": 2.0},
+            {"halo_percentile": 10.0},
+            {"eb_override": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            FieldSpec(**kwargs)
+
+
+class TestCampaign:
+    def test_requires_calibration(self, decomposition, simulator):
+        c = CompressionCampaign(decomposition)
+        with pytest.raises(RuntimeError, match="calibrate"):
+            c.compress_snapshot(simulator.snapshot(z=1.0))
+
+    def test_compresses_every_field(self, campaign, simulator):
+        report = campaign.compress_snapshot(simulator.snapshot(z=1.0))
+        fields_done = {o.field for o in report.outcomes}
+        assert fields_done == set(FIELD_NAMES)
+
+    def test_storage_accounting(self, campaign, simulator):
+        report = campaign.compress_snapshot(simulator.snapshot(z=0.5))
+        assert report.compressed_bytes < report.raw_bytes
+        assert report.overall_ratio > 1.0
+        for name in FIELD_NAMES:
+            assert report.field_ratio(name) > 1.0
+
+    def test_snapshot_ratio_lookup(self, campaign, simulator):
+        campaign.compress_snapshot(simulator.snapshot(z=0.25))
+        assert campaign.report.snapshot_ratio(0.25) > 1.0
+        with pytest.raises(KeyError):
+            campaign.report.snapshot_ratio(9.9)
+
+    def test_eb_override_used(self, decomposition, simulator):
+        overrides = {
+            "baryon_density": 0.5,
+            "dark_matter_density": 0.5,
+            "temperature": 50.0,
+            "velocity_x": 1e6,
+            "velocity_y": 1e6,
+            "velocity_z": 1e6,
+        }
+        c = CompressionCampaign(
+            decomposition,
+            field_specs={k: FieldSpec(eb_override=v) for k, v in overrides.items()},
+        )
+        snap = simulator.snapshot(z=1.0)
+        c.calibrate(snap, max_partitions=4)
+        report = c.compress_snapshot(snap)
+        assert all(o.eb_avg == overrides[o.field] for o in report.outcomes)
+
+    def test_error_bounds_hold_through_campaign(self, campaign, simulator, decomposition):
+        snap = simulator.snapshot(z=1.5)
+        report = campaign.compress_snapshot(snap)
+        latest = [o for o in report.outcomes if o.redshift == 1.5]
+        for o in latest:
+            recon = o.result.reconstruct(decomposition)
+            err = np.max(np.abs(recon - snap[o.field].astype(np.float64)))
+            assert err <= o.result.ebs.max() * (1 + 1e-9) + 1e-12
+
+    def test_report_rows_shape(self, campaign):
+        rows = campaign.report.as_rows()
+        assert all(len(r) == 5 for r in rows)
+
+    def test_empty_report_rejected(self):
+        from repro.core.campaign import CampaignReport
+
+        with pytest.raises(ValueError, match="empty"):
+            CampaignReport().overall_ratio

@@ -1,0 +1,67 @@
+"""Configuration dataclass validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import HaloQualitySpec, OptimizerSettings, QualityTargets
+
+
+class TestQualityTargets:
+    def test_paper_defaults(self):
+        t = QualityTargets()
+        assert t.spectrum_tolerance == 0.01
+        assert t.spectrum_k_max == 10
+        assert t.confidence_z == 2.0
+        assert t.halo_mass_rmse == 0.01
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"spectrum_tolerance": 0.0},
+            {"spectrum_k_max": 1},
+            {"confidence_z": -1.0},
+            {"halo_mass_rmse": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            QualityTargets(**kwargs)
+
+
+class TestOptimizerSettings:
+    def test_paper_defaults(self):
+        s = OptimizerSettings()
+        assert s.clamp_factor == 4.0
+        assert s.normalization == "exact"
+        assert s.constraint_mode == "paper"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clamp_factor": 0.5},
+            {"normalization": "global"},
+            {"constraint_mode": "l2"},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            OptimizerSettings(**kwargs)
+
+
+class TestHaloQualitySpec:
+    def test_valid(self):
+        h = HaloQualitySpec(t_boundary=88.0, mass_budget=100.0)
+        assert h.reference_eb == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"t_boundary": 0.0, "mass_budget": 1.0},
+            {"t_boundary": 1.0, "mass_budget": 0.0},
+            {"t_boundary": 1.0, "mass_budget": 1.0, "reference_eb": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            HaloQualitySpec(**kwargs)

@@ -1,0 +1,102 @@
+"""Foresight-style sweeps, quality criteria and reports."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.foresight.quality import QualityCriteria, evaluate_quality
+from repro.foresight.report import records_to_csv, records_to_table
+from repro.foresight.sweep import run_sweep
+
+
+class TestQualityCriteria:
+    def test_defaults(self):
+        c = QualityCriteria()
+        assert c.spectrum_tolerance == 0.01
+        assert not c.check_halos
+
+    def test_halo_requires_threshold(self):
+        with pytest.raises(ValueError, match="t_boundary"):
+            QualityCriteria(check_halos=True)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            QualityCriteria(spectrum_tolerance=-1.0)
+
+
+class TestEvaluateQuality:
+    def test_identical_passes(self, snapshot):
+        data = snapshot["temperature"].astype(np.float64)
+        report = evaluate_quality(data, data.copy(), QualityCriteria())
+        assert report.passed
+        assert report.spectrum_worst_deviation == 0.0
+        assert report.psnr_db == float("inf")
+
+    def test_heavy_distortion_fails(self, snapshot):
+        rng = np.random.default_rng(0)
+        data = snapshot["temperature"].astype(np.float64)
+        bad = data + rng.normal(0, data.std(), data.shape)
+        report = evaluate_quality(data, bad, QualityCriteria())
+        assert not report.passed
+
+    def test_halo_checks_run(self, snapshot):
+        data = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(data, 99.0))
+        crit = QualityCriteria(check_halos=True, t_boundary=tb)
+        report = evaluate_quality(data, data.copy(), crit)
+        assert report.halo_ok is True
+        assert report.halo_mass_rmse == pytest.approx(0.0)
+        assert report.halo_count_change == 0
+
+
+class TestSweep:
+    def test_record_grid(self, snapshot, decomposition):
+        fields = {"temperature": snapshot["temperature"]}
+        records = run_sweep(
+            fields,
+            ebs=[10.0, 100.0],
+            criteria={"temperature": QualityCriteria(spectrum_tolerance=0.05)},
+            decomposition=decomposition,
+        )
+        assert len(records) == 2
+        assert records[0].ratio < records[1].ratio  # larger eb -> larger ratio
+
+    def test_whole_field_mode(self, snapshot):
+        records = run_sweep(
+            {"temperature": snapshot["temperature"]},
+            ebs=[50.0],
+            criteria={},
+        )
+        assert len(records) == 1
+        assert records[0].bit_rate > 0
+
+    def test_rejects_empty(self, snapshot):
+        with pytest.raises(ValueError, match="field"):
+            run_sweep({}, [1.0], {})
+        with pytest.raises(ValueError, match="error bound"):
+            run_sweep({"t": snapshot["temperature"]}, [], {})
+
+
+class TestReports:
+    @pytest.fixture()
+    def records(self, snapshot, decomposition):
+        return run_sweep(
+            {"temperature": snapshot["temperature"]},
+            ebs=[10.0, 50.0],
+            criteria={},
+            decomposition=decomposition,
+        )
+
+    def test_table_renders(self, records):
+        table = records_to_table(records, title="sweep")
+        assert "temperature" in table
+        assert "ratio" in table
+        assert len(table.splitlines()) == 5  # title + header + sep + 2 rows
+
+    def test_csv_renders(self, records):
+        csv = records_to_csv(records)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("field,eb,")
+        assert lines[1].split(",")[0] == "temperature"

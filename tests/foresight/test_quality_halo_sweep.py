@@ -1,0 +1,71 @@
+"""Foresight sweeps with the halo criterion active (density fields)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.foresight.quality import QualityCriteria, evaluate_quality
+from repro.foresight.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def density(request):
+    snapshot = request.getfixturevalue("snapshot")
+    return snapshot["baryon_density"]
+
+
+class TestHaloCriteriaSweep:
+    def test_halo_metrics_populated(self, density, decomposition):
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        crit = QualityCriteria(
+            spectrum_tolerance=0.05, check_halos=True, t_boundary=tb
+        )
+        records = run_sweep(
+            {"baryon_density": density},
+            ebs=[0.05, 0.5],
+            criteria={"baryon_density": crit},
+            decomposition=decomposition,
+        )
+        for r in records:
+            assert r.quality.halo_ok is not None
+            assert r.quality.halo_mass_rmse is not None
+            assert r.quality.halo_count_change is not None
+
+    def test_small_bound_passes_halo_check(self, density, decomposition):
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        crit = QualityCriteria(
+            spectrum_tolerance=0.5,
+            check_halos=True,
+            t_boundary=tb,
+            halo_mass_rmse=0.05,
+        )
+        records = run_sweep(
+            {"baryon_density": density},
+            ebs=[1e-3],
+            criteria={"baryon_density": crit},
+            decomposition=decomposition,
+        )
+        assert records[0].quality.halo_ok
+
+    def test_quality_degrades_with_bound(self, density):
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        crit = QualityCriteria(spectrum_tolerance=1.0, check_halos=True, t_boundary=tb)
+        f64 = density.astype(np.float64)
+        from repro.compression.sz import SZCompressor, decompress
+
+        comp = SZCompressor()
+        devs = []
+        for eb in (0.01, 0.1, 1.0):
+            recon = decompress(comp.compress(density, eb))
+            report = evaluate_quality(f64, recon, crit)
+            devs.append(report.spectrum_worst_deviation)
+        assert devs[0] < devs[-1]
+
+    def test_report_passed_combines_both_checks(self, density):
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        f64 = density.astype(np.float64)
+        # Identical reconstruction: everything passes.
+        crit = QualityCriteria(check_halos=True, t_boundary=tb)
+        report = evaluate_quality(f64, f64.copy(), crit)
+        assert report.passed and report.spectrum_ok and report.halo_ok

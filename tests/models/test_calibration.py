@@ -1,0 +1,75 @@
+"""Rate-model calibration on real compressor output (§3.5, Fig. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.calibration import calibrate_rate_model, partition_feature
+
+
+class TestPartitionFeature:
+    def test_positive_field_equals_mean(self):
+        arr = np.abs(np.random.default_rng(0).normal(2, 1, (4, 4, 4)))
+        assert partition_feature(arr) == pytest.approx(arr.mean())
+
+    def test_signed_field_uses_magnitude(self):
+        arr = np.array([[[-3.0, 3.0]]])
+        assert partition_feature(arr) == 3.0
+
+
+class TestCalibration:
+    def test_exponent_negative_and_shared(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        cal = calibrate_rate_model(views, eb_scale=0.2, seed=0)
+        assert cal.shared_exponent < 0
+        # Informative per-partition exponents cluster around the median.
+        good = cal.fit_r2 > 0.5
+        assert good.sum() >= len(views) // 2
+
+    def test_coefficient_predictable_from_mean(self, snapshot, decomposition):
+        """Fig. 10(a): C_m vs mean regression explains most variance."""
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        cal = calibrate_rate_model(views, eb_scale=0.2, seed=0)
+        assert cal.coef_r2 > 0.5
+
+    def test_rate_predictions_in_ballpark(self, snapshot, decomposition):
+        from repro.compression.sz import SZCompressor
+
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        cal = calibrate_rate_model(views, eb_scale=0.2, seed=0)
+        comp = SZCompressor()
+        eb = 0.2
+        measured = np.array([comp.compress(v, eb).bit_rate for v in views])
+        predicted = np.array(
+            [cal.rate_model.predict_bitrate(partition_feature(v), eb) for v in views]
+        )
+        # Geometric-mean agreement within a factor ~1.6.
+        log_err = np.abs(np.log(predicted / measured))
+        assert np.median(log_err) < 0.5
+
+    def test_max_partitions_subsampling(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        cal = calibrate_rate_model(views, eb_scale=0.2, max_partitions=3, seed=0)
+        assert len(cal.exponents) == 3
+
+    def test_deterministic_given_seed(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        a = calibrate_rate_model(views, eb_scale=0.2, max_partitions=4, seed=1)
+        b = calibrate_rate_model(views, eb_scale=0.2, max_partitions=4, seed=1)
+        assert a.rate_model.exponent == b.rate_model.exponent
+        assert a.rate_model.coef_alpha == b.rate_model.coef_alpha
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one partition"):
+            calibrate_rate_model([])
+
+    def test_rejects_single_probe(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        with pytest.raises(ValueError, match="two probe"):
+            calibrate_rate_model(views, probe_ebs=[0.1])
+
+    def test_rejects_nonpositive_probe(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        with pytest.raises(ValueError, match="positive"):
+            calibrate_rate_model(views, probe_ebs=[0.1, -0.2])

@@ -1,0 +1,96 @@
+"""Halo-finder error model (Eqs. 11-14) against direct simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.sz import SZCompressor
+from repro.models.halo_error import (
+    FAULT_PROBABILITY,
+    boundary_cell_count,
+    effective_cell_rate,
+    expected_fault_cells,
+    fault_cell_sigma,
+    halo_mass_error_budget,
+)
+
+
+class TestBoundaryCells:
+    def test_exact_count(self):
+        rho = np.zeros((4, 4, 4))
+        rho[0, 0, 0] = 10.0  # inside (t-eb, t+eb) for t=10.5, eb=1
+        rho[0, 0, 1] = 11.0
+        rho[0, 0, 2] = 12.0  # outside
+        assert boundary_cell_count(rho, 10.5, 1.0) == 2
+
+    def test_open_interval(self):
+        rho = np.full((2, 2, 2), 9.0)
+        # Exactly at the edge of (t-eb, t+eb) is excluded.
+        assert boundary_cell_count(rho, 10.0, 1.0) == 0
+
+    def test_rate_linearity(self, snapshot):
+        """§4.2: n_bc(eb) ~ rate * eb (locally flat histogram)."""
+        rho = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(rho, 99.0))
+        n1 = boundary_cell_count(rho, tb, 0.5)
+        n2 = boundary_cell_count(rho, tb, 1.0)
+        assert n2 == pytest.approx(2 * n1, rel=0.4)
+
+    def test_effective_rate_definition(self, snapshot):
+        rho = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(rho, 99.0))
+        rate = effective_cell_rate(rho, tb, reference_eb=1.0)
+        assert rate == boundary_cell_count(rho, tb, 1.0)
+
+
+class TestFaultModel:
+    def test_eq13(self):
+        assert expected_fault_cells(100.0) == 25.0
+
+    def test_eq14(self):
+        assert fault_cell_sigma(300.0) == pytest.approx(10.0)
+
+    def test_eq11_budget(self):
+        rates = np.array([10.0, 20.0])
+        ebs = np.array([0.5, 0.25])
+        budget = halo_mass_error_budget(88.0, rates, ebs)
+        expected = 88.0 * 0.25 * (10 * 0.5 + 20 * 0.25)
+        assert budget == pytest.approx(expected)
+
+    def test_budget_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            halo_mass_error_budget(1.0, np.ones(2), np.ones(3))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError, match="fault_probability"):
+            expected_fault_cells(10.0, fault_probability=1.5)
+
+    def test_fault_probability_empirical(self):
+        """Eq. 12: a cell within eb of the threshold flips w.p. 1/4.
+
+        Monte Carlo: value u ~ U(t, t+eb) (above threshold), error
+        e ~ U(-eb, eb); flip iff u + e < t.  By symmetry the same holds
+        below the threshold.
+        """
+        rng = np.random.default_rng(0)
+        t, eb, n = 100.0, 1.0, 400_000
+        u = rng.uniform(t, t + eb, n)
+        e = rng.uniform(-eb, eb, n)
+        p = np.mean(u + e < t)
+        assert p == pytest.approx(FAULT_PROBABILITY, abs=0.01)
+
+    def test_candidate_flips_against_real_compressor(self, snapshot):
+        """Fig. 8: predicted flipped-cell count tracks the measured count."""
+        rho = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(rho, 97.0))
+        eb = 1.0
+        comp = SZCompressor()
+        recon = comp.decompress(comp.compress(rho, eb))
+        flipped = np.count_nonzero((rho > tb) != (recon > tb))
+        predicted = expected_fault_cells(boundary_cell_count(rho, tb, eb))
+        assert predicted > 10  # enough statistics for the comparison
+        # Both directions flip; total flips ~ 2 * one-sided expectation.
+        # Deterministic quantization on smooth fields flips somewhat fewer
+        # cells than the independent-error model; same order is the claim.
+        assert 0.3 * 2 * predicted <= flipped <= 2.5 * 2 * predicted

@@ -1,0 +1,102 @@
+"""Cross-model consistency checks.
+
+The three models share assumptions (uniform error, locally flat
+histograms, power-law rates); these tests verify the *interactions* the
+paper's §3.6 strategy relies on, rather than each model in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.sz import SZCompressor, decompress
+from repro.models.error_distribution import UniformErrorModel
+from repro.models.fft_error import dft_error_sigma
+from repro.models.halo_error import FAULT_PROBABILITY, boundary_cell_count
+from repro.models.rate_model import RateModel, optimal_error_bounds
+
+
+class TestErrorModelConsistency:
+    def test_fault_probability_consistent_with_uniform_model(self):
+        """Eq. 12's 1/4 is exactly the uniform model's fault probability."""
+        assert UniformErrorModel().fault_probability() == FAULT_PROBABILITY
+
+    def test_fft_sigma_uses_uniform_std(self):
+        """Eq. 8's sqrt(N/6) = sqrt(N/2) * (uniform std factor)."""
+        n, eb = 4096, 0.7
+        via_factor = dft_error_sigma(n, eb, std_factor=UniformErrorModel().std_factor)
+        direct = dft_error_sigma(n, eb)
+        assert via_factor == pytest.approx(direct)
+
+    def test_injected_model_error_matches_compressor_statistics(self, snapshot):
+        """Sampling the error model reproduces the compressor's moments."""
+        data = snapshot["temperature"].astype(np.float64)
+        eb = 10.0
+        comp = SZCompressor()
+        real_err = decompress(comp.compress(data, eb)) - data
+        rng = np.random.default_rng(0)
+        model_err = UniformErrorModel().sample(eb, data.size, rng)
+        assert real_err.std() == pytest.approx(model_err.std(), rel=0.05)
+        assert abs(real_err.mean()) < 0.05 * eb
+
+
+class TestOptimizerModelInteraction:
+    def test_combined_budget_is_additive_over_partitions(self, snapshot, decomposition):
+        """Eq. 11's sum over partitions equals the whole-field count."""
+        rho = snapshot["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(rho, 98.0))
+        eb = 0.5
+        whole = boundary_cell_count(rho, tb, eb)
+        parts = sum(
+            boundary_cell_count(v, tb, eb)
+            for v in decomposition.partition_views(rho)
+        )
+        assert parts == whole
+
+    def test_spectrum_solution_invariant_to_coefficient_scale(self):
+        """Scaling every C_m by a constant must not move the optimum
+        (only relative compressibility matters)."""
+        rng = np.random.default_rng(1)
+        coeffs = np.exp(rng.normal(0, 0.5, 32))
+        a = optimal_error_bounds(coeffs, 0.5, -0.7)
+        b = optimal_error_bounds(coeffs * 37.0, 0.5, -0.7)
+        assert np.allclose(a, b)
+
+    def test_rate_model_predicts_zero_gain_for_homogeneous_fields(self):
+        """If every partition shares one C, adaptive == static exactly."""
+        model = RateModel(exponent=-0.8, coef_alpha=1.0, coef_beta=0.0)
+        c = model.predict_coefficient(np.array([0.1, 1.0, 10.0]))
+        assert np.allclose(c, c[0])
+        ebs = optimal_error_bounds(np.asarray(c), 0.3, model.exponent)
+        assert np.allclose(ebs, 0.3)
+
+    def test_clamp_feasibility_always_contains_static(self):
+        """eb_avg itself is always inside the clamp box, so the
+        constraint is always feasible."""
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            coeffs = np.exp(rng.normal(0, 2.0, 16))
+            eb_avg = float(rng.uniform(0.01, 10))
+            ebs = optimal_error_bounds(coeffs, eb_avg, -0.6, clamp_factor=4.0)
+            assert ebs.mean() == pytest.approx(eb_avg, rel=1e-6)
+
+
+class TestScalingLaws:
+    def test_fft_tolerance_shrinks_with_resolution(self, snapshot):
+        """The paper's observation: higher resolution is less error-
+        tolerant in absolute sigma terms (Eq. 9's sqrt(N) growth)."""
+        eb = 1.0
+        sigma_small = dft_error_sigma(64**3, eb)
+        sigma_big = dft_error_sigma(512**3, eb)
+        assert sigma_big / sigma_small == pytest.approx(np.sqrt(512**3 / 64**3))
+
+    def test_halo_budget_scales_linearly_with_volume(self, snapshot):
+        """Doubling the candidate population doubles Eq. 11's estimate."""
+        from repro.models.halo_error import halo_mass_error_budget
+
+        rates = np.array([10.0, 20.0])
+        ebs = np.array([0.5, 0.5])
+        single = halo_mass_error_budget(88.0, rates, ebs)
+        double = halo_mass_error_budget(88.0, np.tile(rates, 2), np.tile(ebs, 2))
+        assert double == pytest.approx(2 * single)

@@ -1,0 +1,88 @@
+"""The RMS-constraint optimizer variant (exact Eq. 10 combination)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import optimize as sopt
+
+from repro.core.config import OptimizerSettings
+from repro.core.features import PartitionFeatures
+from repro.core.optimizer import optimize_for_spectrum
+from repro.models.rate_model import RateModel, optimal_error_bounds
+
+
+class TestRmsConstraint:
+    def test_rms_held_exactly(self):
+        rng = np.random.default_rng(0)
+        coeffs = np.exp(rng.normal(0, 0.6, 64))
+        ebs = optimal_error_bounds(coeffs, 0.5, -0.7, constraint="rms")
+        assert float(np.sqrt(np.mean(ebs**2))) == pytest.approx(0.5, rel=1e-9)
+
+    def test_uniform_coefficients_degenerate(self):
+        ebs = optimal_error_bounds(np.full(8, 2.0), 0.3, -0.5, constraint="rms")
+        assert np.allclose(ebs, 0.3)
+
+    def test_redistribution_gentler_than_mean(self):
+        """Quadratic spreading cost narrows the optimal bound spread."""
+        coeffs = np.array([0.5, 1.0, 2.0, 4.0])
+        mean_sol = optimal_error_bounds(coeffs, 1.0, -0.7, constraint="mean")
+        rms_sol = optimal_error_bounds(coeffs, 1.0, -0.7, constraint="rms")
+        assert rms_sol.max() / rms_sol.min() < mean_sol.max() / mean_sol.min()
+
+    def test_clamp_respected(self):
+        coeffs = np.array([1e-4, 1.0, 1e4])
+        ebs = optimal_error_bounds(coeffs, 1.0, -0.7, constraint="rms", clamp_factor=4.0)
+        assert ebs.min() >= 0.25 - 1e-12
+        assert ebs.max() <= 4.0 + 1e-12
+
+    def test_matches_numerical_optimizer(self):
+        rng = np.random.default_rng(1)
+        coeffs = np.exp(rng.normal(0, 0.5, 10))
+        c = -0.8
+        target = 0.4
+        ours = optimal_error_bounds(coeffs, target, c, constraint="rms", clamp_factor=100.0)
+
+        def objective(ebs):
+            return float(np.sum(coeffs * np.maximum(ebs, 1e-9) ** c))
+
+        cons = {"type": "eq", "fun": lambda ebs: np.mean(ebs**2) - target**2}
+        res = sopt.minimize(
+            objective,
+            np.full(10, target),
+            constraints=[cons],
+            bounds=[(1e-6, 100)] * 10,
+            method="SLSQP",
+            options={"maxiter": 500, "ftol": 1e-14},
+        )
+        assert objective(ours) <= objective(res.x) * (1 + 1e-6)
+
+    def test_rejects_weights(self):
+        with pytest.raises(ValueError, match="weights"):
+            optimal_error_bounds(
+                np.ones(3), 1.0, -0.5, weights=np.ones(3), constraint="rms"
+            )
+
+    def test_rejects_unknown_constraint(self):
+        with pytest.raises(ValueError, match="constraint"):
+            optimal_error_bounds(np.ones(3), 1.0, -0.5, constraint="l1")
+
+
+class TestSettingsIntegration:
+    def test_constraint_mode_flows_through_optimizer(self):
+        feats = [
+            PartitionFeatures(rank=i, n_cells=4096, mean_abs=m)
+            for i, m in enumerate([0.1, 1.0, 10.0, 100.0])
+        ]
+        model = RateModel(exponent=-0.7, coef_alpha=0.0, coef_beta=0.5)
+        paper = optimize_for_spectrum(
+            feats, model, 0.5, OptimizerSettings(constraint_mode="paper")
+        )
+        rms = optimize_for_spectrum(
+            feats, model, 0.5, OptimizerSettings(constraint_mode="rms")
+        )
+        assert paper.eb_mean == pytest.approx(0.5, rel=1e-9)
+        assert float(np.sqrt(np.mean(rms.ebs**2))) == pytest.approx(0.5, rel=1e-9)
+        # RMS mode keeps the mean *below* the target (Cauchy-Schwarz), so
+        # its realized FFT damage is never above the paper mode's.
+        assert rms.ebs.mean() <= 0.5 + 1e-12

@@ -1,0 +1,43 @@
+"""Serial communicator and reduce-op registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.comm import REDUCE_OPS, SerialComm
+
+
+class TestSerialComm:
+    def test_rank_and_size(self):
+        c = SerialComm()
+        assert c.rank == 0
+        assert c.size == 1
+
+    def test_allreduce_identity(self):
+        assert SerialComm().allreduce(5.0, "sum") == 5.0
+        assert SerialComm().allreduce(5.0, "max") == 5.0
+
+    def test_allreduce_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="unknown reduce op"):
+            SerialComm().allreduce(1.0, "prod")
+
+    def test_allgather(self):
+        assert SerialComm().allgather("x") == ["x"]
+
+    def test_bcast(self):
+        assert SerialComm().bcast(42) == 42
+
+    def test_bcast_rejects_nonzero_root(self):
+        with pytest.raises(ValueError, match="root"):
+            SerialComm().bcast(1, root=1)
+
+    def test_gather(self):
+        assert SerialComm().gather(7) == [7]
+
+    def test_barrier_noop(self):
+        SerialComm().barrier()
+
+    def test_reduce_ops_registry(self):
+        assert REDUCE_OPS["sum"](2, 3) == 5
+        assert REDUCE_OPS["max"](2, 3) == 3
+        assert REDUCE_OPS["min"](2, 3) == 2

@@ -1,0 +1,114 @@
+"""Block domain decomposition: coverage, views, reassembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.decomposition import BlockDecomposition
+
+
+class TestLayout:
+    def test_counts(self):
+        dec = BlockDecomposition((64, 64, 64), blocks=4)
+        assert dec.n_partitions == 64
+        assert dec.partition_shape == (16, 16, 16)
+        assert len(dec) == 64
+
+    def test_anisotropic_blocks(self):
+        dec = BlockDecomposition((8, 16, 32), blocks=(2, 4, 8))
+        assert dec.n_partitions == 64
+        assert dec.partition_shape == (4, 4, 4)
+
+    def test_rank_ordering_row_major(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        assert dec[0].block == (0, 0, 0)
+        assert dec[1].block == (0, 0, 1)
+        assert dec[7].block == (1, 1, 1)
+        for rank, p in enumerate(dec):
+            assert p.rank == rank
+
+    def test_rejects_uneven_division(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            BlockDecomposition((10, 10, 10), blocks=3)
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError, match="blocks"):
+            BlockDecomposition((8, 8, 8), blocks=(2, 2))
+
+    def test_rejects_2d_shape(self):
+        with pytest.raises(ValueError, match="3-D"):
+            BlockDecomposition((8, 8), blocks=2)
+
+
+class TestViews:
+    def test_views_are_views_not_copies(self):
+        data = np.zeros((8, 8, 8))
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        views = dec.partition_views(data)
+        views[0][0, 0, 0] = 7.0
+        assert data[0, 0, 0] == 7.0
+
+    def test_views_cover_disjointly(self):
+        data = np.zeros((12, 12, 12))
+        dec = BlockDecomposition((12, 12, 12), blocks=3)
+        for v in dec.partition_views(data):
+            v += 1
+        assert (data == 1).all()
+
+    def test_view_shape_matches_partition(self):
+        data = np.zeros((8, 16, 24))
+        dec = BlockDecomposition((8, 16, 24), blocks=(2, 2, 2))
+        for p, v in zip(dec, dec.partition_views(data)):
+            assert v.shape == p.shape
+            assert p.n_cells == v.size
+
+    def test_shape_mismatch_rejected(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        with pytest.raises(ValueError, match="does not match"):
+            dec.partition_views(np.zeros((9, 8, 8)))
+
+
+class TestAssemble:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        data = rng.random((12, 12, 12))
+        dec = BlockDecomposition((12, 12, 12), blocks=(3, 2, 1))
+        parts = [v.copy() for v in dec.partition_views(data)]
+        assert np.array_equal(dec.assemble(parts), data)
+
+    def test_wrong_count_rejected(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        with pytest.raises(ValueError, match="expected 8"):
+            dec.assemble([np.zeros((4, 4, 4))])
+
+    def test_wrong_shape_rejected(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        parts = [np.zeros((4, 4, 4))] * 7 + [np.zeros((2, 2, 2))]
+        with pytest.raises(ValueError, match="partition 7"):
+            dec.assemble(parts)
+
+    def test_per_partition_map(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        values = np.arange(8.0)
+        grid = dec.per_partition_map(values)
+        assert grid.shape == (2, 2, 2)
+        assert grid[0, 0, 1] == 1.0
+        assert grid[1, 1, 1] == 7.0
+
+    def test_map_rejects_wrong_length(self):
+        dec = BlockDecomposition((8, 8, 8), blocks=2)
+        with pytest.raises(ValueError, match="expected 8"):
+            dec.per_partition_map(np.zeros(9))
+
+
+@given(st.sampled_from([1, 2, 4]), st.sampled_from([4, 8, 16]))
+@settings(max_examples=20, deadline=None)
+def test_round_trip_property(blocks, size):
+    rng = np.random.default_rng(0)
+    data = rng.random((size, size, size))
+    dec = BlockDecomposition((size, size, size), blocks=blocks)
+    parts = [v.copy() for v in dec.partition_views(data)]
+    assert np.array_equal(dec.assemble(parts), data)

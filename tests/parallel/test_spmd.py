@@ -1,0 +1,115 @@
+"""Thread-SPMD executor and collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import run_spmd
+from repro.parallel.simcomm import CommGroup, ThreadComm
+
+
+class TestRunSpmd:
+    def test_results_in_rank_order(self):
+        results = run_spmd(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda comm: comm.size) == [1]
+
+    def test_exception_propagates_with_rank(self):
+        def fail_on_two(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            run_spmd(4, fail_on_two)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError, match="nranks"):
+            run_spmd(0, lambda comm: None)
+
+    def test_extra_args_forwarded(self):
+        results = run_spmd(2, lambda comm, a, b=0: a + b + comm.rank, 10, b=5)
+        assert results == [15, 16]
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        results = run_spmd(5, lambda comm: comm.allreduce(comm.rank + 1, "sum"))
+        assert results == [15] * 5
+
+    def test_allreduce_max_min(self):
+        assert run_spmd(4, lambda comm: comm.allreduce(comm.rank, "max")) == [3] * 4
+        assert run_spmd(4, lambda comm: comm.allreduce(comm.rank, "min")) == [0] * 4
+
+    def test_allgather(self):
+        results = run_spmd(3, lambda comm: comm.allgather(comm.rank**2))
+        assert results == [[0, 1, 4]] * 3
+
+    def test_bcast_from_root(self):
+        def fn(comm):
+            value = f"from-{comm.rank}" if comm.rank == 1 else None
+            return comm.bcast(value, root=1)
+
+        assert run_spmd(3, fn) == ["from-1"] * 3
+
+    def test_gather_only_root_receives(self):
+        results = run_spmd(3, lambda comm: comm.gather(comm.rank, root=0))
+        assert results[0] == [0, 1, 2]
+        assert results[1] is None and results[2] is None
+
+    def test_successive_collectives_do_not_race(self):
+        """Two back-to-back collectives must not cross-contaminate slots."""
+
+        def fn(comm):
+            first = comm.allgather(comm.rank)
+            second = comm.allgather(comm.rank * 100)
+            return first, second
+
+        for first, second in run_spmd(6, fn):
+            assert first == list(range(6))
+            assert second == [r * 100 for r in range(6)]
+
+    def test_numpy_payloads(self):
+        def fn(comm):
+            return comm.allreduce(np.ones(4) * comm.rank, "sum")
+
+        results = run_spmd(4, fn)
+        assert np.allclose(results[0], np.full(4, 6.0))
+
+    def test_mean_via_allreduce_matches_serial(self):
+        """The in situ pattern: global mean from one allreduce."""
+        data = np.random.default_rng(0).random(8)
+
+        def fn(comm):
+            return comm.allreduce(data[comm.rank], "sum") / comm.size
+
+        assert run_spmd(8, fn)[3] == pytest.approx(data.mean())
+
+    def test_barrier_many_ranks(self):
+        def fn(comm):
+            for _ in range(5):
+                comm.barrier()
+            return True
+
+        assert all(run_spmd(8, fn))
+
+
+class TestThreadCommValidation:
+    def test_rank_bounds(self):
+        group = CommGroup(2)
+        with pytest.raises(ValueError, match="rank"):
+            ThreadComm(group, 5)
+
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            CommGroup(0)
+
+    def test_bcast_root_bounds(self):
+        def fn(comm):
+            return comm.bcast(1, root=9)
+
+        with pytest.raises(RuntimeError, match="failed"):
+            run_spmd(2, fn)

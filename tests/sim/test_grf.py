@@ -1,0 +1,86 @@
+"""Gaussian random field synthesis: statistics and determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import power_spectrum
+from repro.sim.grf import gaussian_random_field, wavenumber_grid
+
+
+class TestWavenumberGrid:
+    def test_dc_mode_zero(self):
+        k = wavenumber_grid((8, 8, 8), box_size=1.0)
+        assert k[0, 0, 0] == 0.0
+
+    def test_fundamental_mode(self):
+        k = wavenumber_grid((8, 8, 8), box_size=2.0)
+        assert k[1, 0, 0] == pytest.approx(2 * np.pi / 2.0)
+
+    def test_symmetry(self):
+        k = wavenumber_grid((8, 8, 8))
+        assert k[1, 0, 0] == pytest.approx(k[7, 0, 0])
+
+    def test_rejects_bad_box(self):
+        with pytest.raises(ValueError, match="box_size"):
+            wavenumber_grid((4, 4, 4), box_size=0.0)
+
+
+class TestGRF:
+    def test_zero_mean(self):
+        f = gaussian_random_field((16, 16, 16), lambda k: np.ones_like(k), seed=0)
+        assert abs(f.mean()) < 1e-12
+
+    def test_target_sigma(self):
+        f = gaussian_random_field(
+            (16, 16, 16), lambda k: np.ones_like(k), seed=0, target_sigma=2.5
+        )
+        assert f.std() == pytest.approx(2.5)
+
+    def test_deterministic(self):
+        f1 = gaussian_random_field((8, 8, 8), lambda k: np.ones_like(k), seed=42)
+        f2 = gaussian_random_field((8, 8, 8), lambda k: np.ones_like(k), seed=42)
+        assert np.array_equal(f1, f2)
+
+    def test_different_seeds_differ(self):
+        f1 = gaussian_random_field((8, 8, 8), lambda k: np.ones_like(k), seed=1)
+        f2 = gaussian_random_field((8, 8, 8), lambda k: np.ones_like(k), seed=2)
+        assert not np.allclose(f1, f2)
+
+    def test_phases_fixed_amplitude_scales(self):
+        """Same seed, scaled spectrum: identical field up to amplitude."""
+        pk1 = lambda k: np.ones_like(k)  # noqa: E731
+        pk4 = lambda k: 4.0 * np.ones_like(k)  # noqa: E731
+        f1 = gaussian_random_field((8, 8, 8), pk1, seed=9)
+        f2 = gaussian_random_field((8, 8, 8), pk4, seed=9)
+        assert np.allclose(f2, 2.0 * f1)
+
+    def test_spectrum_shape_recovered(self):
+        """A red spectrum should put most power at small k."""
+        steep = lambda k: np.where(k > 0, np.maximum(k, 1e-9) ** -2.0, 0.0)  # noqa: E731
+        f = gaussian_random_field((32, 32, 32), steep, seed=3, target_sigma=1.0)
+        ps = power_spectrum(f)
+        assert ps.power[0] > 10 * ps.power[8]
+
+    def test_white_spectrum_is_flat(self):
+        f = gaussian_random_field(
+            (32, 32, 32), lambda k: np.ones_like(k), seed=4, target_sigma=1.0
+        )
+        ps = power_spectrum(f)
+        # All bins should agree within mode-count noise.
+        assert ps.power.max() / ps.power.min() < 2.0
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            gaussian_random_field((8, 8, 8), lambda k: -np.ones_like(k), seed=0)
+
+    def test_rejects_2d_shape(self):
+        with pytest.raises(ValueError, match="3-D"):
+            gaussian_random_field((8, 8), lambda k: np.ones_like(k), seed=0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError, match="target_sigma"):
+            gaussian_random_field(
+                (8, 8, 8), lambda k: np.ones_like(k), seed=0, target_sigma=-1.0
+            )

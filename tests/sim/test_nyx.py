@@ -1,0 +1,105 @@
+"""Nyx-like snapshot generator: Table 2 properties and redshift evolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.nyx import FIELD_NAMES, FIELD_RANGES, NyxSimulator
+
+
+class TestSnapshotStructure:
+    def test_all_six_fields(self, snapshot):
+        assert sorted(snapshot.fields) == sorted(FIELD_NAMES)
+
+    def test_fields_are_float32(self, snapshot):
+        for name in FIELD_NAMES:
+            assert snapshot[name].dtype == np.float32
+
+    def test_shape_consistent(self, snapshot):
+        shapes = {snapshot[name].shape for name in FIELD_NAMES}
+        assert shapes == {(32, 32, 32)}
+
+    def test_unknown_field_raises(self, snapshot):
+        with pytest.raises(KeyError, match="unknown field"):
+            snapshot["entropy"]
+
+    def test_value_ranges_within_table2(self, snapshot):
+        for name in FIELD_NAMES:
+            lo, hi = FIELD_RANGES[name]
+            arr = snapshot[name]
+            assert arr.min() >= lo, name
+            assert arr.max() <= hi, name
+
+    def test_densities_positive(self, snapshot):
+        assert (snapshot["baryon_density"] > 0).all()
+        assert (snapshot["dark_matter_density"] > 0).all()
+
+
+class TestNormalization:
+    def test_density_mean_fixed_to_one(self, simulator):
+        """§4.3: density means are fixed by the simulation (no allreduce needed)."""
+        for z in (0.0, 2.0):
+            snap = simulator.snapshot(z=z)
+            assert snap["baryon_density"].mean() == pytest.approx(1.0, rel=1e-3)
+            assert snap["dark_matter_density"].mean() == pytest.approx(1.0, rel=1e-3)
+
+    def test_temperature_positive_and_plausible(self, snapshot):
+        t = snapshot["temperature"]
+        assert t.min() >= 1e2
+        assert 1e2 < np.median(t) < 1e6
+
+
+class TestRedshiftEvolution:
+    def test_contrast_grows_as_z_drops(self, simulator):
+        early = simulator.snapshot(z=4.0)
+        late = simulator.snapshot(z=0.0)
+        assert late["baryon_density"].max() > early["baryon_density"].max()
+        assert late["baryon_density"].std() > early["baryon_density"].std()
+
+    def test_phases_fixed_structures_coherent(self, simulator):
+        """Figure 1 behaviour: the same structures evolve through snapshots."""
+        a = np.log(simulator.snapshot(z=2.0)["baryon_density"].astype(np.float64))
+        b = np.log(simulator.snapshot(z=1.0)["baryon_density"].astype(np.float64))
+        corr = np.corrcoef(a.ravel(), b.ravel())[0, 1]
+        assert corr > 0.99
+
+    def test_metadata_records_growth(self, simulator):
+        snap = simulator.snapshot(z=1.0)
+        assert 0 < snap.meta["growth_factor"] < 1
+        assert snap.redshift == 1.0
+
+
+class TestDeterminismAndValidation:
+    def test_same_seed_same_snapshot(self):
+        s1 = NyxSimulator(shape=(16, 16, 16), seed=5).snapshot(z=1.0)
+        s2 = NyxSimulator(shape=(16, 16, 16), seed=5).snapshot(z=1.0)
+        for name in FIELD_NAMES:
+            assert np.array_equal(s1[name], s2[name])
+
+    def test_different_seed_differs(self):
+        s1 = NyxSimulator(shape=(16, 16, 16), seed=5).snapshot(z=1.0)
+        s2 = NyxSimulator(shape=(16, 16, 16), seed=6).snapshot(z=1.0)
+        assert not np.allclose(s1["baryon_density"], s2["baryon_density"])
+
+    def test_rejects_tiny_shape(self):
+        with pytest.raises(ValueError, match="dims >= 4"):
+            NyxSimulator(shape=(2, 2, 2))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError, match="gamma"):
+            NyxSimulator(shape=(8, 8, 8), gamma=1.0)
+
+    def test_rejects_negative_redshift(self, simulator):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulator.snapshot(z=-1.0)
+
+    def test_velocity_roughly_isotropic(self, snapshot):
+        stds = [snapshot[f"velocity_{a}"].std() for a in "xyz"]
+        assert max(stds) / min(stds) < 3.0
+
+    def test_partition_heterogeneity_exists(self, snapshot, decomposition):
+        """The premise of the paper: partition means span a wide range."""
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        means = np.array([v.mean() for v in views])
+        assert means.max() / means.min() > 2.0

@@ -1,0 +1,48 @@
+"""Particle sampling from density fields."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.particles import sample_particles
+
+
+class TestSampling:
+    def test_count_and_bounds(self):
+        rho = np.ones((8, 8, 8))
+        pos = sample_particles(rho, 5000, box_size=2.0, seed=0)
+        assert pos.shape == (5000, 3)
+        assert (pos >= 0).all() and (pos < 2.0).all()
+
+    def test_density_proportionality(self):
+        rho = np.ones((4, 4, 4))
+        rho[0, 0, 0] = 100.0
+        pos = sample_particles(rho, 20000, box_size=4.0, seed=1)
+        # The hot cell is [0,1)^3 in box units; expect ~100/163 of particles.
+        in_cell = ((pos < 1.0).all(axis=1)).mean()
+        assert in_cell == pytest.approx(100.0 / 163.0, abs=0.03)
+
+    def test_zero_density_cells_empty(self):
+        rho = np.zeros((4, 4, 4))
+        rho[3, 3, 3] = 1.0
+        pos = sample_particles(rho, 1000, box_size=4.0, seed=2)
+        assert (pos >= 3.0).all()
+
+    def test_deterministic(self):
+        rho = np.random.default_rng(0).random((6, 6, 6))
+        a = sample_particles(rho, 100, seed=9)
+        b = sample_particles(rho, 100, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_particles(-np.ones((4, 4, 4)), 10)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError, match="zero"):
+            sample_particles(np.zeros((4, 4, 4)), 10)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError, match="n_particles"):
+            sample_particles(np.ones((4, 4, 4)), 0)

@@ -1,0 +1,99 @@
+"""Command-line interface round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import load_blocks, main, save_blocks
+from repro.compression.sz import SZCompressor, decompress
+
+
+class TestBlockContainer:
+    def test_round_trip(self, snapshot, tmp_path):
+        comp = SZCompressor()
+        data = snapshot["temperature"]
+        blocks = [comp.compress(data[:16], 10.0), comp.compress(data[16:], 20.0)]
+        path = tmp_path / "blocks.npz"
+        save_blocks(str(path), blocks, np.array([10.0, 20.0]), blocks_per_axis=2)
+        loaded, ebs, bpa = load_blocks(str(path))
+        assert bpa == 2
+        assert np.array_equal(ebs, [10.0, 20.0])
+        for orig, back in zip(blocks, loaded):
+            assert back.shape == orig.shape
+            assert back.eb == orig.eb
+            assert np.array_equal(decompress(back), decompress(orig))
+
+
+class TestCommands:
+    @pytest.fixture()
+    def snap_path(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        rc = main(["generate", "--shape", "16", "--redshift", "1.0", "--out", str(path)])
+        assert rc == 0
+        return path
+
+    def test_generate(self, snap_path):
+        from repro.sim.io import load_snapshot
+
+        snap = load_snapshot(snap_path)
+        assert snap.shape == (16, 16, 16)
+        assert snap.redshift == 1.0
+
+    def test_compress_and_analyze(self, snap_path, tmp_path, capsys):
+        out = tmp_path / "blocks.npz"
+        rc = main(
+            [
+                "compress",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        rc = main(
+            [
+                "analyze",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--compressed",
+                str(out),
+                "--tolerance",
+                "0.5",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert "PSNR" in captured
+        assert rc == 0
+
+    def test_sweep(self, snap_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--ebs",
+                "50,500",
+                "--tolerance",
+                "0.5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "temperature" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,125 @@
+"""Cross-module integration: the full paper workflow on a small grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AdaptiveCompressionPipeline,
+    BlockDecomposition,
+    HaloQualitySpec,
+    NyxSimulator,
+    StaticBaseline,
+    calibrate_rate_model,
+)
+from repro.analysis import (
+    check_spectrum_quality,
+    compare_catalogs,
+    find_halos,
+    power_spectrum,
+)
+from repro.models import spectrum_ratio_tolerance_to_eb, sub_threshold_power_estimate
+
+
+@pytest.fixture(scope="module")
+def setup():
+    sim = NyxSimulator(shape=(48, 48, 48), box_size=48.0, seed=77, sigma_delta0=2.5)
+    snap = sim.snapshot(z=1.0)
+    dec = BlockDecomposition(snap.shape, blocks=3)
+    return sim, snap, dec
+
+
+class TestFullWorkflow:
+    def test_model_driven_budget_passes_quality(self, setup):
+        """Derive eb from the model, compress adaptively, verify with the
+        real analysis — the end-to-end promise of the paper."""
+        _, snap, dec = setup
+        data = snap["temperature"].astype(np.float64)
+        ps = power_spectrum(data)
+        eb = spectrum_ratio_tolerance_to_eb(
+            ps,
+            data.size,
+            tolerance=0.01,
+            k_max=10,
+            sub_power_fn=lambda e: sub_threshold_power_estimate(data, e, stride=2),
+            correlated_fraction=0.5,
+        )
+        cal = calibrate_rate_model(dec.partition_views(snap["temperature"]), eb_scale=eb, seed=0)
+        pipe = AdaptiveCompressionPipeline(cal.rate_model)
+        res = pipe.run(snap["temperature"], dec, eb_avg=eb)
+        recon = res.reconstruct(dec)
+        ok, dev = check_spectrum_quality(data, recon, tolerance=0.012)
+        assert ok, f"spectrum deviation {dev} exceeded tolerance"
+
+    def test_adaptive_at_least_matches_static_at_equal_budget(self, setup):
+        _, snap, dec = setup
+        data = snap["baryon_density"]
+        cal = calibrate_rate_model(dec.partition_views(data), eb_scale=0.3, seed=0)
+        pipe = AdaptiveCompressionPipeline(cal.rate_model)
+        adaptive = pipe.run(data, dec, eb_avg=0.3)
+        static = StaticBaseline().run(data, dec, 0.3)
+        assert adaptive.overall_ratio >= static.overall_ratio * 0.97
+
+    def test_halo_constrained_run_preserves_halos(self, setup):
+        _, snap, dec = setup
+        data = snap["baryon_density"].astype(np.float64)
+        tb = float(np.percentile(data, 99.7))
+        cat0 = find_halos(data, tb)
+        budget = 0.01 * float(cat0.masses.sum())
+        halo = HaloQualitySpec(t_boundary=tb, mass_budget=budget, reference_eb=0.5)
+        cal = calibrate_rate_model(dec.partition_views(snap["baryon_density"]), eb_scale=0.3, seed=0)
+        pipe = AdaptiveCompressionPipeline(cal.rate_model)
+        res = pipe.run(snap["baryon_density"], dec, eb_avg=0.3, halo=halo)
+        recon = res.reconstruct(dec)
+        cat1 = find_halos(recon, tb)
+        cmp = compare_catalogs(cat0, cat1)
+        big = tb * 20
+        assert cmp.n_matched > 0
+        rmse_big = cmp.mass_rmse_above(big)
+        assert not np.isfinite(rmse_big) or rmse_big < 0.05
+
+    def test_multi_snapshot_static_config_degrades(self, setup):
+        """Fig. 16's premise: bounds optimized early lose ratio later."""
+        sim, _, dec = setup
+        early = sim.snapshot(z=3.0)
+        late = sim.snapshot(z=0.2)
+        cal = calibrate_rate_model(
+            dec.partition_views(late["baryon_density"]), eb_scale=0.3, seed=0
+        )
+        pipe = AdaptiveCompressionPipeline(cal.rate_model)
+
+        from repro.core.optimizer import optimize_for_spectrum
+        from repro.core.features import extract_features
+
+        early_feats = [
+            extract_features(v, rank=i)
+            for i, v in enumerate(dec.partition_views(early["baryon_density"]))
+        ]
+        stale_ebs = optimize_for_spectrum(early_feats, cal.rate_model, 0.3).ebs
+
+        fresh = pipe.run(late["baryon_density"], dec, eb_avg=0.3)
+        # Compress the late snapshot with the stale bounds.
+        comp = pipe.compressor
+        stale_blocks = [
+            comp.compress(v, float(eb))
+            for v, eb in zip(dec.partition_views(late["baryon_density"]), stale_ebs)
+        ]
+        stale_bytes = sum(b.nbytes for b in stale_blocks)
+        fresh_bytes = sum(b.nbytes for b in fresh.blocks)
+        # Fresh per-snapshot optimization should not be worse (allow noise).
+        assert fresh_bytes <= stale_bytes * 1.05
+
+    def test_snapshot_io_pipeline_round_trip(self, setup, tmp_path):
+        from repro.sim.io import load_snapshot, save_snapshot
+
+        _, snap, dec = setup
+        path = tmp_path / "snap.npz"
+        save_snapshot(snap, path)
+        loaded = load_snapshot(path)
+        cal = calibrate_rate_model(
+            dec.partition_views(loaded["temperature"]), eb_scale=100.0, seed=0
+        )
+        pipe = AdaptiveCompressionPipeline(cal.rate_model)
+        res = pipe.run(loaded["temperature"], dec, eb_avg=100.0)
+        assert res.overall_ratio > 1.0

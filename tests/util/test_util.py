@@ -1,0 +1,142 @@
+"""Utility helpers: RNG, timers, tables, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import default_rng, spawn_rngs
+from repro.util.tables import format_table
+from repro.util.timer import Timer, TimingBreakdown
+from repro.util.validation import (
+    check_3d,
+    check_finite,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert default_rng(3).random() == default_rng(3).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert default_rng(g) is g
+
+    def test_spawn_independent_streams(self):
+        rngs = spawn_rngs(7, 4)
+        draws = [r.random() for r in rngs]
+        assert len(set(draws)) == 4
+
+    def test_spawn_deterministic(self):
+        a = [r.random() for r in spawn_rngs(7, 3)]
+        b = [r.random() for r in spawn_rngs(7, 3)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+
+class TestTimers:
+    def test_timer_measures(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_breakdown_accumulates(self):
+        tb = TimingBreakdown()
+        with tb.phase("a"):
+            pass
+        with tb.phase("a"):
+            pass
+        assert tb.counts["a"] == 2
+        assert tb.totals["a"] >= 0
+
+    def test_breakdown_add_and_fraction(self):
+        tb = TimingBreakdown()
+        tb.add("x", 3.0)
+        tb.add("y", 1.0)
+        assert tb.fraction("x") == pytest.approx(0.75)
+        assert tb.total == pytest.approx(4.0)
+
+    def test_overhead_ratio(self):
+        tb = TimingBreakdown()
+        tb.add("features", 0.01)
+        tb.add("compress", 1.0)
+        assert tb.overhead_ratio("features", "compress") == pytest.approx(0.01)
+
+    def test_overhead_ratio_requires_base(self):
+        tb = TimingBreakdown()
+        with pytest.raises(ValueError, match="no time recorded"):
+            tb.overhead_ratio("a", "b")
+
+    def test_add_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            TimingBreakdown().add("a", -1.0)
+
+    def test_merge(self):
+        a, b = TimingBreakdown(), TimingBreakdown()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 1.0)
+        a.merge(b)
+        assert a.totals["x"] == pytest.approx(3.0)
+        assert a.totals["y"] == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_basic_render(self):
+        out = format_table(["a", "b"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_format(self):
+        out = format_table(["v"], [[3.14159]], float_fmt=".2f")
+        assert "3.14" in out
+
+
+class TestValidation:
+    def test_check_3d_accepts(self):
+        out = check_3d(np.zeros((2, 3, 4), dtype=np.float32))
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_check_3d_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            check_3d(np.zeros((2, 3)))
+
+    def test_check_3d_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            check_3d(np.zeros((0, 3, 3)))
+
+    def test_check_finite(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(np.array([1.0, np.inf]))
+
+    def test_check_positive(self):
+        assert check_positive(2, "x") == 2.0
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0, "x")
+        with pytest.raises(ValueError, match="x"):
+            check_positive(float("nan"), "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError, match="p"):
+            check_probability(1.5, "p")
