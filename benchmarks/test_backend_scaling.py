@@ -1,0 +1,78 @@
+"""Execution-backend throughput: serial vs thread-SPMD vs process pool.
+
+Context for §4.3 and the cuSZ-style scaling studies: the paper's in situ
+deployment runs one rank per partition; here we sweep the same snapshot
+over backends × rank counts and record end-to-end adaptive-compression
+throughput (features + optimize + compress, as the deployment pays it).
+On a single-core container the parallel backends cannot beat the serial
+loop — what this bench establishes is the *accounting*: identical
+payloads, per-phase timings on every path, and the scatter/dispatch
+overhead each backend adds at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.pipeline import AdaptiveCompressionPipeline
+from repro.models.rate_model import RateModel
+from repro.parallel.backends import ProcessBackend, SerialBackend, ThreadBackend
+from repro.parallel.decomposition import BlockDecomposition
+from repro.util.tables import format_table
+
+#: Ranks per axis to sweep — 8 and 64 total ranks at the session scale.
+BLOCK_SWEEP = (2, 4)
+
+
+def test_backend_scaling(snapshot, benchmark):
+    data = snapshot["temperature"]
+    eb_avg = float(np.ptp(data.astype(np.float64))) * 3e-3
+    model = RateModel(exponent=-0.8, coef_alpha=0.0, coef_beta=0.3)
+    nbytes = data.nbytes
+
+    backends = [SerialBackend(), ThreadBackend(), ProcessBackend(max_workers=2)]
+
+    def run():
+        rows = []
+        reference: dict[int, np.ndarray] = {}
+        try:
+            for blocks in BLOCK_SWEEP:
+                dec = BlockDecomposition(data.shape, blocks=blocks)
+                for backend in backends:
+                    pipe = AdaptiveCompressionPipeline(model, backend=backend)
+                    start = time.perf_counter()
+                    res = pipe.run_insitu_spmd(data, dec, eb_avg=eb_avg)
+                    wall = time.perf_counter() - start
+                    ref = reference.setdefault(blocks, res.ebs)
+                    assert np.array_equal(ref, res.ebs), "backends disagree"
+                    rows.append(
+                        [
+                            backend.name,
+                            dec.n_partitions,
+                            nbytes / wall / 1e6,
+                            res.timings.overhead_ratio("features", "compress"),
+                            res.overall_ratio,
+                        ]
+                    )
+        finally:
+            for backend in backends:
+                backend.close()
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["backend", "ranks", "MB/s", "feature overhead", "ratio"],
+            rows,
+            title="Backend scaling (single-field adaptive compression, end to end)",
+        )
+    )
+    covered = {(r[0], r[1]) for r in rows}
+    for name in ("serial", "thread", "process"):
+        rank_counts = {ranks for b, ranks in covered if b == name}
+        assert len(rank_counts) >= 2, f"{name} must be swept at >= 2 rank counts"
+    for row in rows:
+        assert row[2] > 0.1, "every backend must sustain usable throughput"

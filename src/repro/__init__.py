@@ -47,7 +47,16 @@ from repro.core import (
     TrialAndErrorSearch,
 )
 from repro.models import RateModel, calibrate_rate_model
-from repro.parallel import BlockDecomposition, run_spmd
+from repro.parallel import (
+    BlockDecomposition,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    register_backend,
+    run_spmd,
+)
 from repro.sim import NyxSimulator, NyxSnapshot
 
 __version__ = "1.0.0"
@@ -69,6 +78,12 @@ __all__ = [
     "RateModel",
     "calibrate_rate_model",
     "BlockDecomposition",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "register_backend",
     "run_spmd",
     "NyxSimulator",
     "NyxSnapshot",

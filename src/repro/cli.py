@@ -25,6 +25,7 @@ import numpy as np
 from repro.compression.sz import CompressedBlock, SZCompressor, decompress
 from repro.core.pipeline import AdaptiveCompressionPipeline
 from repro.models.calibration import calibrate_rate_model
+from repro.parallel.backends import BACKENDS, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.io import load_snapshot, save_snapshot
 from repro.sim.nyx import NyxSimulator
@@ -109,14 +110,24 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     if eb_avg is None:
         eb_avg = float(np.ptp(data.astype(np.float64))) * 3e-3
     cal = calibrate_rate_model(dec.partition_views(data), eb_scale=eb_avg, seed=0)
-    pipe = AdaptiveCompressionPipeline(cal.rate_model, compressor=SZCompressor(codec=args.codec))
-    result = pipe.run(data, dec, eb_avg=eb_avg)
+    backend = get_backend(args.backend)
+    pipe = AdaptiveCompressionPipeline(
+        cal.rate_model, compressor=SZCompressor(codec=args.codec), backend=backend
+    )
+    try:
+        result = pipe.run_insitu_spmd(data, dec, eb_avg=eb_avg)
+    finally:
+        backend.close()
     save_blocks(args.out, result.blocks, result.ebs, args.blocks)
+    phases = " ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in result.timings.as_dict().items()
+    )
     print(
         f"wrote {args.out}: {dec.n_partitions} partitions, "
         f"ratio {result.overall_ratio:.2f}x, bit rate {result.overall_bit_rate:.3f}, "
         f"bounds {result.ebs.min():.4g}..{result.ebs.max():.4g}"
     )
+    print(f"backend {backend.name}: {phases}")
     return 0
 
 
@@ -178,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--blocks", type=int, default=4)
     c.add_argument("--eb-avg", type=float, default=None)
     c.add_argument("--codec", default="zlib", choices=["zlib", "huffman", "raw"])
+    c.add_argument(
+        "--backend",
+        default="serial",
+        choices=sorted(BACKENDS),
+        help="execution backend (serial rank loop, thread-SPMD, process pool)",
+    )
     c.add_argument("--out", required=True)
     c.set_defaults(fn=_cmd_compress)
 

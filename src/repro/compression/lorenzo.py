@@ -39,7 +39,7 @@ def lorenzo_transform(data: np.ndarray) -> np.ndarray:
         raise ValueError(f"lorenzo_transform supports 1-3 dimensions, got {arr.ndim}")
     out = arr
     for axis in range(arr.ndim):
-        out = np.diff(out, axis=axis, prepend=np.zeros_like(_boundary_slice(out, axis)))
+        out = np.diff(out, axis=axis, prepend=_zero_slab(out, axis))
     return out
 
 
@@ -54,11 +54,11 @@ def lorenzo_inverse(residuals: np.ndarray) -> np.ndarray:
     return out
 
 
-def _boundary_slice(arr: np.ndarray, axis: int) -> np.ndarray:
-    """A zero-width-1 slab along ``axis`` for ``np.diff(prepend=...)``."""
+def _zero_slab(arr: np.ndarray, axis: int) -> np.ndarray:
+    """A zeroed width-1 slab along ``axis`` for ``np.diff(prepend=...)``."""
     shape = list(arr.shape)
     shape[axis] = 1
-    return np.empty(shape, dtype=arr.dtype)
+    return np.zeros(shape, dtype=arr.dtype)
 
 
 def classic_sz_quantize(

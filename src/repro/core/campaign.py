@@ -30,8 +30,10 @@ from repro.models.fft_error import (
 )
 from repro.analysis.halos import find_halos
 from repro.analysis.spectrum import power_spectrum
+from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSnapshot
+from repro.util.timer import TimingBreakdown
 
 __all__ = ["FieldSpec", "FieldOutcome", "CampaignReport", "CompressionCampaign"]
 
@@ -139,6 +141,18 @@ class CampaignReport:
             for o in self.outcomes
         ]
 
+    @property
+    def timings(self) -> TimingBreakdown:
+        """Per-phase timings merged across every compressed field.
+
+        The campaign-level §4.3 overhead view: e.g.
+        ``report.timings.overhead_ratio("features", "compress")``.
+        """
+        merged = TimingBreakdown()
+        for o in self.outcomes:
+            merged.merge(o.result.timings)
+        return merged
+
 
 class CompressionCampaign:
     """Adaptive compression of whole snapshots across a dump schedule.
@@ -154,6 +168,12 @@ class CompressionCampaign:
         Error-bounded compressor shared across fields.
     settings:
         Optimizer settings.
+    backend:
+        Execution backend (registry name or instance) used to compress
+        every field; default is the serial rank loop.  A
+        :class:`~repro.parallel.backends.ProcessBackend` keeps its
+        worker pool alive across fields and snapshots — call
+        :meth:`close` when done.
 
     Examples
     --------
@@ -174,13 +194,25 @@ class CompressionCampaign:
         field_specs: dict[str, FieldSpec] | None = None,
         compressor: SZCompressor | None = None,
         settings: OptimizerSettings | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> None:
         self.decomposition = decomposition
         self.field_specs = dict(field_specs or {})
         self.compressor = compressor or SZCompressor()
         self.settings = settings or OptimizerSettings()
+        self.backend = SerialBackend() if backend is None else get_backend(backend)
         self.calibrations: dict[str, CalibrationResult] = {}
         self.report = CampaignReport()
+
+    def close(self) -> None:
+        """Release backend resources (e.g. a process worker pool)."""
+        self.backend.close()
+
+    def __enter__(self) -> "CompressionCampaign":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def spec_for(self, name: str) -> FieldSpec:
         return self.field_specs.get(name, FieldSpec())
@@ -215,8 +247,11 @@ class CompressionCampaign:
                 self.calibrations[name].rate_model,
                 compressor=self.compressor,
                 settings=self.settings,
+                backend=self.backend,
             )
-            result = pipe.run(data, self.decomposition, eb_avg=eb_avg, halo=halo)
+            result = pipe.run_insitu_spmd(
+                data, self.decomposition, eb_avg=eb_avg, halo=halo
+            )
             self.report.outcomes.append(
                 FieldOutcome(
                     field=name,

@@ -33,7 +33,50 @@ __all__ = [
     "optimize_for_spectrum",
     "optimize_for_halo",
     "optimize_combined",
+    "rank_order_mean",
+    "local_protocol_bound",
 ]
+
+
+def rank_order_mean(values: Sequence[float]) -> float:
+    """Mean via a left-fold sum in rank order.
+
+    This is bit-identical to the SPMD protocol's
+    ``allreduce("sum") / size`` (which folds the per-rank scalars
+    left-to-right), unlike ``np.mean``'s pairwise summation.  Using it on
+    both the serial and distributed paths keeps the local-normalization
+    protocol deterministic across execution backends.
+    """
+    if len(values) == 0:
+        raise ValueError("need at least one value")
+    acc = float(values[0])
+    for v in values[1:]:
+        acc = acc + float(v)
+    return acc / len(values)
+
+
+def local_protocol_bound(
+    mean_abs: float,
+    global_mean: float,
+    rate_model: RateModel,
+    eb_avg: float,
+    settings: OptimizerSettings,
+) -> float:
+    """One rank's bound under the paper's local protocol (Eq. 16 + clamp).
+
+    Every rank evaluates the closed form against the coefficient of the
+    *global mean* feature (obtained from a single allreduce); no
+    renormalization happens, so the average-bound constraint holds only
+    approximately.  The scalar arithmetic here is elementwise-identical
+    to the vectorized local branch of :func:`optimize_for_spectrum`.
+    """
+    c_m = float(rate_model.predict_coefficient(mean_abs))
+    c_a = float(rate_model.predict_coefficient(global_mean))
+    c = rate_model.exponent
+    eb = eb_avg * (c_m / c_a) ** (1.0 / (1.0 - c))
+    return float(
+        np.clip(eb, eb_avg / settings.clamp_factor, eb_avg * settings.clamp_factor)
+    )
 
 
 @dataclass
@@ -82,7 +125,7 @@ def optimize_for_spectrum(
     c = rate_model.exponent
 
     if settings.normalization == "local":
-        global_mean = float(np.mean([f.mean_abs for f in features]))
+        global_mean = rank_order_mean([f.mean_abs for f in features])
         c_a = float(rate_model.predict_coefficient(global_mean))
         ebs = eb_avg * (coeffs / c_a) ** (1.0 / (1.0 - c))
         ebs = np.clip(ebs, eb_avg / settings.clamp_factor, eb_avg * settings.clamp_factor)

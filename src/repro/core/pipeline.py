@@ -9,10 +9,14 @@ Per snapshot and field, the protocol each rank follows is:
 3. evaluate the closed-form optimizer for its own bound,
 4. compress its partition with that bound.
 
-The same pipeline runs in three modes: a serial rank loop (default), a
-thread-SPMD execution with real collectives (:func:`run_insitu_spmd`),
-or against a caller-provided communicator.  Timings are broken down per
-phase so the §4.3 overhead claims can be measured rather than assumed.
+*How* the ranks execute is delegated to a pluggable
+:class:`~repro.parallel.backends.ExecutionBackend`: a serial rank loop,
+one thread per rank with real collectives (the default for
+:meth:`AdaptiveCompressionPipeline.run_insitu_spmd`), or a process pool
+with shared-memory partition views and batched compression.  Every
+backend performs exactly one global optimization per snapshot and merges
+per-rank timings, so the §4.3 overhead claims can be measured rather
+than assumed on any path.
 """
 
 from __future__ import annotations
@@ -24,15 +28,17 @@ import numpy as np
 from repro.compression.stats import CompressionStats
 from repro.compression.sz import CompressedBlock, SZCompressor, decompress
 from repro.core.config import HaloQualitySpec, OptimizerSettings
-from repro.core.features import PartitionFeatures, extract_features
-from repro.core.optimizer import (
-    OptimizationResult,
-    optimize_combined,
-    optimize_for_spectrum,
-)
+from repro.core.features import PartitionFeatures
+from repro.core.optimizer import OptimizationResult
 from repro.models.rate_model import RateModel
+from repro.parallel.backends import (
+    BackendOutcome,
+    ExecutionBackend,
+    SerialBackend,
+    SnapshotTask,
+    get_backend,
+)
 from repro.parallel.decomposition import BlockDecomposition
-from repro.parallel.executor import run_spmd
 from repro.util.timer import TimingBreakdown
 
 __all__ = ["AdaptiveCompressionPipeline", "SnapshotResult"]
@@ -82,6 +88,12 @@ class AdaptiveCompressionPipeline:
         Error-bounded compressor (default ``SZCompressor()``).
     settings:
         Optimizer knobs (clamping, normalization protocol).
+    backend:
+        Execution backend for :meth:`run_insitu_spmd` — a registry name
+        (``"serial"``, ``"thread"``, ``"process"``) or an
+        :class:`~repro.parallel.backends.ExecutionBackend` instance
+        (default: the thread-SPMD backend).  All backends produce
+        byte-identical payloads; they differ only in scheduling.
 
     Examples
     --------
@@ -102,10 +114,51 @@ class AdaptiveCompressionPipeline:
         rate_model: RateModel,
         compressor: SZCompressor | None = None,
         settings: OptimizerSettings | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> None:
         self.rate_model = rate_model
         self.compressor = compressor or SZCompressor()
         self.settings = settings or OptimizerSettings()
+        self.backend = get_backend(backend)
+
+    def close(self) -> None:
+        """Release the configured backend's resources (e.g. a worker pool)."""
+        self.backend.close()
+
+    def __enter__(self) -> "AdaptiveCompressionPipeline":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _task(
+        self,
+        data: np.ndarray,
+        decomposition: BlockDecomposition,
+        eb_avg: float,
+        halo: HaloQualitySpec | None,
+    ) -> SnapshotTask:
+        return SnapshotTask(
+            data=data,
+            decomposition=decomposition,
+            eb_avg=eb_avg,
+            rate_model=self.rate_model,
+            compressor=self.compressor,
+            settings=self.settings,
+            halo=halo,
+        )
+
+    @staticmethod
+    def _result(outcome: BackendOutcome) -> SnapshotResult:
+        return SnapshotResult(
+            ebs=outcome.ebs,
+            blocks=outcome.blocks,
+            features=outcome.features,
+            optimization=outcome.optimization,
+            timings=outcome.timings,
+        )
 
     # -- serial execution -------------------------------------------------
 
@@ -121,41 +174,10 @@ class AdaptiveCompressionPipeline:
         ``halo`` activates the combined §3.6 optimization (density
         fields); otherwise the spectrum constraint alone applies.
         """
-        timings = TimingBreakdown()
-        views = decomposition.partition_views(data)
+        task = self._task(data, decomposition, eb_avg, halo)
+        return self._result(SerialBackend().run_snapshot(task))
 
-        features: list[PartitionFeatures] = []
-        with timings.phase("features"):
-            for rank, view in enumerate(views):
-                features.append(
-                    extract_features(
-                        view,
-                        rank=rank,
-                        t_boundary=halo.t_boundary if halo else None,
-                        reference_eb=halo.reference_eb if halo else 1.0,
-                    )
-                )
-
-        with timings.phase("optimize"):
-            if halo is not None:
-                opt = optimize_combined(
-                    features, self.rate_model, eb_avg, halo, self.settings
-                )
-            else:
-                opt = optimize_for_spectrum(
-                    features, self.rate_model, eb_avg, self.settings
-                )
-
-        blocks: list[CompressedBlock] = []
-        with timings.phase("compress"):
-            for view, eb in zip(views, opt.ebs):
-                blocks.append(self.compressor.compress(view, float(eb)))
-
-        return SnapshotResult(
-            ebs=opt.ebs, blocks=blocks, features=features, optimization=opt, timings=timings
-        )
-
-    # -- SPMD execution ----------------------------------------------------
+    # -- backend execution -------------------------------------------------
 
     def run_insitu_spmd(
         self,
@@ -163,65 +185,25 @@ class AdaptiveCompressionPipeline:
         decomposition: BlockDecomposition,
         eb_avg: float,
         halo: HaloQualitySpec | None = None,
+        backend: str | ExecutionBackend | None = None,
     ) -> SnapshotResult:
-        """Compress with one thread per rank and real collectives.
+        """Compress via the configured execution backend (default: SPMD
+        with one thread per rank and real collectives).
 
-        Produces the same bounds and payload sizes as :meth:`run`
-        (verified by an integration test); exists to exercise the actual
-        communication pattern of the in situ deployment.
+        Produces the same bounds and byte-identical payloads as
+        :meth:`run` (property-tested); exists to exercise the actual
+        execution pattern of the in situ deployment.  ``backend``
+        overrides the pipeline's configured backend for this call: a
+        backend *instance* stays caller-owned (its pooled resources are
+        reused and left open), while a registry *name* constructs a
+        one-shot backend that is closed before returning.
         """
-        n = decomposition.n_partitions
-
-        def rank_fn(comm, pipeline=self):
-            rank = comm.rank
-            view = decomposition[rank].view(data)
-            feat = extract_features(
-                view,
-                rank=rank,
-                t_boundary=halo.t_boundary if halo else None,
-                reference_eb=halo.reference_eb if halo else 1.0,
-            )
-            if pipeline.settings.normalization == "local" and halo is None:
-                # The paper's cheap protocol: one allreduce of the mean.
-                global_mean = comm.allreduce(feat.mean_abs, op="sum") / comm.size
-                c_m = float(pipeline.rate_model.predict_coefficient(feat.mean_abs))
-                c_a = float(pipeline.rate_model.predict_coefficient(global_mean))
-                c = pipeline.rate_model.exponent
-                eb = eb_avg * (c_m / c_a) ** (1.0 / (1.0 - c))
-                eb = float(
-                    np.clip(
-                        eb,
-                        eb_avg / pipeline.settings.clamp_factor,
-                        eb_avg * pipeline.settings.clamp_factor,
-                    )
-                )
-                all_feats = comm.allgather(feat)
-            else:
-                # Exact protocol: allgather scalar features, every rank
-                # solves the same deterministic optimization.
-                all_feats = comm.allgather(feat)
-                if halo is not None:
-                    opt = optimize_combined(
-                        all_feats, pipeline.rate_model, eb_avg, halo, pipeline.settings
-                    )
-                else:
-                    opt = optimize_for_spectrum(
-                        all_feats, pipeline.rate_model, eb_avg, pipeline.settings
-                    )
-                eb = float(opt.ebs[rank])
-            block = pipeline.compressor.compress(view, eb)
-            return feat, eb, block
-
-        results = run_spmd(n, rank_fn)
-        features = [r[0] for r in results]
-        ebs = np.array([r[1] for r in results])
-        blocks = [r[2] for r in results]
-        if halo is not None:
-            opt = optimize_combined(features, self.rate_model, eb_avg, halo, self.settings)
-        elif self.settings.normalization != "local":
-            opt = optimize_for_spectrum(features, self.rate_model, eb_avg, self.settings)
-        else:
-            opt = None
-        return SnapshotResult(
-            ebs=ebs, blocks=blocks, features=features, optimization=opt
-        )
+        task = self._task(data, decomposition, eb_avg, halo)
+        if backend is None or isinstance(backend, ExecutionBackend):
+            resolved = self.backend if backend is None else backend
+            return self._result(resolved.run_snapshot(task))
+        one_shot = get_backend(backend)
+        try:
+            return self._result(one_shot.run_snapshot(task))
+        finally:
+            one_shot.close()

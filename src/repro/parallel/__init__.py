@@ -1,4 +1,4 @@
-"""Simulated MPI runtime and domain decomposition.
+"""Simulated MPI runtime, domain decomposition and execution backends.
 
 Nyx partitions its grid across MPI ranks; the paper's in situ protocol
 is "every rank extracts its partition's features, one ``MPI_Allreduce``
@@ -12,13 +12,30 @@ compresses".  This package reproduces that pattern without real MPI:
 - :mod:`repro.parallel.executor` — ``run_spmd(nranks, fn)`` launching one
   thread per rank,
 - :mod:`repro.parallel.decomposition` — 3-D block decomposition mapping
-  ranks to grid partitions (views, no copies).
+  ranks to grid partitions (views, no copies),
+- :mod:`repro.parallel.backends` — the pluggable execution layer: a
+  registry of serial / thread / process backends that all run the same
+  snapshot task, with a batched compression hot path.
 """
 
 from repro.parallel.comm import Communicator, SerialComm
 from repro.parallel.simcomm import ThreadComm
 from repro.parallel.executor import run_spmd
 from repro.parallel.decomposition import BlockDecomposition, Partition
+
+# Imported last: backends pulls in repro.core feature/optimizer modules,
+# which themselves import the siblings above.
+from repro.parallel.backends import (
+    BACKENDS,
+    BackendOutcome,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SnapshotTask,
+    ThreadBackend,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
     "Communicator",
@@ -27,4 +44,13 @@ __all__ = [
     "run_spmd",
     "BlockDecomposition",
     "Partition",
+    "BACKENDS",
+    "BackendOutcome",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "SnapshotTask",
+    "ThreadBackend",
+    "get_backend",
+    "register_backend",
 ]

@@ -1,0 +1,587 @@
+"""Pluggable execution backends for the in situ pipeline.
+
+The adaptive-configuration protocol (extract features -> one collective
+-> closed-form optimization -> compress) is independent of *how* the
+ranks execute.  This module turns that observation into an
+:class:`ExecutionBackend` registry:
+
+- :class:`SerialBackend` — the reference rank loop in one thread,
+- :class:`ThreadBackend` — one thread per rank with real barrier
+  collectives (:func:`repro.parallel.executor.run_spmd`); the protocol
+  simulator and the default for ``run_insitu_spmd``,
+- :class:`ProcessBackend` — a ``ProcessPoolExecutor`` fan-out with the
+  snapshot staged once in POSIX shared memory; workers attach views and
+  compress *batches* of partitions per task, escaping the GIL entirely.
+
+All backends produce byte-identical compressed payloads and identical
+bounds for the same :class:`SnapshotTask` (property-tested); they differ
+only in scheduling.  Per-phase :class:`TimingBreakdown`\\ s are merged
+across ranks/workers, so the §4.3 overhead accounting works on every
+path.  Per-rank busy time is *summed* — totals are aggregate seconds of
+work, the right denominator for overhead ratios, not wall-clock.
+
+Select a backend by name (``"serial"``/``"thread"``/``"process"``),
+instance, or via ``AdaptiveCompressionPipeline(backend=...)``,
+``CompressionCampaign(backend=...)``, or the CLI's ``--backend`` flag.
+Third-party backends can be added with :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import pickle
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.compression.sz import CompressedBlock, SZCompressor
+from repro.core.config import HaloQualitySpec, OptimizerSettings
+from repro.core.features import PartitionFeatures, extract_features
+from repro.core.optimizer import (
+    OptimizationResult,
+    local_protocol_bound,
+    optimize_combined,
+    optimize_for_spectrum,
+)
+from repro.models.rate_model import RateModel
+from repro.parallel.decomposition import BlockDecomposition
+from repro.parallel.executor import run_spmd
+from repro.util.timer import TimingBreakdown
+
+__all__ = [
+    "SnapshotTask",
+    "BackendOutcome",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class SnapshotTask:
+    """One field of one snapshot plus everything needed to compress it."""
+
+    data: np.ndarray
+    decomposition: BlockDecomposition
+    eb_avg: float
+    rate_model: RateModel
+    compressor: SZCompressor
+    settings: OptimizerSettings
+    halo: HaloQualitySpec | None = None
+
+    def __post_init__(self) -> None:
+        if tuple(self.data.shape) != self.decomposition.shape:
+            raise ValueError(
+                f"data shape {self.data.shape} does not match "
+                f"decomposition {self.decomposition.shape}"
+            )
+        if self.eb_avg <= 0:
+            raise ValueError(f"eb_avg must be positive, got {self.eb_avg}")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.decomposition.n_partitions
+
+    def extract(self, rank: int) -> PartitionFeatures:
+        """Extract rank's in situ features (halo feature if configured)."""
+        view = self.decomposition[rank].view(self.data)
+        return extract_features(
+            view,
+            rank=rank,
+            t_boundary=self.halo.t_boundary if self.halo else None,
+            reference_eb=self.halo.reference_eb if self.halo else 1.0,
+        )
+
+    def optimize(self, features: list[PartitionFeatures]) -> OptimizationResult:
+        """The one global optimization over all ranks' features."""
+        if self.halo is not None:
+            return optimize_combined(
+                features, self.rate_model, self.eb_avg, self.halo, self.settings
+            )
+        return optimize_for_spectrum(
+            features, self.rate_model, self.eb_avg, self.settings
+        )
+
+    def uses_local_protocol(self) -> bool:
+        """True when ranks solve their own bound from one allreduce."""
+        return self.settings.normalization == "local" and self.halo is None
+
+
+@dataclass
+class BackendOutcome:
+    """What every backend returns for one snapshot-field task."""
+
+    features: list[PartitionFeatures]
+    ebs: np.ndarray
+    blocks: list[CompressedBlock]
+    optimization: OptimizationResult | None
+    timings: TimingBreakdown
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: execute one :class:`SnapshotTask`."""
+
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
+        """Extract, optimize and compress every partition of ``task``."""
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent; default no-op)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def _local_protocol_summary(
+    task: SnapshotTask, features: list[PartitionFeatures], ebs: np.ndarray
+) -> OptimizationResult:
+    """Diagnostics object for bounds the ranks solved distributively.
+
+    Plain arithmetic over already-computed bounds — deliberately *not* an
+    optimizer invocation, so the one-optimization-per-snapshot invariant
+    stays countable.
+    """
+    means = np.array([f.mean_abs for f in features], dtype=np.float64)
+    return OptimizationResult(
+        ebs=ebs,
+        eb_avg_target=task.eb_avg,
+        constraint="spectrum",
+        predicted_bitrates=task.rate_model.predict_bitrate(means, ebs),
+    )
+
+
+class SerialBackend(ExecutionBackend):
+    """Reference implementation: a rank loop in the calling thread.
+
+    Feature extraction and the optimization run exactly as the SPMD
+    protocol prescribes; compression goes through the batched
+    :meth:`~repro.compression.sz.SZCompressor.compress_many` hot path
+    with the whole snapshot as one batch.
+    """
+
+    name = "serial"
+
+    def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
+        timings = TimingBreakdown()
+        with timings.phase("features"):
+            features = [task.extract(rank) for rank in range(task.n_ranks)]
+        with timings.phase("optimize"):
+            opt = task.optimize(features)
+        views = task.decomposition.partition_views(task.data)
+        with timings.phase("compress"):
+            blocks = task.compressor.compress_many(views, opt.ebs)
+        return BackendOutcome(
+            features=features, ebs=opt.ebs, blocks=blocks, optimization=opt,
+            timings=timings,
+        )
+
+
+class ThreadBackend(ExecutionBackend):
+    """One thread per rank with real collectives — the in situ simulator.
+
+    Mirrors the deployment's communication pattern: every rank extracts
+    its own features, the exact protocol allgathers one scalar per rank
+    after which *rank 0 alone* solves the optimization and broadcasts the
+    result (one global optimization per snapshot), while the paper's
+    local protocol needs only an allreduce of the mean and no global
+    solve at all.  NumPy releases the GIL for array work, so per-rank
+    compression genuinely overlaps.
+    """
+
+    name = "thread"
+
+    def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
+        def rank_fn(comm):
+            tb = TimingBreakdown()
+            rank = comm.rank
+            with tb.phase("features"):
+                feat = task.extract(rank)
+            if task.uses_local_protocol():
+                # The paper's cheap protocol: one allreduce of the mean,
+                # every rank solves its own bound locally.
+                with tb.phase("collective"):
+                    total = comm.allreduce(feat.mean_abs, op="sum")
+                with tb.phase("optimize"):
+                    eb = local_protocol_bound(
+                        feat.mean_abs,
+                        total / comm.size,
+                        task.rate_model,
+                        task.eb_avg,
+                        task.settings,
+                    )
+                opt = None
+            else:
+                # Exact protocol: allgather scalar features, rank 0
+                # solves the deterministic optimization once, bcast.
+                with tb.phase("collective"):
+                    all_feats = comm.allgather(feat)
+                with tb.phase("optimize"):
+                    opt = task.optimize(all_feats) if rank == 0 else None
+                with tb.phase("collective"):
+                    opt = comm.bcast(opt, root=0)
+                eb = float(opt.ebs[rank])
+            view = task.decomposition[rank].view(task.data)
+            with tb.phase("compress"):
+                block = task.compressor.compress(view, eb)
+            return feat, eb, block, opt, tb
+
+        results = run_spmd(task.n_ranks, rank_fn)
+        features = [r[0] for r in results]
+        ebs = np.array([r[1] for r in results], dtype=np.float64)
+        blocks = [r[2] for r in results]
+        opt = results[0][3]
+        timings = TimingBreakdown()
+        for r in results:
+            timings.merge(r[4])
+        if opt is None:
+            opt = _local_protocol_summary(task, features, ebs)
+        return BackendOutcome(
+            features=features, ebs=ebs, blocks=blocks, optimization=opt,
+            timings=timings,
+        )
+
+
+# -- process backend ---------------------------------------------------------
+
+#: Per-worker compressor cache, keyed by the pickled compressor:
+#: deserializing the quantize/codec pipeline once per (worker, config)
+#: amortizes setup across every batch the worker handles.  Shipping the
+#: instance itself (not a name-based config) preserves codec state such
+#: as compression levels, keeping worker output byte-identical to the
+#: serial path.
+_WORKER_COMPRESSORS: dict[bytes, SZCompressor] = {}
+
+
+def _pooled_compressor(blob: bytes) -> SZCompressor:
+    comp = _WORKER_COMPRESSORS.get(blob)
+    if comp is None:
+        comp = pickle.loads(blob)
+        _WORKER_COMPRESSORS[blob] = comp
+    return comp
+
+
+#: Whether this worker process owns a private resource tracker (spawn
+#: start method) rather than sharing the parent's via fork.  Decided on
+#: the first shared-memory attach and fixed for the process lifetime.
+_TRACKER_OWNED: bool | None = None
+
+
+def _attach_shm(name: str, shape: tuple[int, ...], dtype: str):
+    global _TRACKER_OWNED
+    if _TRACKER_OWNED is None:
+        try:
+            from multiprocessing.resource_tracker import _resource_tracker
+
+            # A live tracker fd before our first attach means it was
+            # inherited from the parent (fork); a dead one means our
+            # register below will lazily start a tracker we own.
+            _TRACKER_OWNED = getattr(_resource_tracker, "_fd", None) is None
+        except Exception:  # pragma: no cover - tracker layout differs
+            _TRACKER_OWNED = False
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+def _release_shm(shm: shared_memory.SharedMemory) -> None:
+    """Close a worker-side attachment without poisoning the tracker.
+
+    On POSIX, *attaching* registers the segment with the resource
+    tracker just like creating it does.  Under fork the tracker is
+    shared with the parent and registration is set-idempotent, so the
+    parent's unlink retires the entry and workers must NOT unregister
+    (doing so would unbalance the parent's final unregister).  Under
+    spawn each worker owns a private tracker that would warn about
+    "leaked" segments at exit, so there the registration is retracted.
+    """
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a stray view pins the mmap
+        pass
+    if _TRACKER_OWNED:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker layout differs
+            pass
+
+
+def _features_task(
+    shm_name: str,
+    shape: tuple[int, ...],
+    dtype: str,
+    items: list[tuple[int, tuple[slice, ...]]],
+    halo_args: tuple[float, float] | None,
+) -> tuple[list[PartitionFeatures], float]:
+    """Pool worker: features for a batch of partitions (rank, slices)."""
+    shm, arr = _attach_shm(shm_name, shape, dtype)
+    try:
+        t_boundary, reference_eb = halo_args if halo_args else (None, 1.0)
+        start = time.perf_counter()
+        feats = [
+            extract_features(
+                arr[slices], rank=rank, t_boundary=t_boundary,
+                reference_eb=reference_eb,
+            )
+            for rank, slices in items
+        ]
+        return feats, time.perf_counter() - start
+    finally:
+        del arr
+        _release_shm(shm)
+
+
+def _compress_task(
+    shm_name: str,
+    shape: tuple[int, ...],
+    dtype: str,
+    items: list[tuple[tuple[slice, ...], float]],
+    compressor_blob: bytes,
+) -> tuple[list[CompressedBlock], float]:
+    """Pool worker: compress a batch of partitions (slices, eb)."""
+    shm, arr = _attach_shm(shm_name, shape, dtype)
+    try:
+        start = time.perf_counter()
+        blocks = _pooled_compressor(compressor_blob).compress_many(
+            [arr[slices] for slices, _ in items], [eb for _, eb in items]
+        )
+        return blocks, time.perf_counter() - start
+    finally:
+        del arr
+        _release_shm(shm)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Process-pool execution with shared-memory partition views.
+
+    The snapshot is staged once into a POSIX shared-memory segment;
+    workers attach zero-copy NumPy views of their partitions, so fan-out
+    cost is one copy of the field regardless of rank count.  Partitions
+    are compressed in *batches* (many per task), amortizing task
+    dispatch and compressor setup, with the optimization solved exactly
+    once in the parent.  This is the only backend that escapes the GIL
+    for the pure-Python parts of the hot path.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size (default: ``os.cpu_count()`` capped at 8).
+    batch_size:
+        Partitions per task (default: ranks split into ~2 waves per
+        worker, balancing amortization against load balance).
+    start_method:
+        Multiprocessing start method; default prefers ``fork`` where
+        available (cheap startup), else the platform default.  ``spawn``
+        workers re-import :mod:`repro`, so the package must be on the
+        workers' ``PYTHONPATH``.
+
+    The worker pool is created lazily and reused across snapshots and
+    fields; call :meth:`close` (or use the backend as a context manager)
+    to release it.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        batch_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
+        self.batch_size = batch_size
+        self.start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- pool management -------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self.start_method is not None:
+                ctx = mp.get_context(self.start_method)
+            elif "fork" in mp.get_all_start_methods():
+                ctx = mp.get_context("fork")
+            else:  # pragma: no cover - non-POSIX platforms
+                ctx = mp.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=ctx
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessBackend(max_workers={self.max_workers}, "
+            f"batch_size={self.batch_size})"
+        )
+
+    # -- execution -------------------------------------------------------
+
+    def _batches(self, n: int) -> list[list[int]]:
+        size = self.batch_size or max(1, math.ceil(n / (2 * self.max_workers)))
+        return [list(range(i, min(i + size, n))) for i in range(0, n, size)]
+
+    @staticmethod
+    def _serialize_compressor(comp: SZCompressor) -> bytes:
+        """Pickle the compressor verbatim so workers reproduce its output
+        byte for byte (codec levels and custom codecs included)."""
+        try:
+            return pickle.dumps(comp)
+        except Exception as exc:
+            raise ValueError(
+                f"ProcessBackend requires a picklable compressor; "
+                f"{comp!r} cannot be serialized for the worker pool"
+            ) from exc
+
+    def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
+        dec = task.decomposition
+        n = task.n_ranks
+        timings = TimingBreakdown()
+        compressor_blob = self._serialize_compressor(task.compressor)
+        halo_args = (
+            (task.halo.t_boundary, task.halo.reference_eb) if task.halo else None
+        )
+        pool = self._ensure_pool()
+        batches = self._batches(n)
+        data = np.asarray(task.data)
+
+        shm = None
+        shared = None
+        pending: list[Future] = []
+        try:
+            with timings.phase("scatter"):
+                shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+                shared = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+                np.copyto(shared, data)
+            meta = (shm.name, tuple(data.shape), data.dtype.str)
+
+            futures = [
+                pool.submit(
+                    _features_task,
+                    *meta,
+                    [(r, dec[r].slices) for r in ranks],
+                    halo_args,
+                )
+                for ranks in batches
+            ]
+            pending.extend(futures)
+            features: list[PartitionFeatures] = [None] * n  # type: ignore[list-item]
+            for ranks, fut in zip(batches, futures):
+                feats, seconds = fut.result()
+                timings.add("features", seconds)
+                for rank, feat in zip(ranks, feats):
+                    features[rank] = feat
+
+            with timings.phase("optimize"):
+                opt = task.optimize(features)
+
+            futures = [
+                pool.submit(
+                    _compress_task,
+                    *meta,
+                    [(dec[r].slices, float(opt.ebs[r])) for r in ranks],
+                    compressor_blob,
+                )
+                for ranks in batches
+            ]
+            pending.extend(futures)
+            blocks: list[CompressedBlock] = [None] * n  # type: ignore[list-item]
+            for ranks, fut in zip(batches, futures):
+                blks, seconds = fut.result()
+                timings.add("compress", seconds)
+                for rank, block in zip(ranks, blks):
+                    blocks[rank] = block
+        finally:
+            # On error, outstanding batches must not outlive the segment:
+            # cancel the queued ones, drain the running ones, and retrieve
+            # their exceptions so no "never retrieved" noise obscures the
+            # original failure.  Happy path: everything is done, no-op.
+            for fut in pending:
+                fut.cancel()
+            not_cancelled = [f for f in pending if not f.cancelled()]
+            if not_cancelled:
+                futures_wait(not_cancelled)
+                for fut in not_cancelled:
+                    fut.exception()
+            if shm is not None:
+                del shared
+                shm.close()
+                shm.unlink()
+
+        return BackendOutcome(
+            features=features, ebs=opt.ebs, blocks=blocks, optimization=opt,
+            timings=timings,
+        )
+
+
+# -- registry ----------------------------------------------------------------
+
+BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Register an :class:`ExecutionBackend` subclass under ``cls.name``."""
+    if not (isinstance(cls, type) and issubclass(cls, ExecutionBackend)):
+        raise TypeError(f"expected an ExecutionBackend subclass, got {cls!r}")
+    if not cls.name or cls.name == ExecutionBackend.name:
+        raise ValueError(f"backend class {cls.__name__} must define a name")
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+register_backend(SerialBackend)
+register_backend(ThreadBackend)
+register_backend(ProcessBackend)
+
+
+def get_backend(
+    spec: "str | ExecutionBackend | None" = None, **kwargs: Any
+) -> ExecutionBackend:
+    """Resolve a backend: instance passthrough, registry name, or default.
+
+    ``None`` resolves to the default :class:`ThreadBackend`.  Keyword
+    arguments are forwarded to the backend constructor (names only).
+    """
+    if spec is None:
+        spec = ThreadBackend.name
+    if isinstance(spec, ExecutionBackend):
+        if kwargs:
+            raise ValueError("cannot pass constructor kwargs with a backend instance")
+        return spec
+    if isinstance(spec, str):
+        try:
+            cls = BACKENDS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {spec!r}; registered: {sorted(BACKENDS)}"
+            ) from None
+        return cls(**kwargs)
+    raise TypeError(f"backend must be a name, instance or None, got {type(spec)!r}")

@@ -32,11 +32,14 @@ class Timer:
         self._start: float | None = None
 
     def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer is not reentrant: __enter__ called while running")
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None
+        if self._start is None:
+            raise RuntimeError("Timer.__exit__ called without a matching __enter__")
         self.elapsed = time.perf_counter() - self._start
         self._start = None
 

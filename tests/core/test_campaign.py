@@ -100,6 +100,37 @@ class TestCampaign:
         rows = campaign.report.as_rows()
         assert all(len(r) == 5 for r in rows)
 
+    def test_report_merges_timings(self, campaign, simulator):
+        campaign.compress_snapshot(simulator.snapshot(z=0.75))
+        merged = campaign.report.timings
+        assert set(merged.totals) >= {"features", "optimize", "compress"}
+        assert merged.overhead_ratio("features", "compress") >= 0
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_backend_selection_end_to_end(self, decomposition, simulator, backend):
+        """Campaign results are backend-independent, byte for byte."""
+        snap = simulator.snapshot(z=1.0)
+        specs = {"baryon_density": FieldSpec(halo_aware=True)}
+
+        def build(backend_spec):
+            c = CompressionCampaign(
+                decomposition, field_specs=specs, backend=backend_spec
+            )
+            c.calibrate(snap, max_partitions=4)
+            return c
+
+        serial_report = build(None).compress_snapshot(snap)
+        kwargs = {"max_workers": 2} if backend == "process" else {}
+        from repro.parallel.backends import get_backend
+
+        with get_backend(backend, **kwargs) as resolved:
+            other_report = build(resolved).compress_snapshot(snap)
+        for a, b in zip(serial_report.outcomes, other_report.outcomes):
+            assert a.field == b.field
+            assert np.array_equal(a.result.ebs, b.result.ebs)
+            for blk_a, blk_b in zip(a.result.blocks, b.result.blocks):
+                assert blk_a.payloads == blk_b.payloads
+
     def test_empty_report_rejected(self):
         from repro.core.campaign import CampaignReport
 

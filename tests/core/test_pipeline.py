@@ -108,3 +108,30 @@ class TestSpmdEquivalence:
         serial = pipe.run(data, decomposition, eb_avg=0.2, halo=halo)
         spmd = pipe.run_insitu_spmd(data, decomposition, eb_avg=0.2, halo=halo)
         assert np.allclose(spmd.ebs, serial.ebs)
+
+    def test_spmd_timings_populated(self, snapshot, decomposition, calibrated):
+        """Regression: the SPMD path used to return empty timings."""
+        pipe = AdaptiveCompressionPipeline(calibrated.rate_model)
+        res = pipe.run_insitu_spmd(snapshot["baryon_density"], decomposition, eb_avg=0.2)
+        assert set(res.timings.totals) >= {"features", "optimize", "compress"}
+        assert res.timings.totals["compress"] > 0
+        # One merged entry per rank for the per-rank phases.
+        assert res.timings.counts["features"] == decomposition.n_partitions
+
+    def test_spmd_returns_rank0_optimization(self, snapshot, decomposition, calibrated):
+        """Regression: the SPMD path used to re-solve the optimization on
+        the main thread instead of returning the ranks' own result."""
+        pipe = AdaptiveCompressionPipeline(calibrated.rate_model)
+        res = pipe.run_insitu_spmd(snapshot["baryon_density"], decomposition, eb_avg=0.2)
+        assert res.optimization is not None
+        assert res.optimization.ebs is res.ebs or np.array_equal(
+            res.optimization.ebs, res.ebs
+        )
+
+    def test_backend_argument_accepts_names(self, snapshot, decomposition, calibrated):
+        data = snapshot["baryon_density"]
+        pipe = AdaptiveCompressionPipeline(calibrated.rate_model, backend="serial")
+        assert pipe.backend.name == "serial"
+        via_serial = pipe.run_insitu_spmd(data, decomposition, eb_avg=0.2)
+        via_thread = pipe.run_insitu_spmd(data, decomposition, eb_avg=0.2, backend="thread")
+        assert np.array_equal(via_serial.ebs, via_thread.ebs)

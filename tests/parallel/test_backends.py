@@ -1,0 +1,366 @@
+"""Execution-backend layer: registry, equivalence, timings, batching."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.parallel.backends as backends_mod
+from repro.compression.sz import SZCompressor
+from repro.core.config import HaloQualitySpec, OptimizerSettings
+from repro.core.pipeline import AdaptiveCompressionPipeline
+from repro.models.rate_model import RateModel
+from repro.parallel.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    SnapshotTask,
+    ThreadBackend,
+    get_backend,
+    register_backend,
+)
+from repro.parallel.decomposition import BlockDecomposition
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    backend = ProcessBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="module")
+def rate_model():
+    return RateModel(exponent=-0.8, coef_alpha=0.0, coef_beta=0.3)
+
+
+def _halo_spec(data: np.ndarray) -> HaloQualitySpec:
+    tb = float(np.percentile(np.asarray(data, dtype=np.float64), 99.0))
+    return HaloQualitySpec(t_boundary=tb, mass_budget=100.0, reference_eb=0.5)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"serial", "thread", "process"} <= set(BACKENDS)
+
+    def test_get_backend_by_name(self):
+        assert isinstance(get_backend("serial"), SerialBackend)
+        assert isinstance(get_backend("thread"), ThreadBackend)
+        assert isinstance(get_backend("process"), ProcessBackend)
+
+    def test_default_is_thread(self):
+        assert isinstance(get_backend(None), ThreadBackend)
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert get_backend(backend) is backend
+
+    def test_instance_with_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="kwargs"):
+            get_backend(SerialBackend(), max_workers=2)
+
+    def test_kwargs_forwarded(self):
+        backend = get_backend("process", max_workers=3, batch_size=2)
+        assert backend.max_workers == 3
+        assert backend.batch_size == 2
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("gpu")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError, match="backend"):
+            get_backend(42)
+
+    def test_register_custom_backend(self):
+        class EchoBackend(SerialBackend):
+            name = "echo-test"
+
+        try:
+            register_backend(EchoBackend)
+            assert isinstance(get_backend("echo-test"), EchoBackend)
+        finally:
+            BACKENDS.pop("echo-test", None)
+
+    def test_register_requires_name(self):
+        class Nameless(SerialBackend):
+            name = ExecutionBackend.name
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(Nameless)
+
+    def test_register_requires_subclass(self):
+        with pytest.raises(TypeError, match="ExecutionBackend"):
+            register_backend(dict)
+
+
+class TestBackendEquivalence:
+    """Serial, thread-SPMD and process backends must agree byte for byte."""
+
+    @pytest.mark.parametrize("normalization", ["exact", "local"])
+    @pytest.mark.parametrize("use_halo", [False, True])
+    def test_byte_identical_blocks_and_ebs(
+        self, snapshot, decomposition, rate_model, process_backend,
+        normalization, use_halo,
+    ):
+        data = snapshot["baryon_density"]
+        halo = _halo_spec(data) if use_halo else None
+        pipe = AdaptiveCompressionPipeline(
+            rate_model, settings=OptimizerSettings(normalization=normalization)
+        )
+        serial = pipe.run(data, decomposition, eb_avg=0.2, halo=halo)
+        thread = pipe.run_insitu_spmd(
+            data, decomposition, eb_avg=0.2, halo=halo, backend="thread"
+        )
+        process = pipe.run_insitu_spmd(
+            data, decomposition, eb_avg=0.2, halo=halo, backend=process_backend
+        )
+        for other in (thread, process):
+            assert np.array_equal(serial.ebs, other.ebs)
+            assert len(serial.blocks) == len(other.blocks)
+            for a, b in zip(serial.blocks, other.blocks):
+                assert a.shape == b.shape
+                assert a.eb == b.eb
+                assert a.payloads == b.payloads  # byte-identical payloads
+        assert [f.mean_abs for f in serial.features] == [
+            f.mean_abs for f in process.features
+        ]
+
+    def test_all_backends_report_timings(
+        self, snapshot, decomposition, rate_model, process_backend
+    ):
+        data = snapshot["baryon_density"]
+        pipe = AdaptiveCompressionPipeline(rate_model)
+        for backend in (SerialBackend(), ThreadBackend(), process_backend):
+            res = pipe.run_insitu_spmd(data, decomposition, eb_avg=0.2, backend=backend)
+            assert set(res.timings.totals) >= {"features", "optimize", "compress"}
+            assert res.timings.totals["compress"] > 0
+            assert res.timings.overhead_ratio("features", "compress") >= 0
+
+    def test_local_protocol_reports_optimization_diagnostics(
+        self, snapshot, decomposition, rate_model
+    ):
+        data = snapshot["baryon_density"]
+        pipe = AdaptiveCompressionPipeline(
+            rate_model, settings=OptimizerSettings(normalization="local")
+        )
+        res = pipe.run_insitu_spmd(data, decomposition, eb_avg=0.2)
+        assert res.optimization is not None
+        assert res.optimization.constraint == "spectrum"
+        assert np.array_equal(res.optimization.ebs, res.ebs)
+
+
+class TestSingleOptimization:
+    """Regression for the SPMD double-optimization bug: every backend
+    performs exactly one global optimization per snapshot."""
+
+    @pytest.fixture()
+    def counters(self, monkeypatch):
+        counts = {"spectrum": 0, "combined": 0}
+        real_spectrum = backends_mod.optimize_for_spectrum
+        real_combined = backends_mod.optimize_combined
+
+        def counting_spectrum(*args, **kwargs):
+            counts["spectrum"] += 1
+            return real_spectrum(*args, **kwargs)
+
+        def counting_combined(*args, **kwargs):
+            counts["combined"] += 1
+            return real_combined(*args, **kwargs)
+
+        monkeypatch.setattr(backends_mod, "optimize_for_spectrum", counting_spectrum)
+        monkeypatch.setattr(backends_mod, "optimize_combined", counting_combined)
+        return counts
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_exact_mode_optimizes_once(
+        self, snapshot, decomposition, rate_model, counters, process_backend, backend
+    ):
+        resolved = process_backend if backend == "process" else backend
+        pipe = AdaptiveCompressionPipeline(rate_model, backend=resolved)
+        pipe.run_insitu_spmd(snapshot["baryon_density"], decomposition, eb_avg=0.2)
+        assert counters["spectrum"] == 1
+        assert counters["combined"] == 0
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_halo_mode_optimizes_once(
+        self, snapshot, decomposition, rate_model, counters, process_backend, backend
+    ):
+        data = snapshot["baryon_density"]
+        resolved = process_backend if backend == "process" else backend
+        pipe = AdaptiveCompressionPipeline(rate_model, backend=resolved)
+        pipe.run_insitu_spmd(
+            data, decomposition, eb_avg=0.2, halo=_halo_spec(data)
+        )
+        assert counters["combined"] == 1
+        assert counters["spectrum"] == 0
+
+    def test_local_protocol_needs_no_global_solve(
+        self, snapshot, decomposition, rate_model, counters
+    ):
+        pipe = AdaptiveCompressionPipeline(
+            rate_model,
+            settings=OptimizerSettings(normalization="local"),
+            backend="thread",
+        )
+        pipe.run_insitu_spmd(snapshot["baryon_density"], decomposition, eb_avg=0.2)
+        assert counters["spectrum"] == 0
+        assert counters["combined"] == 0
+
+
+class TestProcessBackend:
+    def test_batch_size_does_not_change_results(
+        self, snapshot, decomposition, rate_model
+    ):
+        data = snapshot["baryon_density"]
+        pipe = AdaptiveCompressionPipeline(rate_model)
+        reference = pipe.run(data, decomposition, eb_avg=0.2)
+        for batch_size in (1, 3, 64):
+            with ProcessBackend(max_workers=2, batch_size=batch_size) as backend:
+                res = pipe.run_insitu_spmd(
+                    data, decomposition, eb_avg=0.2, backend=backend
+                )
+            assert np.array_equal(reference.ebs, res.ebs)
+            assert all(
+                a.payloads == b.payloads
+                for a, b in zip(reference.blocks, res.blocks)
+            )
+
+    def test_pool_is_reused_across_snapshots(self, snapshot, decomposition, rate_model):
+        pipe = AdaptiveCompressionPipeline(rate_model)
+        with ProcessBackend(max_workers=2) as backend:
+            pipe.run_insitu_spmd(
+                snapshot["baryon_density"], decomposition, eb_avg=0.2, backend=backend
+            )
+            pool = backend._pool
+            pipe.run_insitu_spmd(
+                snapshot["temperature"], decomposition, eb_avg=5.0, backend=backend
+            )
+            assert backend._pool is pool
+        assert backend._pool is None  # closed by the context manager
+
+    def test_codec_configuration_reaches_workers(
+        self, snapshot, decomposition, rate_model
+    ):
+        """Regression: workers must reproduce the exact codec state
+        (e.g. zlib level), not a name-based default reconstruction."""
+        from repro.compression.codecs import ZlibCodec
+
+        data = snapshot["baryon_density"]
+        for level in (1, 9):
+            comp = SZCompressor(codec=ZlibCodec(level=level))
+            pipe = AdaptiveCompressionPipeline(rate_model, compressor=comp)
+            serial = pipe.run(data, decomposition, eb_avg=0.2)
+            with ProcessBackend(max_workers=2) as backend:
+                process = pipe.run_insitu_spmd(
+                    data, decomposition, eb_avg=0.2, backend=backend
+                )
+            assert all(
+                a.payloads == b.payloads
+                for a, b in zip(serial.blocks, process.blocks)
+            )
+
+    def test_unpicklable_compressor_rejected(
+        self, snapshot, decomposition, rate_model, process_backend
+    ):
+        comp = SZCompressor()
+        comp.codec.unpicklable = lambda: None  # closure defeats pickling
+        pipe = AdaptiveCompressionPipeline(rate_model, compressor=comp)
+        with pytest.raises(ValueError, match="picklable"):
+            pipe.run_insitu_spmd(
+                snapshot["baryon_density"], decomposition, eb_avg=0.2,
+                backend=process_backend,
+            )
+
+    def test_name_override_closes_one_shot_backend(
+        self, snapshot, decomposition, rate_model, monkeypatch
+    ):
+        """A per-call backend *name* must not leak pooled resources."""
+        import repro.core.pipeline as pipeline_mod
+
+        closed = []
+
+        class Recording(SerialBackend):
+            def close(self):
+                closed.append(True)
+                super().close()
+
+        monkeypatch.setattr(
+            pipeline_mod, "get_backend", lambda spec=None, **kw: Recording()
+        )
+        pipe = AdaptiveCompressionPipeline(rate_model)
+        pipe.run_insitu_spmd(
+            snapshot["baryon_density"], decomposition, eb_avg=0.2, backend="serial"
+        )
+        assert closed == [True]
+
+    def test_instance_override_stays_open(
+        self, snapshot, decomposition, rate_model, process_backend
+    ):
+        pipe = AdaptiveCompressionPipeline(rate_model)
+        pipe.run_insitu_spmd(
+            snapshot["baryon_density"], decomposition, eb_avg=0.2,
+            backend=process_backend,
+        )
+        assert process_backend._pool is not None  # caller-owned pool survives
+
+    def test_worker_failure_propagates_and_cleans_up(
+        self, snapshot, decomposition, rate_model
+    ):
+        """A failing worker batch must surface its error after the queued
+        batches are drained and the shared segment is unlinked."""
+        data = np.asarray(snapshot["baryon_density"], dtype=np.float64).copy()
+        data[0, 0, 0] = -1.0  # pw_rel compression rejects non-positive data
+        pipe = AdaptiveCompressionPipeline(
+            rate_model, compressor=SZCompressor(mode="pw_rel")
+        )
+        with ProcessBackend(max_workers=1, batch_size=1) as backend:
+            with pytest.raises(ValueError, match="positive"):
+                pipe.run_insitu_spmd(data, decomposition, eb_avg=0.01, backend=backend)
+            # The pool survives the failure and stays usable.
+            ok = pipe.run_insitu_spmd(
+                np.abs(data) + 1.0, decomposition, eb_avg=0.01, backend=backend
+            )
+            assert len(ok.blocks) == decomposition.n_partitions
+        leftover = [p for p in os.listdir("/dev/shm") if p.startswith("psm_")] if os.path.isdir("/dev/shm") else []
+        assert leftover == []
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ProcessBackend(max_workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ProcessBackend(batch_size=0)
+
+    def test_batches_cover_all_ranks(self):
+        backend = ProcessBackend(max_workers=2, batch_size=3)
+        batches = backend._batches(8)
+        assert [len(b) for b in batches] == [3, 3, 2]
+        assert sorted(r for b in batches for r in b) == list(range(8))
+
+
+class TestSnapshotTask:
+    def test_shape_mismatch_rejected(self, snapshot, rate_model):
+        small = BlockDecomposition((16, 16, 16), blocks=2)
+        with pytest.raises(ValueError, match="shape"):
+            SnapshotTask(
+                data=snapshot["baryon_density"],
+                decomposition=small,
+                eb_avg=0.2,
+                rate_model=rate_model,
+                compressor=SZCompressor(),
+                settings=OptimizerSettings(),
+            )
+
+    def test_nonpositive_budget_rejected(self, snapshot, decomposition, rate_model):
+        with pytest.raises(ValueError, match="eb_avg"):
+            SnapshotTask(
+                data=snapshot["baryon_density"],
+                decomposition=decomposition,
+                eb_avg=0.0,
+                rate_model=rate_model,
+                compressor=SZCompressor(),
+                settings=OptimizerSettings(),
+            )

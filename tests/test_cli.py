@@ -94,6 +94,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "temperature" in out
 
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_compress_backend_flag(self, snap_path, tmp_path, capsys, backend):
+        out = tmp_path / f"blocks-{backend}.npz"
+        rc = main(
+            [
+                "compress",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--backend",
+                backend,
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert f"backend {backend}" in printed
+        assert "compress=" in printed  # per-phase timings are reported
+
+    def test_backend_outputs_identical(self, snap_path, tmp_path):
+        outs = {}
+        for backend in ("serial", "thread"):
+            out = tmp_path / f"b-{backend}.npz"
+            main(
+                [
+                    "compress",
+                    "--snapshot", str(snap_path),
+                    "--field", "temperature",
+                    "--blocks", "2",
+                    "--backend", backend,
+                    "--out", str(out),
+                ]
+            )
+            outs[backend] = load_blocks(str(out))
+        serial_blocks, serial_ebs, _ = outs["serial"]
+        thread_blocks, thread_ebs, _ = outs["thread"]
+        assert np.array_equal(serial_ebs, thread_ebs)
+        for a, b in zip(serial_blocks, thread_blocks):
+            assert a.payloads == b.payloads
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

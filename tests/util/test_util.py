@@ -45,6 +45,32 @@ class TestTimers:
             sum(range(10000))
         assert t.elapsed > 0
 
+    def test_timer_exit_without_enter_raises(self):
+        """Regression: this guard was a bare assert, erased by ``python -O``."""
+        with pytest.raises(RuntimeError, match="__enter__"):
+            Timer().__exit__(None, None, None)
+
+    def test_timer_double_exit_raises(self):
+        t = Timer()
+        with t:
+            pass
+        with pytest.raises(RuntimeError, match="__enter__"):
+            t.__exit__(None, None, None)
+
+    def test_timer_reenter_while_running_raises(self):
+        with Timer() as t:
+            with pytest.raises(RuntimeError, match="reentrant"):
+                t.__enter__()
+
+    def test_timer_reusable_after_exit(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0 and first >= 0.0
+
     def test_breakdown_accumulates(self):
         tb = TimingBreakdown()
         with tb.phase("a"):
