@@ -109,7 +109,9 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     eb_avg = args.eb_avg
     if eb_avg is None:
         eb_avg = float(np.ptp(data.astype(np.float64))) * 3e-3
-    cal = calibrate_rate_model(dec.partition_views(data), eb_scale=eb_avg, seed=0)
+    cal = calibrate_rate_model(
+        dec.partition_views(data), eb_scale=eb_avg, seed=0, probe_mode=args.probe_mode
+    )
     backend = get_backend(args.backend)
     pipe = AdaptiveCompressionPipeline(
         cal.rate_model, compressor=SZCompressor(codec=args.codec), backend=backend
@@ -165,6 +167,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ebs,
         {args.field: QualityCriteria(spectrum_tolerance=args.tolerance)},
         decomposition=dec,
+        rate_only=args.rate_only,
+        probe_mode=args.probe_mode,
     )
     print(records_to_table(records, title=f"sweep: {args.field}"))
     return 0
@@ -195,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(BACKENDS),
         help="execution backend (serial rank loop, thread-SPMD, process pool)",
     )
+    c.add_argument(
+        "--probe-mode",
+        default="exact",
+        choices=["exact", "estimate"],
+        help="rate-model calibration probes: run the full codec (exact) "
+        "or predict rates from code histograms (estimate, faster)",
+    )
     c.add_argument("--out", required=True)
     c.set_defaults(fn=_cmd_compress)
 
@@ -211,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--blocks", type=int, default=4)
     s.add_argument("--ebs", required=True, help="comma-separated error bounds")
     s.add_argument("--tolerance", type=float, default=0.01)
+    s.add_argument(
+        "--rate-only",
+        action="store_true",
+        help="skip decompression and quality evaluation (rate curves only)",
+    )
+    s.add_argument(
+        "--probe-mode",
+        default="exact",
+        choices=["exact", "estimate"],
+        help="estimate rates from code histograms instead of running the "
+        "entropy codec (implies --rate-only)",
+    )
     s.set_defaults(fn=_cmd_sweep)
     return parser
 

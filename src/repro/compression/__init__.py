@@ -12,11 +12,17 @@ pipeline in vectorized NumPy:
 - :mod:`repro.compression.codecs` — pluggable entropy stages (Huffman,
   zlib/DEFLATE, raw),
 - :mod:`repro.compression.sz` — the assembled error-bounded compressor,
+- :mod:`repro.compression.workspace` — reusable scratch arenas for the
+  fused, allocation-lean kernel path,
+- :mod:`repro.compression.estimator` — codec-free bit-rate prediction
+  from quantization-code histograms (the calibration/sweep fast path),
 - :mod:`repro.compression.zfp_like` — a fixed-rate transform codec used
   as the ZFP-style comparator.
 """
 
 from repro.compression.sz import SZCompressor, CompressedBlock, decompress
+from repro.compression.workspace import Workspace
+from repro.compression.estimator import RateEstimate, estimate_nbytes
 from repro.compression.zfp_like import ZFPLikeCompressor
 from repro.compression.regression import AdaptiveSZCompressor
 from repro.compression.codecs import HuffmanCodec, RawCodec, ZlibCodec, get_codec
@@ -32,6 +38,9 @@ __all__ = [
     "SZCompressor",
     "CompressedBlock",
     "decompress",
+    "Workspace",
+    "RateEstimate",
+    "estimate_nbytes",
     "ZFPLikeCompressor",
     "AdaptiveSZCompressor",
     "HuffmanCodec",

@@ -68,7 +68,7 @@ class RawCodec(Codec):
         if codes.size == 0:
             return b"\x01"
         dt = _minimal_uint_dtype(int(codes.max()))
-        return bytes([dt.itemsize]) + codes.astype(dt).tobytes()
+        return bytes([dt.itemsize]) + codes.astype(dt, copy=False).tobytes()
 
     def decode(self, blob: bytes, n: int) -> np.ndarray:
         if n == 0:
@@ -93,7 +93,10 @@ class ZlibCodec(Codec):
         if codes.size == 0:
             return b"\x01"
         dt = _minimal_uint_dtype(int(codes.max()))
-        payload = codes.astype(dt).tobytes()
+        # astype(copy=False) keeps callers' pre-narrowed workspace views
+        # as-is; zlib consumes the array's buffer directly, so the only
+        # full copy left on this path is DEFLATE's own output.
+        payload = np.ascontiguousarray(codes.astype(dt, copy=False))
         return bytes([dt.itemsize]) + zlib.compress(payload, self.level)
 
     def decode(self, blob: bytes, n: int) -> np.ndarray:

@@ -23,6 +23,7 @@ import numpy as np
 
 __all__ = [
     "lorenzo_transform",
+    "lorenzo_transform_inplace",
     "lorenzo_inverse",
     "classic_sz_quantize",
 ]
@@ -37,10 +38,41 @@ def lorenzo_transform(data: np.ndarray) -> np.ndarray:
     arr = np.asarray(data)
     if arr.ndim < 1 or arr.ndim > 3:
         raise ValueError(f"lorenzo_transform supports 1-3 dimensions, got {arr.ndim}")
-    out = arr
+    return lorenzo_transform_inplace(np.array(arr))
+
+
+def lorenzo_transform_inplace(arr: np.ndarray, scratch: np.ndarray | None = None) -> np.ndarray:
+    """Apply the Lorenzo residual transform to ``arr`` *in place*.
+
+    The per-axis first difference is computed through one reusable
+    ``scratch`` buffer (same dtype, at least ``arr.size`` elements)
+    instead of ``np.diff``'s per-axis output allocations — the values
+    are identical to :func:`lorenzo_transform`, element for element.
+    Returns ``arr`` for chaining.
+    """
+    if arr.ndim < 1 or arr.ndim > 3:
+        raise ValueError(f"lorenzo_transform supports 1-3 dimensions, got {arr.ndim}")
+    if scratch is None:
+        scratch = np.empty(arr.size, dtype=arr.dtype)
+    elif scratch.dtype != arr.dtype or scratch.size < arr.size:
+        raise ValueError(
+            f"scratch must provide >= {arr.size} elements of dtype {arr.dtype}"
+        )
+    flat_scratch = scratch.reshape(-1)
     for axis in range(arr.ndim):
-        out = np.diff(out, axis=axis, prepend=_zero_slab(out, axis))
-    return out
+        if arr.shape[axis] < 2:
+            continue  # the zero-boundary diff of a length-1 axis is the identity
+        upper = tuple(
+            slice(1, None) if ax == axis else slice(None) for ax in range(arr.ndim)
+        )
+        lower = tuple(
+            slice(None, -1) if ax == axis else slice(None) for ax in range(arr.ndim)
+        )
+        hi = arr[upper]
+        tmp = flat_scratch[: hi.size].reshape(hi.shape)
+        np.subtract(hi, arr[lower], out=tmp)
+        hi[...] = tmp
+    return arr
 
 
 def lorenzo_inverse(residuals: np.ndarray) -> np.ndarray:
@@ -52,13 +84,6 @@ def lorenzo_inverse(residuals: np.ndarray) -> np.ndarray:
     for axis in reversed(range(arr.ndim)):
         out = np.cumsum(out, axis=axis)
     return out
-
-
-def _zero_slab(arr: np.ndarray, axis: int) -> np.ndarray:
-    """A zeroed width-1 slab along ``axis`` for ``np.diff(prepend=...)``."""
-    shape = list(arr.shape)
-    shape[axis] = 1
-    return np.zeros(shape, dtype=arr.dtype)
 
 
 def classic_sz_quantize(

@@ -23,15 +23,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.compression.workspace import Workspace
 from repro.util.validation import check_finite, check_positive
 
 __all__ = [
     "DEFAULT_RADIUS",
     "QuantizedResiduals",
     "quantize_abs",
+    "quantize_abs_into",
     "dequantize_abs",
     "pw_rel_to_log_abs",
     "encode_residuals",
+    "encode_residuals_inplace",
     "decode_residuals",
 ]
 
@@ -55,6 +58,30 @@ def quantize_abs(data: np.ndarray, eb: float) -> np.ndarray:
             "lattice exceeds int64 range"
         )
     return q.astype(np.int64)
+
+
+def quantize_abs_into(work: np.ndarray, ws: Workspace) -> np.ndarray:
+    """Fused tail of :func:`quantize_abs` over a prepared workspace buffer.
+
+    ``work`` must be a float64 workspace view already holding
+    ``data / (2*eb)`` (the caller owns the divide so ``pw_rel`` can fuse
+    its log pass into the same buffer).  Rounds in place, applies the
+    same overflow guard as :func:`quantize_abs`, and casts into a
+    reusable int64 lattice buffer — zero fresh full-array allocations.
+    The returned view is valid until the workspace's ``lattice_i64``
+    slot is requested again.
+    """
+    np.rint(work, out=work)
+    mask = ws.request("quant_mask", work.shape, np.bool_)
+    np.isfinite(work, out=mask)
+    if not mask.all() or max(float(work.max()), -float(work.min())) >= 2**62:
+        raise ValueError(
+            "error bound too small relative to data magnitude: quantization "
+            "lattice exceeds int64 range"
+        )
+    q = ws.request("lattice_i64", work.shape, np.int64)
+    np.copyto(q, work, casting="unsafe")  # values are integral: cast is exact
+    return q
 
 
 def dequantize_abs(q: np.ndarray, eb: float) -> np.ndarray:
@@ -108,11 +135,42 @@ def encode_residuals(residuals: np.ndarray, radius: int = DEFAULT_RADIUS) -> Qua
     # reserved as the outlier marker.
     fits = (codes >= 1) & (codes <= 2 * radius - 1)
     out_pos = np.flatnonzero(~fits)
-    out_val = res[out_pos].copy()
-    codes = np.where(fits, codes, 0)
+    out_val = res[out_pos]
+    codes[out_pos] = 0
     return QuantizedResiduals(
-        codes=codes.astype(np.int64),
-        outlier_positions=out_pos.astype(np.int64),
+        codes=codes,
+        outlier_positions=out_pos.astype(np.int64, copy=False),
+        outlier_values=out_val,
+        radius=radius,
+    )
+
+
+def encode_residuals_inplace(
+    res: np.ndarray, radius: int, ws: Workspace
+) -> QuantizedResiduals:
+    """Fused :func:`encode_residuals` that turns ``res`` into its codes.
+
+    ``res`` must be a flat contiguous int64 workspace view of residuals;
+    it is overwritten with the bounded codes (values identical to
+    :func:`encode_residuals`).  Only the (normally tiny) outlier channel
+    is freshly allocated; the masks come from the workspace.
+    """
+    if radius < 2:
+        raise ValueError(f"radius must be >= 2, got {radius}")
+    res += radius  # codes with offset, in place
+    fits = ws.request("fits_mask", res.shape, np.bool_)
+    misfit = ws.request("misfit_mask", res.shape, np.bool_)
+    np.greater_equal(res, 1, out=fits)
+    np.less_equal(res, 2 * radius - 1, out=misfit)
+    np.logical_and(fits, misfit, out=fits)
+    np.logical_not(fits, out=misfit)
+    out_pos = np.flatnonzero(misfit)
+    out_val = res[out_pos]
+    out_val -= radius  # back to the original residuals
+    res[out_pos] = 0
+    return QuantizedResiduals(
+        codes=res,
+        outlier_positions=out_pos.astype(np.int64, copy=False),
         outlier_values=out_val,
         radius=radius,
     )
@@ -120,7 +178,7 @@ def encode_residuals(residuals: np.ndarray, radius: int = DEFAULT_RADIUS) -> Qua
 
 def decode_residuals(qr: QuantizedResiduals) -> np.ndarray:
     """Invert :func:`encode_residuals` back to int64 residuals."""
-    res = qr.codes.astype(np.int64) - qr.radius
+    res = np.subtract(qr.codes, qr.radius, dtype=np.int64)
     if qr.outlier_positions.size:
         res[qr.outlier_positions] = qr.outlier_values
     return res

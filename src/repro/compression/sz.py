@@ -23,38 +23,55 @@ the test suite.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compression.codecs import Codec, get_codec
+from repro.compression.codecs import Codec, _minimal_uint_dtype, get_codec
+from repro.compression.estimator import (
+    HEADER_BYTES,
+    RateEstimate,
+    code_histogram,
+    estimate_nbytes,
+)
 from repro.compression.lorenzo import (
     classic_sz_quantize,
     lorenzo_inverse,
-    lorenzo_transform,
+    lorenzo_transform_inplace,
 )
 from repro.compression.quantizer import (
     DEFAULT_RADIUS,
     QuantizedResiduals,
     decode_residuals,
     dequantize_abs,
-    encode_residuals,
+    encode_residuals_inplace,
     pw_rel_to_log_abs,
-    quantize_abs,
+    quantize_abs_into,
 )
+from repro.compression.workspace import Workspace
 from repro.util.validation import check_positive
 
 __all__ = ["SZCompressor", "CompressedBlock", "decompress", "HEADER_BYTES"]
 
-# Fixed per-block header cost charged to every compressed block: shape,
-# dtype tag, eb, mode/engine/codec tags, payload lengths.  Charged so
-# compression ratios are honest about metadata (SZ's own header is of
-# this order).
-HEADER_BYTES = 32
-
 _MODES = ("abs", "pw_rel")
 _ENGINES = ("dual", "classic")
+
+
+def _deflate_channel(buf: "bytes | np.ndarray", level: int = 6) -> bytes:
+    """zlib-compress a side-channel buffer; empty channels store ``b""``.
+
+    Skipping the codec for empty channels saves the ~8 dead bytes of
+    zlib container per empty payload that every outlier-free block used
+    to pay (three payloads x thousands of partitions adds up).
+    """
+    return zlib.compress(buf, level) if len(buf) else b""
+
+
+def _inflate_channel(blob: bytes) -> bytes:
+    """Inverse of :func:`_deflate_channel` (``b""`` short-circuits)."""
+    return zlib.decompress(blob) if blob else b""
 
 
 def _zigzag(values: np.ndarray) -> np.ndarray:
@@ -152,28 +169,65 @@ class SZCompressor:
         self.codec = get_codec(codec)
         self.radius = int(radius)
         self.engine = engine
+        self._tls = threading.local()
+
+    # -- workspace management --------------------------------------------
+
+    @property
+    def workspace(self) -> Workspace:
+        """This thread's reusable kernel scratch arena (created on demand).
+
+        Workspaces are kept per thread (``threading.local``), so sharing
+        one compressor across the thread-SPMD backend's rank threads is
+        safe; the serial path and each process-pool worker reuse one
+        arena across every block they compress.
+        """
+        ws = getattr(self._tls, "workspace", None)
+        if ws is None:
+            ws = Workspace()
+            self._tls.workspace = ws
+        return ws
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_tls", None)  # thread-locals are per-process scratch
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tls = threading.local()
 
     # -- public API ------------------------------------------------------
 
-    def compress(self, data: np.ndarray, eb: float) -> CompressedBlock:
+    def compress(
+        self, data: np.ndarray, eb: float, workspace: Workspace | None = None
+    ) -> CompressedBlock:
         """Compress ``data`` under error bound ``eb``.
 
         ``eb`` is absolute in ``abs`` mode and relative in ``pw_rel``
-        mode.  Arrays of 1-3 dimensions are supported.
+        mode.  Arrays of 1-3 dimensions are supported.  ``workspace``
+        overrides the compressor's per-thread scratch arena (callers that
+        manage their own worker lifetimes can pass one explicitly).
         """
         arr = self._check_array(np.asarray(data))
         eb = check_positive(eb, "eb")
-        return self._compress_checked(arr, eb)
+        return self._compress_checked(arr, eb, workspace or self.workspace)
 
     def compress_many(
-        self, views: list[np.ndarray], ebs: np.ndarray | list[float]
+        self,
+        views: list[np.ndarray],
+        ebs: np.ndarray | list[float],
+        workspace: Workspace | None = None,
     ) -> list[CompressedBlock]:
         """Compress a batch of partitions under per-partition bounds.
 
         The batched hot path used by the execution backends: one task can
         carry many partitions, with argument validation and bound checks
-        amortized over the whole batch instead of paid per call.  Output
-        blocks are byte-identical to per-partition :meth:`compress` calls.
+        amortized over the whole batch instead of paid per call, and one
+        :class:`Workspace` reused across the entire batch so scratch
+        buffers are allocated once per worker rather than once per block.
+        Output blocks are byte-identical to per-partition
+        :meth:`compress` calls.
         """
         arrs = [self._check_array(np.asarray(v)) for v in views]
         eb_arr = np.asarray(ebs, dtype=np.float64)
@@ -184,9 +238,62 @@ class SZCompressor:
             )
         if not np.isfinite(eb_arr).all() or (eb_arr <= 0).any():
             raise ValueError("all error bounds must be positive and finite")
+        ws = workspace or self.workspace
         return [
-            self._compress_checked(arr, float(eb)) for arr, eb in zip(arrs, eb_arr)
+            self._compress_checked(arr, float(eb), ws) for arr, eb in zip(arrs, eb_arr)
         ]
+
+    def estimate(
+        self, data: np.ndarray, eb: float, workspace: Workspace | None = None
+    ) -> RateEstimate:
+        """Predict the compressed size of ``data`` without running a codec.
+
+        Runs the cheap front of the pipeline (quantize -> Lorenzo ->
+        residual codes) and reads the predicted entropy-coded size off
+        the quantization-code histogram
+        (:mod:`repro.compression.estimator`) — no DEFLATE/Huffman pass,
+        no payload bytes.  This is the fast path for rate-model
+        calibration and rate-only sweeps (``probe_mode="estimate"``).
+        """
+        arr = self._check_array(np.asarray(data))
+        eb = check_positive(eb, "eb")
+        ws = workspace or self.workspace
+        source_itemsize = arr.dtype.itemsize if arr.dtype.kind == "f" else 8
+        if self.engine == "dual":
+            qr = self._quantize_encode(arr, eb, ws)
+            n_out = int(qr.outlier_positions.size)
+            # Bin only the occupied code range: the codes are a workspace
+            # view we own, so shift in place and histogram the compact
+            # span instead of the full [0, 2*radius) alphabet.
+            codes = qr.codes
+            offset = int(codes.min())
+            if offset:
+                codes -= offset
+            hist = np.bincount(codes)
+        else:
+            work, abs_eb = self._to_workspace(arr, eb)
+            codes3d, _recon = classic_sz_quantize(
+                np.atleast_3d(work), abs_eb, self.radius
+            )
+            hist = code_histogram(codes3d, self.radius)
+            n_out = int(hist[0])
+            offset = 0
+        est_bytes, bits = estimate_nbytes(
+            hist, arr.size, n_out, self.codec.name, hist_offset=offset
+        )
+        return RateEstimate(
+            n_elements=int(arr.size),
+            source_itemsize=source_itemsize,
+            n_outliers=n_out,
+            code_bits_per_value=bits,
+            est_nbytes=est_bytes,
+        )
+
+    def estimate_bitrate(
+        self, data: np.ndarray, eb: float, workspace: Workspace | None = None
+    ) -> float:
+        """Convenience: predicted bits/value without running a codec."""
+        return self.estimate(data, eb, workspace).bit_rate
 
     def _check_array(self, arr: np.ndarray) -> np.ndarray:
         if arr.ndim < 1 or arr.ndim > 3:
@@ -195,16 +302,16 @@ class SZCompressor:
             raise ValueError("cannot compress an empty array")
         return arr
 
-    def _compress_checked(self, arr: np.ndarray, eb: float) -> CompressedBlock:
+    def _compress_checked(
+        self, arr: np.ndarray, eb: float, ws: Workspace
+    ) -> CompressedBlock:
         source_itemsize = arr.dtype.itemsize if arr.dtype.kind == "f" else 8
 
-        work, abs_eb = self._to_workspace(arr, eb)
         if self.engine == "dual":
-            q = quantize_abs(work, abs_eb)
-            residuals = lorenzo_transform(q)
-            qr = encode_residuals(residuals.ravel(), self.radius)
-            payloads = self._encode_payloads(qr)
+            qr = self._quantize_encode(arr, eb, ws)
+            payloads = self._encode_payloads(qr, ws)
         else:
+            work, abs_eb = self._to_workspace(arr, eb)
             codes3d, _recon = classic_sz_quantize(
                 np.atleast_3d(work), abs_eb, self.radius
             )
@@ -213,8 +320,10 @@ class SZCompressor:
             out_val_float = np.atleast_3d(work).ravel()[out_pos]
             payloads = {
                 "codes": self.codec.encode(codes),
-                "outlier_pos": zlib.compress(out_pos.astype(np.int64).tobytes(), 6),
-                "outlier_val": zlib.compress(out_val_float.astype(np.float64).tobytes(), 6),
+                "outlier_pos": _deflate_channel(out_pos.astype(np.int64, copy=False)),
+                "outlier_val": _deflate_channel(
+                    out_val_float.astype(np.float64, copy=False)
+                ),
             }
             qr = QuantizedResiduals(codes, out_pos, np.empty(0, np.int64), self.radius)
 
@@ -244,6 +353,43 @@ class SZCompressor:
 
     # -- internals --------------------------------------------------------
 
+    def _quantize_encode(
+        self, arr: np.ndarray, eb: float, ws: Workspace
+    ) -> QuantizedResiduals:
+        """The fused dual-engine front: quantize -> Lorenzo -> residual codes.
+
+        One pass over reusable workspace buffers: the error-bound space
+        mapping, lattice quantization, in-place Lorenzo transform and
+        bounded-code encoding all run inside the arena — the only fresh
+        allocations are the (normally tiny) outlier channel.  The
+        returned codes are a workspace view, valid until the arena's
+        ``lattice_i64`` slot is requested again.
+        """
+        work = ws.request("work_f64", arr.shape, np.float64)
+        mask = ws.request("quant_mask", arr.shape, np.bool_)
+        if self.mode == "abs":
+            abs_eb = eb
+            np.isfinite(arr, out=mask)
+            if not mask.all():
+                raise ValueError("data contains non-finite values (NaN or Inf)")
+            with np.errstate(over="ignore"):
+                np.divide(arr, 2.0 * abs_eb, out=work, dtype=np.float64)
+        else:
+            np.less_equal(arr, 0, out=mask)
+            if mask.any():
+                raise ValueError("pw_rel mode requires strictly positive data")
+            abs_eb = pw_rel_to_log_abs(eb)
+            np.log(arr, out=work, dtype=np.float64)
+            np.isfinite(work, out=mask)
+            if not mask.all():
+                raise ValueError("data contains non-finite values (NaN or Inf)")
+            with np.errstate(over="ignore"):
+                np.divide(work, 2.0 * abs_eb, out=work)
+        q = quantize_abs_into(work, ws)
+        scratch = ws.request("lorenzo_scratch", (arr.size,), np.int64)
+        lorenzo_transform_inplace(q, scratch)
+        return encode_residuals_inplace(q.reshape(-1), self.radius, ws)
+
     def _to_workspace(self, arr: np.ndarray, eb: float) -> tuple[np.ndarray, float]:
         """Map data into the space where the bound is absolute."""
         work = np.asarray(arr, dtype=np.float64)
@@ -253,11 +399,23 @@ class SZCompressor:
             raise ValueError("pw_rel mode requires strictly positive data")
         return np.log(work), pw_rel_to_log_abs(eb)
 
-    def _encode_payloads(self, qr: QuantizedResiduals) -> dict[str, bytes]:
+    def _encode_payloads(self, qr: QuantizedResiduals, ws: Workspace) -> dict[str, bytes]:
+        codes = qr.codes
+        dt = _minimal_uint_dtype(int(codes.max()) if codes.size else 0)
+        if codes.dtype == dt:
+            narrow = codes
+        else:
+            # Narrow once here instead of inside the codec, so the
+            # int64 workspace codes never round-trip through a fresh
+            # full-width copy on their way to the entropy stage.
+            narrow = ws.request("codes_narrow", codes.shape, dt)
+            np.copyto(narrow, codes, casting="unsafe")
         return {
-            "codes": self.codec.encode(qr.codes),
-            "outlier_pos": zlib.compress(qr.outlier_positions.tobytes(), 6),
-            "outlier_val": zlib.compress(_zigzag(qr.outlier_values).tobytes(), 6),
+            "codes": self.codec.encode(narrow),
+            "outlier_pos": _deflate_channel(
+                qr.outlier_positions.astype(np.int64, copy=False)
+            ),
+            "outlier_val": _deflate_channel(_zigzag(qr.outlier_values)),
         }
 
 
@@ -274,9 +432,9 @@ def _decompress_dual_workspace(block: CompressedBlock) -> np.ndarray:
     n = block.n_elements
     codec = get_codec(block.codec_name)
     codes = codec.decode(block.payloads["codes"], n)
-    out_pos = np.frombuffer(zlib.decompress(block.payloads["outlier_pos"]), dtype=np.int64)
+    out_pos = np.frombuffer(_inflate_channel(block.payloads["outlier_pos"]), dtype=np.int64)
     out_val = _unzigzag(
-        np.frombuffer(zlib.decompress(block.payloads["outlier_val"]), dtype=np.uint64)
+        np.frombuffer(_inflate_channel(block.payloads["outlier_val"]), dtype=np.uint64)
     )
     qr = QuantizedResiduals(codes, out_pos, out_val, block.radius)
     residuals = decode_residuals(qr).reshape(block.shape)
@@ -289,8 +447,8 @@ def _decompress_classic_workspace(block: CompressedBlock) -> np.ndarray:
     n = block.n_elements
     codec = get_codec(block.codec_name)
     codes = codec.decode(block.payloads["codes"], n)
-    out_pos = np.frombuffer(zlib.decompress(block.payloads["outlier_pos"]), dtype=np.int64)
-    out_val = np.frombuffer(zlib.decompress(block.payloads["outlier_val"]), dtype=np.float64)
+    out_pos = np.frombuffer(_inflate_channel(block.payloads["outlier_pos"]), dtype=np.int64)
+    out_val = np.frombuffer(_inflate_channel(block.payloads["outlier_val"]), dtype=np.float64)
     shape3d = block.shape + (1,) * (3 - len(block.shape))
     abs_eb = block.eb if block.mode == "abs" else pw_rel_to_log_abs(block.eb)
     return _classic_reconstruct(

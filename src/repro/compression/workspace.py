@@ -1,0 +1,80 @@
+"""Reusable scratch buffers for the fused compression kernels.
+
+The hot path of :class:`repro.compression.sz.SZCompressor` needs a
+handful of full-array temporaries per call (a float64 quantization
+buffer, an int64 lattice/residual buffer, boolean masks, a narrowed
+code buffer).  Allocating them per ``compress`` call costs page faults
+and memory bandwidth that dominate once the numpy kernels themselves
+are cheap — the paper budgets the whole adaptive machinery at 1-5% of
+compression time (§4.3), so the compressor itself has to be lean.
+
+A :class:`Workspace` is an arena of named, preallocated buffers.  Each
+slot is grown geometrically to the largest size ever requested and
+served back as a reshaped view, so a batch of partitions (for example
+one :meth:`~repro.compression.sz.SZCompressor.compress_many` call from
+an execution-backend worker) allocates its temporaries once and reuses
+them for every block.
+
+Thread-safety contract
+----------------------
+A ``Workspace`` is **not** thread-safe: two concurrent kernels handed
+the same instance would scribble over each other's views.  The intended
+ownership is one workspace per worker:
+
+- ``SZCompressor`` keeps one workspace *per thread* (``threading.local``)
+  so the thread-SPMD backend's per-rank threads never share buffers,
+- process-pool workers each hold their own compressor deserialization
+  and therefore their own workspace,
+- callers may pass an explicit workspace to ``compress_many`` when they
+  manage worker lifetimes themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Arena of named scratch buffers served as shaped views.
+
+    Buffers are keyed by ``(name, dtype)``; a request larger than the
+    slot's current capacity reallocates it (with geometric headroom so
+    ragged batch shapes don't cause repeated growth), otherwise the
+    existing allocation is sliced and reshaped — no copy, no new pages.
+    """
+
+    #: Headroom factor applied when a slot must be enlarged, so ragged
+    #: ascending batch shapes don't reallocate on every new maximum.
+    GROWTH = 1.25
+
+    def __init__(self) -> None:
+        self._slots: dict[tuple[str, str], np.ndarray] = {}
+
+    def request(self, name: str, shape: tuple[int, ...], dtype: np.dtype | type) -> np.ndarray:
+        """A C-contiguous scratch view of ``shape``/``dtype`` for slot ``name``.
+
+        The contents are uninitialized (whatever the previous kernel left
+        behind); callers must fully overwrite the view.  Requesting the
+        same name again invalidates previously returned views for it.
+        """
+        dt = np.dtype(dtype)
+        n = int(np.prod(shape)) if shape else 1
+        key = (name, dt.str)
+        base = self._slots.get(key)
+        if base is None or base.size < n:
+            base = np.empty(max(int(n * self.GROWTH), 1), dtype=dt)
+            self._slots[key] = base
+        return base[:n].reshape(shape)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all slots (diagnostics)."""
+        return sum(b.nbytes for b in self._slots.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. after a one-off huge block)."""
+        self._slots.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Workspace(slots={len(self._slots)}, nbytes={self.nbytes()})"

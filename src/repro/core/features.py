@@ -40,9 +40,15 @@ class PartitionFeatures:
 
 
 def histogram_entropy(partition: np.ndarray, bins: int = 256) -> float:
-    """Shannon entropy (bits) of the value histogram — the costly feature."""
-    arr = np.asarray(partition, dtype=np.float64).ravel()
-    lo, hi = arr.min(), arr.max()
+    """Shannon entropy (bits) of the value histogram — the costly feature.
+
+    Computed on the partition's native dtype: ``min``/``max`` and
+    ``np.histogram`` (which bins against float64 edges internally)
+    handle float32 fields directly, so the old full-array float64
+    ravel copy is never materialized.
+    """
+    arr = np.asarray(partition)
+    lo, hi = float(arr.min()), float(arr.max())
     if hi == lo:
         return 0.0
     counts, _ = np.histogram(arr, bins=bins, range=(lo, hi))

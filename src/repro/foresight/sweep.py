@@ -4,6 +4,12 @@ This is the broad-spectrum empirical methodology (Foresight) the paper
 uses for ground truth and baselines.  Each record carries rate *and*
 quality, so downstream code can pick operating points or validate the
 models' predictions.
+
+Rate-curve studies don't need the quality half (or even the compressed
+bytes): ``rate_only=True`` skips decompression and quality evaluation,
+and ``probe_mode="estimate"`` additionally skips the entropy codec,
+reading each bit rate off the quantization-code histogram
+(:mod:`repro.compression.estimator`) instead.
 """
 
 from __future__ import annotations
@@ -22,17 +28,21 @@ __all__ = ["SweepRecord", "run_sweep"]
 
 @dataclass
 class SweepRecord:
-    """One (field, eb) evaluation."""
+    """One (field, eb) evaluation.
+
+    ``quality`` is ``None`` for rate-only records (no reconstruction was
+    produced), in which case :attr:`passed` is ``None`` as well.
+    """
 
     field: str
     eb: float
     bit_rate: float
     ratio: float
-    quality: QualityReport
+    quality: QualityReport | None
 
     @property
-    def passed(self) -> bool:
-        return self.quality.passed
+    def passed(self) -> bool | None:
+        return self.quality.passed if self.quality is not None else None
 
 
 def run_sweep(
@@ -41,6 +51,8 @@ def run_sweep(
     criteria: dict[str, QualityCriteria],
     decomposition: BlockDecomposition | None = None,
     compressor: SZCompressor | None = None,
+    rate_only: bool = False,
+    probe_mode: str = "exact",
 ) -> list[SweepRecord]:
     """Evaluate every (field, eb) combination.
 
@@ -52,32 +64,58 @@ def run_sweep(
         Error bounds to trial (absolute).
     criteria:
         Field name -> acceptance criteria (fields without an entry use
-        spectrum-only defaults).
+        spectrum-only defaults).  Ignored when rates alone are swept.
     decomposition:
         If given, fields are compressed partition-wise (matching the in
         situ layout); otherwise whole-field.
+    rate_only:
+        Skip decompression and quality evaluation; records carry
+        ``quality=None``.
+    probe_mode:
+        ``"exact"`` (default) runs the full compressor; ``"estimate"``
+        predicts rates from code histograms without running the entropy
+        codec — codec-free sweeps are inherently rate-only.
     """
     if not fields:
         raise ValueError("need at least one field")
     if not ebs:
         raise ValueError("need at least one error bound")
+    if probe_mode not in ("exact", "estimate"):
+        raise ValueError(
+            f"probe_mode must be 'exact' or 'estimate', got {probe_mode!r}"
+        )
+    if probe_mode == "estimate":
+        rate_only = True  # no payloads exist to decompress
     comp = compressor or SZCompressor()
     records: list[SweepRecord] = []
     for name, data in fields.items():
         crit = criteria.get(name, QualityCriteria())
+        views = (
+            decomposition.partition_views(data) if decomposition is not None else None
+        )
         for eb in ebs:
             eb = float(eb)
-            if decomposition is not None:
-                blocks = [comp.compress(v, eb) for v in decomposition.partition_views(data)]
+            quality: QualityReport | None = None
+            if probe_mode == "estimate":
+                ests = [
+                    comp.estimate(v, eb) for v in (views if views is not None else [data])
+                ]
+                nbytes = sum(e.est_nbytes for e in ests)
+                n = sum(e.n_elements for e in ests)
+                itemsize = ests[0].source_itemsize
+            elif views is not None:
+                blocks = [comp.compress(v, eb) for v in views]
                 nbytes = sum(b.nbytes for b in blocks)
                 n = sum(b.n_elements for b in blocks)
                 itemsize = blocks[0].source_itemsize
-                recon = decomposition.assemble([decompress(b) for b in blocks])
+                if not rate_only:
+                    recon = decomposition.assemble([decompress(b) for b in blocks])
+                    quality = evaluate_quality(data, recon, crit)
             else:
                 block = comp.compress(data, eb)
                 nbytes, n, itemsize = block.nbytes, block.n_elements, block.source_itemsize
-                recon = decompress(block)
-            quality = evaluate_quality(data, recon, crit)
+                if not rate_only:
+                    quality = evaluate_quality(data, decompress(block), crit)
             records.append(
                 SweepRecord(
                     field=name,

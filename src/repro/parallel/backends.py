@@ -43,6 +43,7 @@ from typing import Any, ClassVar
 import numpy as np
 
 from repro.compression.sz import CompressedBlock, SZCompressor
+from repro.compression.workspace import Workspace
 from repro.core.config import HaloQualitySpec, OptimizerSettings
 from repro.core.features import PartitionFeatures, extract_features
 from repro.core.optimizer import (
@@ -271,6 +272,12 @@ class ThreadBackend(ExecutionBackend):
 #: serial path.
 _WORKER_COMPRESSORS: dict[bytes, SZCompressor] = {}
 
+#: One kernel scratch arena per worker process, shared across batches
+#: and compressor configurations (buffer slots are keyed by shape/dtype,
+#: not by compressor): the fused kernels allocate their temporaries on
+#: the first block and reuse them for every block the worker ever sees.
+_WORKER_WORKSPACE = Workspace()
+
 
 def _pooled_compressor(blob: bytes) -> SZCompressor:
     comp = _WORKER_COMPRESSORS.get(blob)
@@ -363,7 +370,9 @@ def _compress_task(
     try:
         start = time.perf_counter()
         blocks = _pooled_compressor(compressor_blob).compress_many(
-            [arr[slices] for slices, _ in items], [eb for _, eb in items]
+            [arr[slices] for slices, _ in items],
+            [eb for _, eb in items],
+            workspace=_WORKER_WORKSPACE,
         )
         return blocks, time.perf_counter() - start
     finally:

@@ -48,7 +48,10 @@ class TestAbsQuantization:
     def test_bound_property(self, values, eb):
         data = np.array(values)
         recon = dequantize_abs(quantize_abs(data, eb), eb)
-        assert np.max(np.abs(recon - data)) <= eb * (1 + 1e-9) + 1e-15
+        # Slack scales with eb AND the data magnitude: a rounding tie
+        # reconstructs a few ulps-of-|x| past the bound in float64.
+        limit = eb * (1 + 1e-9) + 4.0 * np.spacing(np.abs(data).max()) + 1e-15
+        assert np.max(np.abs(recon - data)) <= limit
 
 
 class TestPwRel:

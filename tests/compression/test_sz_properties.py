@@ -8,7 +8,7 @@ models, the quality budgets) relies on.
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -26,12 +26,29 @@ _field = hnp.arrays(
 _BOUND_SLACK = 1e-9
 
 
+def _bound_limit(data: np.ndarray, eb: float) -> float:
+    """The float-arithmetic ceiling of the |x - x'| <= eb contract.
+
+    At a round-half-even tie the real-arithmetic error equals ``eb``
+    exactly, and the reconstruction product ``q * (2*eb)`` can land a
+    few ulps past it *at the data's magnitude* — e.g. data 7725311.0
+    with eb = 1/3 reconstructs 0.67 ulp(data) beyond the bound in pure
+    float64.  So the slack scales with both ``eb`` and ``max |data|``.
+    """
+    return (
+        eb * (1 + _BOUND_SLACK)
+        + 4.0 * float(np.spacing(np.max(np.abs(data), initial=1.0)))
+        + 1e-12
+    )
+
+
 @given(_field, st.floats(1e-3, 1e3))
+@example(np.full((2, 2, 2), 7725311.0), 1 / 3)  # tie at large magnitude
 @settings(max_examples=50, deadline=None)
 def test_abs_error_bound_always_holds(data, eb):
     comp = SZCompressor()
     recon = comp.decompress(comp.compress(data, eb))
-    assert np.max(np.abs(recon - data)) <= eb * (1 + _BOUND_SLACK) + 1e-12
+    assert np.max(np.abs(recon - data)) <= _bound_limit(data, eb)
 
 
 @given(_field, st.floats(1e-2, 10.0))
@@ -76,10 +93,11 @@ def test_pw_rel_bound_always_holds(data, rel):
 
 
 @given(_field, st.floats(1e-2, 10.0))
+@example(np.full((2, 2, 2), 7725311.0), 1 / 3)  # tie at large magnitude
 @settings(max_examples=20, deadline=None)
 def test_dual_and_classic_engines_agree_on_bound(data, eb):
     """Both quantization orderings satisfy the same contract."""
     for engine in ("dual", "classic"):
         comp = SZCompressor(engine=engine)
         recon = comp.decompress(comp.compress(data, eb))
-        assert np.max(np.abs(recon - data)) <= eb * (1 + _BOUND_SLACK) + 1e-12
+        assert np.max(np.abs(recon - data)) <= _bound_limit(data, eb)

@@ -1,0 +1,245 @@
+"""The workspace arena and the fused-kernel equivalence contract.
+
+The fused compress path (reusable scratch buffers, in-place Lorenzo,
+single narrowing pass) must be a pure performance change: payloads
+byte-identical to composing the unfused public primitives exactly as
+the original implementation did, across engines, modes and codecs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.codecs import get_codec
+from repro.compression.lorenzo import lorenzo_transform, lorenzo_transform_inplace
+from repro.compression.quantizer import encode_residuals, quantize_abs
+from repro.compression.sz import SZCompressor, _zigzag, decompress
+from repro.compression.workspace import Workspace
+
+
+def reference_compress_payloads(
+    data: np.ndarray, eb: float, mode: str, codec: str, radius: int
+) -> dict[str, bytes]:
+    """The unfused reference pipeline, composed from public primitives.
+
+    Mirrors the original (pre-workspace) implementation step for step:
+    float64 upcast, allocating quantize, ``np.diff``-style Lorenzo,
+    allocating residual encode, codec over int64 codes.
+    """
+    work = np.asarray(data, dtype=np.float64)
+    if mode == "pw_rel":
+        abs_eb = float(np.log1p(eb))
+        work = np.log(work)
+    else:
+        abs_eb = eb
+    q = quantize_abs(work, abs_eb)
+    residuals = lorenzo_transform(q)
+    qr = encode_residuals(residuals.ravel(), radius)
+    return {
+        "codes": get_codec(codec).encode(qr.codes),
+        "outlier_pos": (
+            zlib.compress(qr.outlier_positions.tobytes(), 6)
+            if qr.outlier_positions.size
+            else b""
+        ),
+        "outlier_val": (
+            zlib.compress(_zigzag(qr.outlier_values).tobytes(), 6)
+            if qr.outlier_values.size
+            else b""
+        ),
+    }
+
+
+class TestWorkspace:
+    def test_views_are_reused_not_reallocated(self):
+        ws = Workspace()
+        a = ws.request("x", (4, 4), np.int64)
+        b = ws.request("x", (4, 4), np.int64)
+        assert a.base is b.base
+
+    def test_distinct_names_never_alias(self):
+        ws = Workspace()
+        a = ws.request("a", (8,), np.int64)
+        b = ws.request("b", (8,), np.int64)
+        a[:] = 1
+        b[:] = 2
+        assert (a == 1).all()
+
+    def test_grows_to_largest_request(self):
+        ws = Workspace()
+        ws.request("x", (4,), np.float64)
+        big = ws.request("x", (100,), np.float64)
+        assert big.size == 100
+        small = ws.request("x", (10,), np.float64)
+        assert small.base is big.base
+
+    def test_growth_headroom_absorbs_ragged_batches(self):
+        ws = Workspace()
+        ws.request("x", (100,), np.float64)
+        base = ws.request("x", (110,), np.float64).base  # within headroom
+        assert ws.request("x", (100,), np.float64).base is base
+
+    def test_same_name_different_dtypes_are_separate_slots(self):
+        ws = Workspace()
+        a = ws.request("x", (8,), np.int64)
+        b = ws.request("x", (8,), np.float64)
+        assert a.dtype == np.int64 and b.dtype == np.float64
+
+    def test_clear_and_nbytes(self):
+        ws = Workspace()
+        ws.request("x", (128,), np.float64)
+        assert ws.nbytes() >= 128 * 8  # allocation includes growth headroom
+        ws.clear()
+        assert ws.nbytes() == 0
+
+
+class TestFusedKernels:
+    def test_lorenzo_inplace_matches_diff_chain(self):
+        rng = np.random.default_rng(0)
+        for shape in ((17,), (9, 13), (5, 6, 7)):
+            arr = rng.integers(-1000, 1000, shape)
+            expected = arr.copy()
+            for axis in range(arr.ndim):
+                pre = np.zeros(
+                    [1 if ax == axis else s for ax, s in enumerate(expected.shape)],
+                    dtype=expected.dtype,
+                )
+                expected = np.diff(expected, axis=axis, prepend=pre)
+            out = lorenzo_transform_inplace(arr.copy())
+            assert np.array_equal(out, expected)
+
+    def test_lorenzo_inplace_rejects_bad_scratch(self):
+        with pytest.raises(ValueError, match="scratch"):
+            lorenzo_transform_inplace(
+                np.zeros((4, 4), dtype=np.int64), np.zeros(2, dtype=np.int64)
+            )
+
+    @pytest.mark.parametrize("engine", ["dual", "classic"])
+    @pytest.mark.parametrize("codec", ["zlib", "huffman", "raw"])
+    def test_payloads_match_reference_across_codecs(self, engine, codec, rng=None):
+        rng = np.random.default_rng(3)
+        shape = (6, 5, 4) if engine == "classic" else (12, 10, 8)
+        data = rng.normal(0, 10, shape)
+        comp = SZCompressor(codec=codec, engine=engine)
+        block = comp.compress(data, 0.05)
+        if engine == "dual":
+            ref = reference_compress_payloads(data, 0.05, "abs", codec, comp.radius)
+            assert block.payloads == ref
+        recon = decompress(block)
+        assert np.max(np.abs(recon - data)) <= 0.05 * (1 + 1e-9)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=8),
+            elements=st.floats(-1e7, 1e7, allow_nan=False, allow_infinity=False),
+        ),
+        st.floats(1e-3, 1e2),
+        st.sampled_from(["zlib", "huffman", "raw"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fused_payloads_byte_identical_to_reference(self, data, eb, codec):
+        comp = SZCompressor(codec=codec)
+        block = comp.compress(data, eb)
+        ref = reference_compress_payloads(data, eb, "abs", codec, comp.radius)
+        assert block.payloads == ref
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=(4, 4, 4),
+            elements=st.floats(1e-3, 1e6, allow_nan=False),
+        ),
+        st.floats(1e-3, 0.5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fused_pw_rel_byte_identical_to_reference(self, data, rel):
+        comp = SZCompressor(mode="pw_rel")
+        block = comp.compress(data, rel)
+        ref = reference_compress_payloads(data, rel, "pw_rel", "zlib", comp.radius)
+        assert block.payloads == ref
+
+    def test_float32_input_byte_identical_to_reference(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(0, 5, (10, 9, 8)).astype(np.float32)
+        comp = SZCompressor()
+        block = comp.compress(data, 0.01)
+        ref = reference_compress_payloads(data, 0.01, "abs", "zlib", comp.radius)
+        assert block.payloads == ref
+        assert block.source_itemsize == 4
+
+    def test_empty_outlier_channels_store_empty_bytes(self):
+        data = np.linspace(0.0, 1.0, 64).reshape(4, 4, 4)
+        block = SZCompressor().compress(data, 0.01)
+        assert block.n_outliers == 0
+        assert block.payloads["outlier_pos"] == b""
+        assert block.payloads["outlier_val"] == b""
+        assert np.max(np.abs(decompress(block) - data)) <= 0.01 * (1 + 1e-9)
+
+    def test_legacy_zlib_empty_channels_still_decode(self):
+        """Blocks written before the empty-payload short-circuit load fine."""
+        data = np.linspace(0.0, 1.0, 64).reshape(4, 4, 4)
+        block = SZCompressor().compress(data, 0.01)
+        block.payloads["outlier_pos"] = zlib.compress(b"", 6)
+        block.payloads["outlier_val"] = zlib.compress(b"", 6)
+        assert np.max(np.abs(decompress(block) - data)) <= 0.01 * (1 + 1e-9)
+
+    def test_outliers_roundtrip_through_fused_path(self):
+        rng = np.random.default_rng(5)
+        comp = SZCompressor(radius=16)  # tiny radius forces outliers
+        data = rng.normal(0, 100, (8, 8, 8))
+        block = comp.compress(data, 0.01)
+        assert block.n_outliers > 0
+        assert block.payloads["outlier_pos"] != b""
+        recon = decompress(block)
+        assert np.max(np.abs(recon - data)) <= 0.01 * (1 + 1e-9) + 1e-12
+
+    def test_repeated_compress_reuses_workspace(self):
+        comp = SZCompressor()
+        rng = np.random.default_rng(7)
+        data = rng.normal(0, 1, (16, 16, 16))
+        b1 = comp.compress(data, 0.01)
+        nbytes_after_first = comp.workspace.nbytes()
+        b2 = comp.compress(data, 0.01)
+        assert comp.workspace.nbytes() == nbytes_after_first
+        assert b1.payloads == b2.payloads
+
+    def test_explicit_workspace_compress_many(self):
+        comp = SZCompressor()
+        ws = Workspace()
+        rng = np.random.default_rng(9)
+        views = [rng.normal(0, 1, (8, 8, 8)) for _ in range(4)]
+        blocks = comp.compress_many(views, [0.01] * 4, workspace=ws)
+        assert ws.nbytes() > 0
+        singles = [comp.compress(v, 0.01) for v in views]
+        for b, s in zip(blocks, singles):
+            assert b.payloads == s.payloads
+
+
+class TestThreadAndPickleSafety:
+    def test_compressor_pickles_without_workspace_state(self):
+        comp = SZCompressor(codec="huffman")
+        comp.compress(np.linspace(0, 1, 64), 0.01)  # populate workspace
+        clone = pickle.loads(pickle.dumps(comp))
+        assert clone.mode == comp.mode and clone.codec.name == "huffman"
+        data = np.linspace(0, 2, 128)
+        assert clone.compress(data, 0.01).payloads == comp.compress(data, 0.01).payloads
+
+    def test_shared_compressor_is_thread_safe(self):
+        """Concurrent compress calls on one instance must not interfere:
+        each thread gets its own workspace via threading.local."""
+        comp = SZCompressor()
+        rng = np.random.default_rng(13)
+        arrays = [rng.normal(0, 1, (12, 12, 12)) for _ in range(16)]
+        expected = [comp.compress(a, 0.01).payloads for a in arrays]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda a: comp.compress(a, 0.01).payloads, arrays))
+        assert results == expected

@@ -77,6 +77,67 @@ class TestSweep:
         with pytest.raises(ValueError, match="error bound"):
             run_sweep({"t": snapshot["temperature"]}, [], {})
 
+    def test_rejects_unknown_probe_mode(self, snapshot):
+        with pytest.raises(ValueError, match="probe_mode"):
+            run_sweep({"t": snapshot["temperature"]}, [1.0], {}, probe_mode="quick")
+
+
+class TestRateOnlySweep:
+    def test_rate_only_skips_quality(self, snapshot, decomposition):
+        records = run_sweep(
+            {"temperature": snapshot["temperature"]},
+            ebs=[10.0, 100.0],
+            criteria={},
+            decomposition=decomposition,
+            rate_only=True,
+        )
+        assert all(r.quality is None and r.passed is None for r in records)
+        # Rates are the real, codec-exact ones.
+        exact = run_sweep(
+            {"temperature": snapshot["temperature"]},
+            ebs=[10.0, 100.0],
+            criteria={},
+            decomposition=decomposition,
+        )
+        for fast, ref in zip(records, exact):
+            assert fast.bit_rate == ref.bit_rate
+            assert fast.ratio == ref.ratio
+
+    def test_estimate_mode_is_rate_only_and_close(self, snapshot, decomposition):
+        fields = {"temperature": snapshot["temperature"]}
+        est = run_sweep(
+            fields, ebs=[200.0, 2000.0], criteria={}, decomposition=decomposition,
+            probe_mode="estimate",
+        )
+        exact = run_sweep(
+            fields, ebs=[200.0, 2000.0], criteria={}, decomposition=decomposition,
+            rate_only=True,
+        )
+        for e, x in zip(est, exact):
+            assert e.quality is None
+            rel = abs(e.bit_rate - x.bit_rate) / x.bit_rate
+            assert rel <= 0.10 or abs(e.bit_rate - x.bit_rate) <= 0.1
+
+    def test_estimate_mode_whole_field(self, snapshot):
+        records = run_sweep(
+            {"temperature": snapshot["temperature"]}, ebs=[25.0], criteria={},
+            probe_mode="estimate",
+        )
+        assert len(records) == 1
+        assert records[0].bit_rate > 0 and records[0].quality is None
+
+    def test_rate_only_records_render_in_reports(self, snapshot):
+        from repro.foresight.report import records_to_csv, records_to_table
+
+        records = run_sweep(
+            {"temperature": snapshot["temperature"]}, ebs=[25.0], criteria={},
+            probe_mode="estimate",
+        )
+        table = records_to_table(records, title="rate only")
+        csv = records_to_csv(records)
+        assert "temperature" in table
+        assert "-" in csv.splitlines()[1].split(",")
+
 
 class TestReports:
     @pytest.fixture()

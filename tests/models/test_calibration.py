@@ -73,3 +73,38 @@ class TestCalibration:
         views = decomposition.partition_views(snapshot["baryon_density"])
         with pytest.raises(ValueError, match="positive"):
             calibrate_rate_model(views, probe_ebs=[0.1, -0.2])
+
+
+class TestProbeModes:
+    def test_rejects_unknown_probe_mode(self, snapshot, decomposition):
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        with pytest.raises(ValueError, match="probe_mode"):
+            calibrate_rate_model(views, eb_scale=0.2, probe_mode="fast")
+
+    def test_estimate_mode_fits_close_to_exact(self, snapshot, decomposition):
+        """The codec-free fit must predict the same rates as the exact
+        fit to within 10% across the probe range (the acceptance bar for
+        swapping it into calibration)."""
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        exact = calibrate_rate_model(views, eb_scale=0.2, seed=0, probe_mode="exact")
+        est = calibrate_rate_model(views, eb_scale=0.2, seed=0, probe_mode="estimate")
+        means = np.array([np.mean(np.abs(v)) for v in views])
+        for eb in (0.1, 0.2, 0.4):
+            b_exact = exact.rate_model.predict_bitrate(means, eb)
+            b_est = est.rate_model.predict_bitrate(means, eb)
+            assert np.max(np.abs(b_est / b_exact - 1.0)) < 0.10
+
+    def test_estimate_mode_never_runs_codec(self, snapshot, decomposition, monkeypatch):
+        from repro.compression.sz import SZCompressor
+
+        views = decomposition.partition_views(snapshot["baryon_density"])
+        comp = SZCompressor()
+
+        def boom(*a, **k):  # pragma: no cover - called means failure
+            raise AssertionError("exact compress ran in estimate mode")
+
+        monkeypatch.setattr(comp, "compress", boom)
+        cal = calibrate_rate_model(
+            views, compressor=comp, eb_scale=0.2, seed=0, probe_mode="estimate"
+        )
+        assert cal.shared_exponent < 0

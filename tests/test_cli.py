@@ -94,6 +94,49 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "temperature" in out
 
+    def test_sweep_rate_only_estimate(self, snap_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--ebs",
+                "50,500",
+                "--probe-mode",
+                "estimate",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        data_rows = [ln for ln in out.splitlines() if ln.startswith("temperature")]
+        assert len(data_rows) == 2
+        # Rate-only records carry no pass/fail verdict in the last column.
+        assert all(row.split("|")[-1].strip() == "-" for row in data_rows)
+
+    def test_compress_estimate_probe_mode(self, snap_path, tmp_path, capsys):
+        out = tmp_path / "blocks-est.npz"
+        rc = main(
+            [
+                "compress",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--probe-mode",
+                "estimate",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+
     @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
     def test_compress_backend_flag(self, snap_path, tmp_path, capsys, backend):
         out = tmp_path / f"blocks-{backend}.npz"
