@@ -1,0 +1,320 @@
+"""Quality-path wall-clock: reference-cached evaluator and batched labeling.
+
+Measures the two performance claims of the reference-cached quality
+engine against frozen copies of the seed implementation:
+
+1. a full-quality sweep (spectrum + halo + distortion metrics) of one
+   64^3 field over >= 6 error bounds — seed path re-analyzes the
+   original per bound (two Nyquist-binned spectra with per-call mode-bin
+   rebuilds, two halo finds with per-edge Python union loops, two error
+   passes), the cached path analyzes the original once and each
+   reconstruction with one rfftn, one vectorized halo find, and one
+   fused error pass;
+2. ``label_components`` on a dense candidate mask — per-edge Python
+   ``uf.union`` loop (seed) vs the batched ``union_many`` hooking.
+
+Reconstructions are precompressed outside the timers so both paths time
+the *quality* half the PR changes (the rate half was PR 2's benchmark);
+decompression is included in both since the sweep pays it either way.
+
+Each run appends a record to ``BENCH_quality.json`` (repo root / CWD),
+building a trajectory of measured speedups across commits.  Set
+``REPRO_BENCH_SMOKE=1`` (as the CI does) for a reduced grid without
+wall-clock assertions (shared single-core runners make one-off timing
+ratios flaky; the smoke run exercises the path and uploads the
+trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.catalog import compare_catalogs
+from repro.analysis.halos import HaloCatalog
+from repro.analysis.labeling import UnionFind, label_components
+from repro.analysis.metrics import nrmse, psnr
+from repro.compression.sz import SZCompressor, decompress
+from repro.foresight.evaluator import QualityEvaluator
+from repro.foresight.quality import QualityCriteria, QualityReport
+from repro.sim.nyx import NyxSimulator
+from repro.util.tables import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SHAPE = (32, 32, 32) if SMOKE else (64, 64, 64)
+N_EBS = 3 if SMOKE else 6
+ROUNDS = 3
+#: Speedup floors asserted outside smoke mode (the acceptance criteria).
+MIN_SWEEP_SPEEDUP = 3.0
+MIN_LABELING_SPEEDUP = 2.0
+#: Candidate-cell percentile for the halo criterion: low enough that the
+#: candidate set is dense (the regime where the seed's per-edge union
+#: loops dominated the halo find).
+HALO_PERCENTILE = 90.0
+#: Peak percentile for ``t_halo``: keeps the *catalog* small so the
+#: greedy halo matching — identical work in both paths — doesn't drown
+#: the signal this benchmark measures.
+PEAK_PERCENTILE = 99.8
+#: Mask density for the labeling micro-benchmark (dense-candidate case).
+LABEL_PERCENTILE = 70.0
+TRAJECTORY = Path("BENCH_quality.json")
+
+
+# -- frozen seed implementation, the comparison baseline ---------------------
+
+
+def _seed_power_spectrum(field: np.ndarray):
+    """Seed spectrum: mode bins and rfft weights rebuilt per call, every
+    bin computed up to the 1-D Nyquist frequency."""
+    arr = np.asarray(field, dtype=np.float64)
+    arr = arr - arr.mean()
+    n_total = arr.size
+    fk = np.fft.rfftn(arr)
+    weights = np.full(fk.shape, 2.0)
+    weights[..., 0] = 1.0
+    if arr.shape[2] % 2 == 0:
+        weights[..., -1] = 1.0
+    kx = np.fft.fftfreq(arr.shape[0]) * arr.shape[0]
+    ky = np.fft.fftfreq(arr.shape[1]) * arr.shape[1]
+    kz = np.fft.rfftfreq(arr.shape[2]) * arr.shape[2]
+    kk = np.sqrt(
+        kx[:, None, None] ** 2 + ky[None, :, None] ** 2 + kz[None, None, :] ** 2
+    )
+    bins = np.rint(kk).astype(np.int64)
+    nbins = min(s // 2 for s in arr.shape)
+    power_flat = (np.abs(fk) ** 2 * weights).ravel()
+    bins_flat = bins.ravel()
+    keep = (bins_flat >= 1) & (bins_flat <= nbins)
+    sums = np.bincount(bins_flat[keep], weights=power_flat[keep], minlength=nbins + 1)
+    counts = np.bincount(
+        bins_flat[keep], weights=weights.ravel()[keep], minlength=nbins + 1
+    )
+    k = np.arange(1, nbins + 1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean_power = np.where(counts[1:] > 0, sums[1:] / counts[1:], 0.0)
+    return k, mean_power / n_total
+
+
+def _seed_label_components(mask: np.ndarray, periodic: bool = True):
+    """Seed labeling: vectorized edge discovery, per-edge Python unions."""
+    mask = np.asarray(mask, dtype=bool)
+    flat_idx = np.flatnonzero(mask.ravel())
+    labels = np.zeros(mask.shape, dtype=np.int64)
+    m = len(flat_idx)
+    if m == 0:
+        return labels, 0
+    nx, ny, nz = mask.shape
+    cx, cy, cz = np.unravel_index(flat_idx, mask.shape)
+    uf = UnionFind(m)
+    strides = (ny * nz, nz, 1)
+    dims = (nx, ny, nz)
+    coords = (cx, cy, cz)
+    for axis in range(3):
+        c = coords[axis]
+        if periodic:
+            neighbor_coord = (c + 1) % dims[axis]
+            valid = np.ones(m, dtype=bool)
+        else:
+            neighbor_coord = c + 1
+            valid = neighbor_coord < dims[axis]
+        delta = (neighbor_coord.astype(np.int64) - c) * strides[axis]
+        nbr_flat = flat_idx + delta
+        pos = np.searchsorted(flat_idx, nbr_flat[valid])
+        pos_clipped = np.minimum(pos, m - 1)
+        hits = flat_idx[pos_clipped] == nbr_flat[valid]
+        src = np.flatnonzero(valid)[hits]
+        dst = pos_clipped[hits]
+        for a, b in zip(src.tolist(), dst.tolist()):
+            uf.union(a, b)
+    roots = uf.roots()
+    _, first_pos, compact = np.unique(roots, return_index=True, return_inverse=True)
+    order = np.argsort(np.argsort(first_pos))
+    labels.ravel()[flat_idx] = order[compact] + 1
+    return labels, int(len(first_pos))
+
+
+def _seed_find_halos(
+    density: np.ndarray, t_boundary: float, t_halo: float | None = None
+) -> HaloCatalog:
+    """Seed halo find: identical reductions, loop-based labeling."""
+    rho = np.asarray(density, dtype=np.float64)
+    if t_halo is None:
+        t_halo = 2.0 * t_boundary
+    mask = rho > t_boundary
+    labels, n_groups = _seed_label_components(mask, periodic=True)
+    n_candidates = int(mask.sum())
+    lab_flat = labels.ravel()
+    member = lab_flat > 0
+    lab_m = lab_flat[member]
+    rho_m = rho.ravel()[member]
+    sizes = np.bincount(lab_m, minlength=n_groups + 1)[1:]
+    masses = np.bincount(lab_m, weights=rho_m, minlength=n_groups + 1)[1:]
+    peaks = np.zeros(n_groups + 1)
+    np.maximum.at(peaks, lab_m, rho_m)
+    peaks = peaks[1:]
+    coords = np.stack(np.unravel_index(np.flatnonzero(member), rho.shape), axis=1)
+    centroids = np.stack(
+        [
+            np.bincount(lab_m, weights=coords[:, d], minlength=n_groups + 1)[1:]
+            for d in range(3)
+        ],
+        axis=1,
+    ) / np.maximum(sizes, 1)[:, None]
+    is_halo = (peaks > t_halo) & (sizes >= 1)
+    order = np.argsort(-masses[is_halo], kind="stable")
+    return HaloCatalog(
+        masses=masses[is_halo][order],
+        positions=centroids[is_halo][order],
+        sizes=sizes[is_halo][order],
+        peak_densities=peaks[is_halo][order],
+        t_boundary=float(t_boundary),
+        t_halo=float(t_halo),
+        n_candidate_cells=n_candidates,
+    )
+
+
+def _seed_evaluate_quality(
+    original: np.ndarray, reconstructed: np.ndarray, criteria: QualityCriteria
+) -> QualityReport:
+    """Seed quality evaluation: every original-side analysis recomputed."""
+    orig = np.asarray(original, dtype=np.float64)
+    rec = np.asarray(reconstructed, dtype=np.float64)
+    k, p_orig = _seed_power_spectrum(orig)
+    _, p_rec = _seed_power_spectrum(rec)
+    ratio = p_rec / p_orig
+    mask = k < criteria.spectrum_k_max
+    worst = float(np.max(np.abs(ratio[mask] - 1.0)))
+    cat_o = _seed_find_halos(orig, criteria.t_boundary, criteria.t_halo)
+    cat_r = _seed_find_halos(rec, criteria.t_boundary, criteria.t_halo)
+    cmp = compare_catalogs(cat_o, cat_r, max_distance=criteria.halo_match_distance)
+    halo_rmse = cmp.mass_rmse
+    halo_ok = bool(np.isfinite(halo_rmse) and halo_rmse <= criteria.halo_mass_rmse)
+    return QualityReport(
+        spectrum_ok=worst <= criteria.spectrum_tolerance,
+        spectrum_worst_deviation=worst,
+        halo_ok=halo_ok,
+        halo_mass_rmse=halo_rmse,
+        halo_count_change=cmp.count_change,
+        psnr_db=psnr(orig, rec),
+        nrmse_value=nrmse(orig, rec),
+    )
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_quality_path(benchmark):
+    sim = NyxSimulator(shape=SHAPE, box_size=float(SHAPE[0]), seed=42, sigma_delta0=2.5)
+    snap = sim.snapshot(z=0.5)
+    density = snap["baryon_density"]
+    f64 = density.astype(np.float64)
+    tb = float(np.percentile(f64, HALO_PERCENTILE))
+    th = float(np.percentile(f64, PEAK_PERCENTILE))
+    crit = QualityCriteria(
+        spectrum_tolerance=0.5,
+        check_halos=True,
+        t_boundary=tb,
+        t_halo=th,
+        halo_mass_rmse=0.05,
+    )
+    ebs = np.geomspace(0.005, 0.5, N_EBS)
+    comp = SZCompressor()
+    # The rate half is identical in both paths (PR 2's benchmark), so
+    # compress once outside the timers; decompression stays inside.
+    blocks = [comp.compress(density, float(eb)) for eb in ebs]
+
+    def seed_sweep():
+        return [
+            _seed_evaluate_quality(density, decompress(b), crit) for b in blocks
+        ]
+
+    def cached_sweep():
+        ev = QualityEvaluator(density, crit)
+        return [ev.evaluate(decompress(b)) for b in blocks]
+
+    label_mask = f64 > np.percentile(f64, LABEL_PERCENTILE)
+
+    def run():
+        return {
+            "sweep_seed_s": _best_of(seed_sweep),
+            "sweep_cached_s": _best_of(cached_sweep),
+            "labeling_seed_s": _best_of(lambda: _seed_label_components(label_mask)),
+            "labeling_vectorized_s": _best_of(lambda: label_components(label_mask, periodic=True)),
+        }
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Sanity: both engines agree (exact spectra/halos, fp-tolerant fused
+    # metrics), and both labelings find the same components.
+    for seed_rep, cached_rep in zip(seed_sweep(), cached_sweep()):
+        assert cached_rep.spectrum_worst_deviation == seed_rep.spectrum_worst_deviation
+        assert cached_rep.halo_mass_rmse == seed_rep.halo_mass_rmse
+        assert cached_rep.halo_count_change == seed_rep.halo_count_change
+        assert np.isclose(cached_rep.psnr_db, seed_rep.psnr_db, rtol=1e-9)
+    _, n_seed = _seed_label_components(label_mask)
+    _, n_vec = label_components(label_mask, periodic=True)
+    assert n_vec == n_seed
+
+    sweep_speedup = t["sweep_seed_s"] / t["sweep_cached_s"]
+    labeling_speedup = t["labeling_seed_s"] / t["labeling_vectorized_s"]
+
+    record = {
+        "grid": list(SHAPE),
+        "smoke": SMOKE,
+        "n_ebs": int(N_EBS),
+        "halo_percentile": HALO_PERCENTILE,
+        "label_mask_density": float(label_mask.mean()),
+        "n_candidate_cells": int((f64 > tb).sum()),
+        "timings_s": t,
+        "sweep_speedup": sweep_speedup,
+        "labeling_speedup": labeling_speedup,
+    }
+    trajectory = []
+    if TRAJECTORY.exists():
+        try:
+            trajectory = json.loads(TRAJECTORY.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    rows = [
+        [
+            f"quality sweep ({N_EBS} ebs)",
+            t["sweep_seed_s"],
+            t["sweep_cached_s"],
+            sweep_speedup,
+        ],
+        [
+            f"label_components ({label_mask.mean():.0%} dense)",
+            t["labeling_seed_s"],
+            t["labeling_vectorized_s"],
+            labeling_speedup,
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["stage", "seed (s)", "cached/vectorized (s)", "speedup"],
+            rows,
+            title=f"Quality path ({SHAPE[0]}^3 field)" + (" [smoke]" if SMOKE else ""),
+        )
+    )
+
+    if not SMOKE:
+        assert sweep_speedup >= MIN_SWEEP_SPEEDUP, (
+            f"cached quality sweep only {sweep_speedup:.2f}x faster than seed"
+        )
+        assert labeling_speedup >= MIN_LABELING_SPEEDUP, (
+            f"vectorized labeling only {labeling_speedup:.2f}x faster than seed"
+        )

@@ -3,8 +3,9 @@
 Particles closer than a linking length belong to the same halo.  We use
 a from-scratch cell-list neighbour search: particles are hashed into a
 grid of cells whose side equals the linking length, so all friend pairs
-live in adjacent cells.  Pair generation is vectorized; the union-find
-pass is the only Python loop.
+live in adjacent cells.  Pair generation and the union-find pass
+(:meth:`~repro.analysis.labeling.UnionFind.union_many`) are both
+vectorized.
 
 Also computes the paper's §2.1 halo notions: the *most connected
 particle* (most friends within a halo) and per-halo centres of mass.
@@ -153,8 +154,8 @@ def friends_of_friends(
         edges = cand
 
     uf = UnionFind(n)
-    for a, b in edges.tolist():
-        uf.union(a, b)
+    if len(edges):
+        uf.union_many(edges[:, 0], edges[:, 1])
     roots = uf.roots()
     uniq, group_ids = np.unique(roots, return_inverse=True)
     n_groups = len(uniq)

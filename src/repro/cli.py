@@ -169,6 +169,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         decomposition=dec,
         rate_only=args.rate_only,
         probe_mode=args.probe_mode,
+        backend=args.backend,
     )
     print(records_to_table(records, title=f"sweep: {args.field}"))
     return 0
@@ -233,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["exact", "estimate"],
         help="estimate rates from code histograms instead of running the "
         "entropy codec (implies --rate-only)",
+    )
+    s.add_argument(
+        "--backend",
+        default="serial",
+        choices=sorted(BACKENDS),
+        help="execution backend fanning out the per-(field, eb) quality "
+        "evaluations (rate probing always runs inline)",
     )
     s.set_defaults(fn=_cmd_sweep)
     return parser

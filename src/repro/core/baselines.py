@@ -13,8 +13,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.foresight.quality import QualityCriteria
 
 from repro.compression.stats import CompressionStats
 from repro.compression.sz import CompressedBlock, SZCompressor, decompress
@@ -85,17 +89,29 @@ class TrialAndErrorSearch:
     quality_check:
         Callable ``(original, reconstructed) -> (passed, metric)`` — e.g.
         :func:`repro.analysis.spectrum.check_spectrum_quality` or a halo
-        criterion.
+        criterion.  Mutually exclusive with ``criteria``.
     compressor:
         Error-bounded compressor to trial.
+    criteria:
+        A :class:`~repro.foresight.quality.QualityCriteria` instead of a
+        callable: the search then builds one reference-cached
+        :class:`~repro.foresight.evaluator.QualityEvaluator` per
+        :meth:`search` call, so the original field's spectrum/halo
+        analyses are computed once instead of once per trial.  A trial
+        passes when the full report does; the recorded metric is the
+        worst spectrum deviation.
     """
 
     def __init__(
         self,
-        quality_check: Callable[[np.ndarray, np.ndarray], tuple[bool, float]],
+        quality_check: Callable[[np.ndarray, np.ndarray], tuple[bool, float]] | None = None,
         compressor: SZCompressor | None = None,
+        criteria: "QualityCriteria | None" = None,
     ) -> None:
+        if (quality_check is None) == (criteria is None):
+            raise ValueError("provide exactly one of quality_check or criteria")
         self.quality_check = quality_check
+        self.criteria = criteria
         self.compressor = compressor or SZCompressor()
         self.trials: list[TrialRecord] = []
 
@@ -117,11 +133,23 @@ class TrialAndErrorSearch:
         if any(e <= 0 for e in candidates):
             raise ValueError("candidate error bounds must be positive")
         baseline = StaticBaseline(self.compressor)
+        evaluator = None
+        if self.criteria is not None:
+            from repro.foresight.evaluator import QualityEvaluator
+
+            evaluator = QualityEvaluator(data, self.criteria)
         self.trials = []
         for eb in candidates:
             result = baseline.run(data, decomposition, eb)
             recon = result.reconstruct(decomposition)
-            passed, metric = self.quality_check(np.asarray(data, dtype=np.float64), recon)
+            if evaluator is not None:
+                report = evaluator.evaluate(recon)
+                passed, metric = report.passed, report.spectrum_worst_deviation
+            else:
+                assert self.quality_check is not None
+                passed, metric = self.quality_check(
+                    np.asarray(data, dtype=np.float64), recon
+                )
             self.trials.append(
                 TrialRecord(eb=eb, passed=passed, ratio=result.overall_ratio, quality_metric=metric)
             )

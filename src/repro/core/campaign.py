@@ -28,8 +28,7 @@ from repro.models.fft_error import (
     spectrum_ratio_tolerance_to_eb,
     sub_threshold_power_estimate,
 )
-from repro.analysis.halos import find_halos
-from repro.analysis.spectrum import power_spectrum
+from repro.foresight.evaluator import FieldReference
 from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSnapshot
@@ -222,7 +221,7 @@ class CompressionCampaign:
     def calibrate(self, snapshot: NyxSnapshot, max_partitions: int = 24, seed: int = 0) -> None:
         """Fit the rate model per field (offline, once per campaign)."""
         for name, data in snapshot.fields.items():
-            eb_scale = self._budget(name, data)
+            eb_scale = self._budget(name, FieldReference(data))
             self.calibrations[name] = calibrate_rate_model(
                 self.decomposition.partition_views(data),
                 compressor=self.compressor,
@@ -241,8 +240,12 @@ class CompressionCampaign:
             if name not in self.calibrations:
                 raise KeyError(f"field {name!r} was not calibrated")
             spec = self.spec_for(name)
-            eb_avg = self._budget(name, data)
-            halo = self._halo_spec(name, data, eb_avg) if spec.halo_aware else None
+            # One shared reference per (field, snapshot): the budget
+            # inversion and the halo-spec derivation reuse the same
+            # float64 cast and cached analyses.
+            ref = FieldReference(data)
+            eb_avg = self._budget(name, ref)
+            halo = self._halo_spec(name, ref, eb_avg) if spec.halo_aware else None
             pipe = AdaptiveCompressionPipeline(
                 self.calibrations[name].rate_model,
                 compressor=self.compressor,
@@ -264,12 +267,12 @@ class CompressionCampaign:
 
     # -- internals -------------------------------------------------------------
 
-    def _budget(self, name: str, data: np.ndarray) -> float:
+    def _budget(self, name: str, ref: FieldReference) -> float:
         spec = self.spec_for(name)
         if spec.eb_override is not None:
             return spec.eb_override
-        f64 = np.asarray(data, dtype=np.float64)
-        ps = power_spectrum(f64)
+        f64 = ref.f64
+        ps = ref.spectrum()
         return spectrum_ratio_tolerance_to_eb(
             ps,
             f64.size,
@@ -280,11 +283,10 @@ class CompressionCampaign:
             correlated_fraction=spec.correlated_fraction,
         )
 
-    def _halo_spec(self, name: str, data: np.ndarray, eb_avg: float) -> HaloQualitySpec | None:
+    def _halo_spec(self, name: str, ref: FieldReference, eb_avg: float) -> HaloQualitySpec | None:
         spec = self.spec_for(name)
-        f64 = np.asarray(data, dtype=np.float64)
-        t_boundary = float(np.percentile(f64, spec.halo_percentile))
-        catalog = find_halos(f64, t_boundary)
+        t_boundary = float(np.percentile(ref.f64, spec.halo_percentile))
+        catalog = ref.halos(t_boundary)
         if catalog.n_halos == 0:
             return None
         return HaloQualitySpec(

@@ -4,11 +4,14 @@ VizAly-Foresight evaluates lossy compressors on cosmology data by
 sweeping configurations, decompressing, and computing every metric of
 interest.  This package rebuilds the workflow used in the paper's
 experiments: configuration sweeps (:mod:`repro.foresight.sweep`),
-acceptance criteria (:mod:`repro.foresight.quality`) and plain-text /
-CSV reports (:mod:`repro.foresight.report`).
+acceptance criteria (:mod:`repro.foresight.quality`), the
+reference-cached quality engine that amortizes original-field analyses
+across trials (:mod:`repro.foresight.evaluator`) and plain-text / CSV
+reports (:mod:`repro.foresight.report`).
 """
 
 from repro.foresight.quality import QualityCriteria, QualityReport, evaluate_quality
+from repro.foresight.evaluator import FieldReference, QualityEvaluator
 from repro.foresight.sweep import SweepRecord, run_sweep
 from repro.foresight.report import records_to_csv, records_to_table
 
@@ -16,6 +19,8 @@ __all__ = [
     "QualityCriteria",
     "QualityReport",
     "evaluate_quality",
+    "FieldReference",
+    "QualityEvaluator",
     "SweepRecord",
     "run_sweep",
     "records_to_csv",

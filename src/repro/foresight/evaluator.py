@@ -1,0 +1,180 @@
+"""Reference-cached quality engine.
+
+The Foresight-style methodology evaluates many reconstructions of the
+*same* original field (one per trialed configuration), but the seed
+:func:`repro.foresight.quality.evaluate_quality` recomputed every
+original-side analysis — float64 cast, ``rfftn`` power spectrum, halo
+catalog, min/max range — on each call.  A sweep over E error bounds thus
+paid E redundant FFTs and E redundant halo finds of identical data.
+
+This module amortizes that cost:
+
+- :class:`FieldReference` lazily caches per-field invariants (float64
+  view, :class:`~repro.analysis.metrics.FieldMoments`, binned power
+  spectra per ``nbins``, halo catalogs per threshold pair),
+- :class:`QualityEvaluator` binds a reference to one
+  :class:`~repro.foresight.quality.QualityCriteria` and evaluates each
+  reconstruction with exactly one ``rfftn``, at most one halo find, and
+  one fused error pass (:func:`~repro.analysis.metrics.error_summary`).
+
+Evaluators are picklable *with their caches populated* (precomputed
+eagerly at construction), so process-pool quality sweeps ship the cached
+reference analyses to workers instead of recomputing them there.
+
+Report parity with the seed path is exact for spectra and halo metrics
+and floating-point-tolerant for the fused PSNR/NRMSE (tested in
+``tests/foresight/test_evaluator.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.catalog import compare_catalogs
+from repro.analysis.halos import find_halos
+from repro.analysis.metrics import FieldMoments, error_summary
+from repro.analysis.spectrum import (
+    PowerSpectrum,
+    binned_worst_deviation,
+    power_spectrum,
+)
+from repro.foresight.quality import QualityCriteria, QualityReport
+
+__all__ = ["FieldReference", "QualityEvaluator"]
+
+
+class FieldReference:
+    """Lazily cached analyses of one original (uncompressed) field.
+
+    Every accessor computes its analysis on first use and returns the
+    cached result afterwards, so any number of consumers — quality
+    evaluators, budget inversions, halo-spec derivations — can share one
+    reference per field without re-running ``rfftn`` or the halo finder.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        self._data = np.asarray(data)
+        self._f64: np.ndarray | None = None
+        self._moments: FieldMoments | None = None
+        self._spectra: dict[int | None, PowerSpectrum] = {}
+        self._catalogs: dict[tuple[float, float | None], object] = {}
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        if state["_f64"] is not None:
+            # Don't ship the field twice across pickle boundaries: once
+            # the float64 view exists it serves every analysis, so the
+            # unpickled reference exposes it as ``data`` too
+            # (numerically equal, possibly widened dtype).
+            state["_data"] = state["_f64"]
+        return state
+
+    @property
+    def f64(self) -> np.ndarray:
+        """The field as float64 (cast once, shared by every analysis)."""
+        if self._f64 is None:
+            self._f64 = np.asarray(self._data, dtype=np.float64)
+        return self._f64
+
+    @property
+    def moments(self) -> FieldMoments:
+        """Fused (min, max, sum, sum-of-squares) reduction moments."""
+        if self._moments is None:
+            self._moments = FieldMoments.from_field(self.f64)
+        return self._moments
+
+    def spectrum(self, nbins: int | None = None) -> PowerSpectrum:
+        """Binned power spectrum of the original, cached per ``nbins``."""
+        if nbins not in self._spectra:
+            self._spectra[nbins] = power_spectrum(self.f64, nbins=nbins)
+        return self._spectra[nbins]
+
+    def halos(self, t_boundary: float, t_halo: float | None = None):
+        """Halo catalog of the original, cached per threshold pair."""
+        key = (float(t_boundary), None if t_halo is None else float(t_halo))
+        if key not in self._catalogs:
+            self._catalogs[key] = find_halos(self.f64, t_boundary, t_halo)
+        return self._catalogs[key]
+
+
+class QualityEvaluator:
+    """Evaluate many reconstructions of one field against one criteria set.
+
+    Construction eagerly computes every original-side invariant the
+    configured checks need (spectrum binned to ``spectrum_k_max``, halo
+    catalog if ``check_halos``, metric moments); :meth:`evaluate` then
+    costs a single ``rfftn`` of the reconstruction, at most one halo
+    find, and one fused error pass per call.
+
+    Parameters
+    ----------
+    original:
+        The uncompressed field, or ``None`` when ``reference`` is given.
+    criteria:
+        Acceptance thresholds (defaults to spectrum-only
+        :class:`QualityCriteria`).
+    reference:
+        An existing :class:`FieldReference` to share cached analyses
+        with other consumers of the same field.
+    """
+
+    def __init__(
+        self,
+        original: np.ndarray | None = None,
+        criteria: QualityCriteria | None = None,
+        reference: FieldReference | None = None,
+    ) -> None:
+        if reference is None:
+            if original is None:
+                raise ValueError("need either an original field or a reference")
+            reference = FieldReference(original)
+        self.reference = reference
+        self.criteria = criteria or QualityCriteria()
+        # Only bins strictly below k_max are inspected; binning further
+        # would be wasted work (power_spectrum clamps to the grid's
+        # Nyquist; the floor of 1 keeps the k_max<=1 error path).
+        self._nbins = max(int(self.criteria.spectrum_k_max) - 1, 1)
+        # Eager precompute: pickled evaluators carry populated caches, so
+        # pool workers never re-analyze the original.
+        self._ps_orig = self.reference.spectrum(self._nbins)
+        self._moments = self.reference.moments
+        if self.criteria.check_halos:
+            assert self.criteria.t_boundary is not None
+            self.reference.halos(self.criteria.t_boundary, self.criteria.t_halo)
+
+    def evaluate(self, reconstructed: np.ndarray) -> QualityReport:
+        """Run every configured check on one reconstructed field."""
+        crit = self.criteria
+        rec = np.asarray(reconstructed, dtype=np.float64)
+        ps_rec = power_spectrum(rec, nbins=self._nbins)
+        worst = binned_worst_deviation(self._ps_orig, ps_rec, crit.spectrum_k_max)
+        spectrum_ok = worst <= crit.spectrum_tolerance
+
+        halo_ok: bool | None = None
+        halo_rmse: float | None = None
+        halo_dcount: int | None = None
+        if crit.check_halos:
+            assert crit.t_boundary is not None
+            cat_o = self.reference.halos(crit.t_boundary, crit.t_halo)
+            cat_r = find_halos(rec, crit.t_boundary, crit.t_halo)
+            cmp = compare_catalogs(cat_o, cat_r, max_distance=crit.halo_match_distance)
+            halo_rmse = cmp.mass_rmse
+            halo_dcount = cmp.count_change
+            halo_ok = bool(
+                np.isfinite(halo_rmse) and halo_rmse <= crit.halo_mass_rmse
+            )
+
+        err = error_summary(self.reference.f64, rec, moments=self._moments)
+        return QualityReport(
+            spectrum_ok=spectrum_ok,
+            spectrum_worst_deviation=worst,
+            halo_ok=halo_ok,
+            halo_mass_rmse=halo_rmse,
+            halo_count_change=halo_dcount,
+            psnr_db=err.psnr_db,
+            nrmse_value=err.nrmse_value,
+        )

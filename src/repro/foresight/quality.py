@@ -12,11 +12,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.catalog import compare_catalogs
-from repro.analysis.halos import find_halos
-from repro.analysis.metrics import nrmse, psnr
-from repro.analysis.spectrum import check_spectrum_quality
-
 __all__ = ["QualityCriteria", "QualityReport", "evaluate_quality"]
 
 
@@ -61,29 +56,15 @@ def evaluate_quality(
     reconstructed: np.ndarray,
     criteria: QualityCriteria,
 ) -> QualityReport:
-    """Run every configured check on a reconstructed field."""
-    orig = np.asarray(original, dtype=np.float64)
-    rec = np.asarray(reconstructed, dtype=np.float64)
-    spectrum_ok, worst = check_spectrum_quality(
-        orig, rec, tolerance=criteria.spectrum_tolerance, k_max=criteria.spectrum_k_max
-    )
-    halo_ok: bool | None = None
-    halo_rmse: float | None = None
-    halo_dcount: int | None = None
-    if criteria.check_halos:
-        assert criteria.t_boundary is not None
-        cat_o = find_halos(orig, criteria.t_boundary, criteria.t_halo)
-        cat_r = find_halos(rec, criteria.t_boundary, criteria.t_halo)
-        cmp = compare_catalogs(cat_o, cat_r, max_distance=criteria.halo_match_distance)
-        halo_rmse = cmp.mass_rmse
-        halo_dcount = cmp.count_change
-        halo_ok = bool(np.isfinite(halo_rmse) and halo_rmse <= criteria.halo_mass_rmse)
-    return QualityReport(
-        spectrum_ok=spectrum_ok,
-        spectrum_worst_deviation=worst,
-        halo_ok=halo_ok,
-        halo_mass_rmse=halo_rmse,
-        halo_count_change=halo_dcount,
-        psnr_db=psnr(orig, rec),
-        nrmse_value=nrmse(orig, rec),
-    )
+    """Run every configured check on a reconstructed field.
+
+    One-shot convenience front for the reference-cached engine: builds a
+    throwaway :class:`~repro.foresight.evaluator.QualityEvaluator` and
+    evaluates a single reconstruction.  Code that evaluates *many*
+    reconstructions of the same field (sweeps, trial-and-error searches)
+    should hold on to one evaluator instead, so the original-side
+    spectrum/halo/moment analyses are computed only once.
+    """
+    from repro.foresight.evaluator import QualityEvaluator
+
+    return QualityEvaluator(original, criteria).evaluate(reconstructed)

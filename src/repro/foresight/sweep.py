@@ -10,6 +10,15 @@ bytes): ``rate_only=True`` skips decompression and quality evaluation,
 and ``probe_mode="estimate"`` additionally skips the entropy codec,
 reading each bit rate off the quantization-code histogram
 (:mod:`repro.compression.estimator`) instead.
+
+Quality sweeps share one :class:`~repro.foresight.evaluator.QualityEvaluator`
+per field, so the original-side analyses (``rfftn`` power spectrum, halo
+catalog, metric moments) run exactly once per field no matter how many
+error bounds are trialed.  The per-``(field, eb)`` evaluations are
+independent, and ``backend=`` fans them out over the
+:mod:`repro.parallel.backends` registry — ``"serial"`` (default
+in-process loop), ``"thread"`` or ``"process"``; every backend returns
+identical records.
 """
 
 from __future__ import annotations
@@ -19,8 +28,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.sz import SZCompressor, decompress
-from repro.foresight.quality import QualityCriteria, QualityReport, evaluate_quality
+from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.foresight.evaluator import QualityEvaluator
+from repro.foresight.quality import QualityCriteria, QualityReport
+from repro.parallel.backends import ExecutionBackend, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 
 __all__ = ["SweepRecord", "run_sweep"]
@@ -45,6 +56,50 @@ class SweepRecord:
         return self.quality.passed if self.quality is not None else None
 
 
+def _evaluate_chunk(
+    task: tuple[QualityEvaluator, BlockDecomposition | None, list[tuple[int, list[CompressedBlock]]]],
+) -> list[tuple[int, QualityReport]]:
+    """Decompress and evaluate a chunk of one field's reconstructions.
+
+    Module-level (and fed plain picklable data) so process backends can
+    ship it to workers; the evaluator arrives with its reference caches
+    already populated, so workers never re-analyze the original field.
+    """
+    evaluator, decomposition, chunk = task
+    out = []
+    for idx, blocks in chunk:
+        if decomposition is not None:
+            recon = decomposition.assemble([decompress(b) for b in blocks])
+        else:
+            recon = decompress(blocks[0])
+        out.append((idx, evaluator.evaluate(recon)))
+    return out
+
+
+def _quality_reports(
+    evaluator: QualityEvaluator,
+    decomposition: BlockDecomposition | None,
+    per_eb_blocks: list[list[CompressedBlock]],
+    backend: ExecutionBackend,
+) -> list[QualityReport]:
+    """Fan every reconstruction's evaluation out over ``backend``.
+
+    Items are chunked to one task per available worker, so the evaluator
+    (whose pickled form carries the cached reference analyses) crosses a
+    process boundary at most ``parallelism`` times per field.
+    """
+    items = list(enumerate(per_eb_blocks))
+    n_chunks = min(len(items), backend.parallelism)
+    bounds = np.linspace(0, len(items), n_chunks + 1).astype(int)
+    chunks = [items[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+    tasks = [(evaluator, decomposition, chunk) for chunk in chunks]
+    reports: list[QualityReport | None] = [None] * len(items)
+    for chunk_result in backend.map_tasks(_evaluate_chunk, tasks):
+        for idx, report in chunk_result:
+            reports[idx] = report
+    return reports  # type: ignore[return-value]
+
+
 def run_sweep(
     fields: dict[str, np.ndarray],
     ebs: Sequence[float],
@@ -53,6 +108,7 @@ def run_sweep(
     compressor: SZCompressor | None = None,
     rate_only: bool = False,
     probe_mode: str = "exact",
+    backend: str | ExecutionBackend | None = None,
 ) -> list[SweepRecord]:
     """Evaluate every (field, eb) combination.
 
@@ -75,10 +131,16 @@ def run_sweep(
         ``"exact"`` (default) runs the full compressor; ``"estimate"``
         predicts rates from code histograms without running the entropy
         codec — codec-free sweeps are inherently rate-only.
+    backend:
+        Execution backend (registry name or instance) for the quality
+        evaluations, which are independent per ``(field, eb)``.  ``None``
+        (default) evaluates inline; a name is resolved via
+        :func:`~repro.parallel.backends.get_backend` and closed on exit,
+        while an instance is left open for the caller to manage.
     """
     if not fields:
         raise ValueError("need at least one field")
-    if not ebs:
+    if len(ebs) == 0:
         raise ValueError("need at least one error bound")
     if probe_mode not in ("exact", "estimate"):
         raise ValueError(
@@ -87,42 +149,65 @@ def run_sweep(
     if probe_mode == "estimate":
         rate_only = True  # no payloads exist to decompress
     comp = compressor or SZCompressor()
+    owns_backend = isinstance(backend, str)
+    exec_backend = get_backend(backend) if backend is not None else None
     records: list[SweepRecord] = []
-    for name, data in fields.items():
-        crit = criteria.get(name, QualityCriteria())
-        views = (
-            decomposition.partition_views(data) if decomposition is not None else None
-        )
-        for eb in ebs:
-            eb = float(eb)
-            quality: QualityReport | None = None
-            if probe_mode == "estimate":
-                ests = [
-                    comp.estimate(v, eb) for v in (views if views is not None else [data])
-                ]
-                nbytes = sum(e.est_nbytes for e in ests)
-                n = sum(e.n_elements for e in ests)
-                itemsize = ests[0].source_itemsize
-            elif views is not None:
-                blocks = [comp.compress(v, eb) for v in views]
-                nbytes = sum(b.nbytes for b in blocks)
-                n = sum(b.n_elements for b in blocks)
-                itemsize = blocks[0].source_itemsize
-                if not rate_only:
-                    recon = decomposition.assemble([decompress(b) for b in blocks])
-                    quality = evaluate_quality(data, recon, crit)
-            else:
-                block = comp.compress(data, eb)
-                nbytes, n, itemsize = block.nbytes, block.n_elements, block.source_itemsize
-                if not rate_only:
-                    quality = evaluate_quality(data, decompress(block), crit)
-            records.append(
-                SweepRecord(
-                    field=name,
-                    eb=eb,
-                    bit_rate=8.0 * nbytes / n,
-                    ratio=itemsize * n / nbytes,
-                    quality=quality,
-                )
+    try:
+        for name, data in fields.items():
+            crit = criteria.get(name, QualityCriteria())
+            views = (
+                decomposition.partition_views(data)
+                if decomposition is not None
+                else [data]
             )
+            # Without real fan-out, evaluate each bound as soon as it is
+            # compressed: buffering every bound's blocks would multiply
+            # peak memory by len(ebs) for no scheduling benefit.
+            fan_out = exec_backend is not None and exec_backend.parallelism > 1
+            evaluator: QualityEvaluator | None = None
+            rates: list[tuple[float, int, int, int]] = []  # (eb, nbytes, n, itemsize)
+            per_eb_blocks: list[list[CompressedBlock]] = []
+            qualities: list[QualityReport | None] = []
+            for eb in ebs:
+                eb = float(eb)
+                quality: QualityReport | None = None
+                if probe_mode == "estimate":
+                    ests = [comp.estimate(v, eb) for v in views]
+                    nbytes = sum(e.est_nbytes for e in ests)
+                    n = sum(e.n_elements for e in ests)
+                    itemsize = ests[0].source_itemsize
+                else:
+                    blocks = [comp.compress(v, eb) for v in views]
+                    nbytes = sum(b.nbytes for b in blocks)
+                    n = sum(b.n_elements for b in blocks)
+                    itemsize = blocks[0].source_itemsize
+                    if not rate_only:
+                        if fan_out:
+                            per_eb_blocks.append(blocks)
+                        else:
+                            if evaluator is None:
+                                evaluator = QualityEvaluator(data, crit)
+                            (_, quality), = _evaluate_chunk(
+                                (evaluator, decomposition, [(0, blocks)])
+                            )
+                rates.append((eb, nbytes, n, itemsize))
+                qualities.append(quality)
+            if per_eb_blocks:
+                evaluator = QualityEvaluator(data, crit)
+                qualities = _quality_reports(
+                    evaluator, decomposition, per_eb_blocks, exec_backend
+                )
+            for (eb, nbytes, n, itemsize), quality in zip(rates, qualities):
+                records.append(
+                    SweepRecord(
+                        field=name,
+                        eb=eb,
+                        bit_rate=8.0 * nbytes / n,
+                        ratio=itemsize * n / nbytes,
+                        quality=quality,
+                    )
+                )
+    finally:
+        if owns_backend and exec_backend is not None:
+            exec_backend.close()
     return records

@@ -34,7 +34,8 @@ import os
 import pickle
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import Future, ProcessPoolExecutor
+from collections.abc import Callable, Iterable
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -140,6 +141,23 @@ class ExecutionBackend(ABC):
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
         """Extract, optimize and compress every partition of ``task``."""
 
+    @property
+    def parallelism(self) -> int:
+        """How many :meth:`map_tasks` items can usefully run at once."""
+        return 1
+
+    def map_tasks(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Apply ``fn`` to every item of ``items``, preserving order.
+
+        Generic fan-out hook for embarrassingly parallel work outside
+        the snapshot protocol — e.g. independent ``(field, eb)`` quality
+        evaluations of a sweep.  The default runs serially in the
+        calling thread; parallel backends override it.  Backends that
+        ship work to other *processes* require ``fn`` and every item to
+        be picklable.
+        """
+        return [fn(item) for item in items]
+
     def close(self) -> None:
         """Release any pooled resources (idempotent; default no-op)."""
 
@@ -210,6 +228,23 @@ class ThreadBackend(ExecutionBackend):
     """
 
     name = "thread"
+
+    @property
+    def parallelism(self) -> int:
+        return os.cpu_count() or 1
+
+    def map_tasks(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Fan items out over a transient thread pool.
+
+        NumPy releases the GIL for FFTs and big reductions, so quality
+        evaluations genuinely overlap even in one process.
+        """
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        workers = min(len(items), self.parallelism)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
 
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
         def rank_fn(comm):
@@ -445,6 +480,21 @@ class ProcessBackend(ExecutionBackend):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    @property
+    def parallelism(self) -> int:
+        return self.max_workers
+
+    def map_tasks(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list:
+        """Fan items out over the (lazily created, reused) worker pool.
+
+        ``fn`` and the items cross a process boundary, so both must be
+        picklable — module-level functions and plain data only.
+        """
+        items = list(items)
+        if not items:
+            return []
+        return list(self._ensure_pool().map(fn, items))
 
     def __repr__(self) -> str:
         return (

@@ -105,3 +105,73 @@ class TestLabeling:
         _, n_ours = label_components(mask)
         _, n_scipy = ndimage.label(mask)
         assert n_ours == n_scipy
+
+
+def _canonical_partition(roots: np.ndarray) -> np.ndarray:
+    """Component id per element, numbered by first appearance (root-value
+    agnostic, so partitions from different union orders compare equal)."""
+    _, first, inv = np.unique(roots, return_index=True, return_inverse=True)
+    order = np.argsort(np.argsort(first))
+    return order[inv]
+
+
+class TestUnionMany:
+    def test_matches_scalar_unions(self):
+        rng = np.random.default_rng(3)
+        n = 200
+        edges = rng.integers(0, n, size=(500, 2))
+        scalar = UnionFind(n)
+        for a, b in edges.tolist():
+            scalar.union(a, b)
+        batched = UnionFind(n)
+        batched.union_many(edges[:, 0], edges[:, 1])
+        # Same partition: elements are grouped identically.
+        assert np.array_equal(
+            _canonical_partition(scalar.roots()),
+            _canonical_partition(batched.roots()),
+        )
+
+    def test_roots_are_min_member_and_sizes_refresh(self):
+        uf = UnionFind(6)
+        uf.union_many(np.array([5, 3]), np.array([1, 2]))
+        assert uf.find(5) == 1 and uf.find(1) == 1
+        assert uf.find(3) == 2 and uf.find(2) == 2
+        assert uf.size[1] == 2 and uf.size[2] == 2
+
+    def test_scalar_union_still_valid_after_batch(self):
+        uf = UnionFind(8)
+        uf.union_many(np.array([0, 2, 4]), np.array([1, 3, 5]))
+        uf.union(1, 3)
+        assert uf.find(0) == uf.find(2)
+        assert uf.find(4) != uf.find(0)
+
+    def test_empty_and_mismatched_edges(self):
+        uf = UnionFind(4)
+        uf.union_many(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert len({uf.find(i) for i in range(4)}) == 4
+        with pytest.raises(ValueError, match="differ in length"):
+            uf.union_many(np.array([0, 1]), np.array([2]))
+
+    def test_long_chain_converges(self):
+        n = 1000
+        a = np.arange(n - 1)
+        uf = UnionFind(n)
+        uf.union_many(a, a + 1)
+        assert (uf.roots() == 0).all()
+        assert uf.size[0] == n
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(0, 4 * n))
+        edges = rng.integers(0, n, size=(m, 2))
+        scalar = UnionFind(n)
+        for a, b in edges.tolist():
+            scalar.union(a, b)
+        batched = UnionFind(n)
+        batched.union_many(edges[:, 0], edges[:, 1])
+        assert np.array_equal(
+            _canonical_partition(scalar.roots()),
+            _canonical_partition(batched.roots()),
+        )

@@ -104,3 +104,64 @@ class TestQualityCheck:
         f = np.random.default_rng(8).normal(0, 1, (8, 8, 8))
         with pytest.raises(ValueError, match="k_max"):
             check_spectrum_quality(f, f, k_max=1)
+
+
+class TestModeBinCaching:
+    def test_bins_and_weights_cached_per_shape(self):
+        from repro.analysis.spectrum import _mode_bins, _rfft_weights
+
+        assert _mode_bins((8, 8, 8)) is _mode_bins((8, 8, 8))
+        assert _rfft_weights((8, 8, 8)) is _rfft_weights((8, 8, 8))
+        assert _mode_bins((8, 8, 8)) is not _mode_bins((8, 8, 6))
+
+    def test_cached_arrays_are_readonly(self):
+        from repro.analysis.spectrum import _mode_bins, _rfft_weights
+
+        for arr in (_mode_bins((8, 8, 8)), _rfft_weights((8, 8, 8))):
+            with pytest.raises(ValueError):
+                arr[0, 0, 0] = 1
+
+    def test_spectrum_unchanged_by_caching(self):
+        """Cached bins/weights reproduce a from-scratch fftn binning."""
+        rng = np.random.default_rng(9)
+        f = rng.normal(0, 1, (12, 12, 12))
+        ps = power_spectrum(f, nbins=6)
+        fk = np.fft.fftn(f - f.mean())
+        kx = np.fft.fftfreq(12) * 12
+        kk = np.sqrt(
+            kx[:, None, None] ** 2 + kx[None, :, None] ** 2 + kx[None, None, :] ** 2
+        )
+        bins = np.rint(kk).astype(np.int64)
+        for i, k in enumerate(ps.k):
+            sel = bins == k
+            assert ps.power[i] == pytest.approx(
+                float((np.abs(fk[sel]) ** 2).mean()) / f.size, rel=1e-10
+            )
+
+
+class TestCheckStopsAtKmax:
+    def test_binning_stops_at_k_max(self, monkeypatch):
+        """Both spectra are binned only to k_max, not to Nyquist."""
+        import repro.analysis.spectrum as spectrum_mod
+
+        seen = []
+        real = spectrum_mod.power_spectrum
+
+        def recording(field, nbins=None, subtract_mean=True):
+            seen.append(nbins)
+            return real(field, nbins=nbins, subtract_mean=subtract_mean)
+
+        monkeypatch.setattr(spectrum_mod, "power_spectrum", recording)
+        rng = np.random.default_rng(4)
+        f = rng.normal(0, 1, (32, 32, 32))
+        check_spectrum_quality(f, f + rng.normal(0, 0.01, f.shape), k_max=10)
+        # Bins 1..9 cover every inspected k < 10.
+        assert seen == [9, 9]
+
+    def test_worst_deviation_matches_full_binning(self):
+        rng = np.random.default_rng(5)
+        f = rng.normal(0, 1, (32, 32, 32))
+        g = f + rng.normal(0, 0.05, f.shape)
+        _, worst = check_spectrum_quality(f, g, tolerance=0.5, k_max=10)
+        k, ratio = spectrum_ratio(f, g)  # full-Nyquist binning
+        assert worst == float(np.max(np.abs(ratio[k < 10] - 1.0)))

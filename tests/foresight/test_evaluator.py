@@ -1,0 +1,289 @@
+"""Reference-cached quality engine: parity, caching and parallel sweeps.
+
+The evaluator must produce :class:`QualityReport`s matching the seed
+``evaluate_quality`` implementation exactly for spectra/halos and to
+floating-point tolerance for the fused PSNR/NRMSE, across compressor
+engines and decompositions; quality sweeps must analyze the original
+field exactly once per field; and every execution backend must return
+identical sweep records.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.foresight.evaluator as evaluator_mod
+from repro.analysis.catalog import compare_catalogs
+from repro.analysis.halos import find_halos
+from repro.analysis.metrics import nrmse, psnr
+from repro.analysis.spectrum import power_spectrum
+from repro.compression.sz import SZCompressor, decompress
+from repro.foresight.evaluator import FieldReference, QualityEvaluator
+from repro.foresight.quality import QualityCriteria, QualityReport, evaluate_quality
+from repro.foresight.sweep import run_sweep
+from repro.parallel.backends import ProcessBackend
+
+
+def seed_evaluate_quality(original, reconstructed, criteria) -> QualityReport:
+    """The seed implementation, frozen: every original-side analysis is
+    recomputed per call, spectra are binned to Nyquist, and PSNR/NRMSE
+    each run their own error pass."""
+    orig = np.asarray(original, dtype=np.float64)
+    rec = np.asarray(reconstructed, dtype=np.float64)
+    ps_o = power_spectrum(orig)
+    ps_r = power_spectrum(rec)
+    if (ps_o.power <= 0).any():
+        raise ValueError("original spectrum has empty bins; reduce nbins")
+    ratio = ps_r.power / ps_o.power
+    mask = ps_o.k < criteria.spectrum_k_max
+    if not mask.any():
+        raise ValueError(f"no spectrum bins below k_max={criteria.spectrum_k_max}")
+    worst = float(np.max(np.abs(ratio[mask] - 1.0)))
+    halo_ok = halo_rmse = halo_dcount = None
+    if criteria.check_halos:
+        cat_o = find_halos(orig, criteria.t_boundary, criteria.t_halo)
+        cat_r = find_halos(rec, criteria.t_boundary, criteria.t_halo)
+        cmp = compare_catalogs(cat_o, cat_r, max_distance=criteria.halo_match_distance)
+        halo_rmse = cmp.mass_rmse
+        halo_dcount = cmp.count_change
+        halo_ok = bool(np.isfinite(halo_rmse) and halo_rmse <= criteria.halo_mass_rmse)
+    return QualityReport(
+        spectrum_ok=worst <= criteria.spectrum_tolerance,
+        spectrum_worst_deviation=worst,
+        halo_ok=halo_ok,
+        halo_mass_rmse=halo_rmse,
+        halo_count_change=halo_dcount,
+        psnr_db=psnr(orig, rec),
+        nrmse_value=nrmse(orig, rec),
+    )
+
+
+def assert_reports_match(new: QualityReport, seed: QualityReport) -> None:
+    """Exact for spectrum/halo results, fp-tolerant for fused metrics."""
+    assert new.spectrum_ok == seed.spectrum_ok
+    assert new.spectrum_worst_deviation == seed.spectrum_worst_deviation
+    assert new.halo_ok == seed.halo_ok
+    assert new.halo_count_change == seed.halo_count_change
+    if seed.halo_mass_rmse is None:
+        assert new.halo_mass_rmse is None
+    else:
+        assert new.halo_mass_rmse == seed.halo_mass_rmse
+    if seed.psnr_db == float("inf"):
+        assert new.psnr_db == float("inf")
+    else:
+        assert new.psnr_db == pytest.approx(seed.psnr_db, rel=1e-12)
+    assert new.nrmse_value == pytest.approx(seed.nrmse_value, rel=1e-12, abs=1e-300)
+
+
+class TestSeedParity:
+    @pytest.mark.parametrize("engine", ["dual", "classic"])
+    @pytest.mark.parametrize("use_decomposition", [False, True])
+    def test_matches_seed_across_engines_and_decompositions(
+        self, snapshot, decomposition, engine, use_decomposition
+    ):
+        data = snapshot["baryon_density"]
+        tb = float(np.percentile(data.astype(np.float64), 99.0))
+        crit = QualityCriteria(
+            spectrum_tolerance=0.05, check_halos=True, t_boundary=tb
+        )
+        comp = SZCompressor(engine=engine)
+        ev = QualityEvaluator(data, crit)
+        for eb in (0.01, 0.2):
+            if use_decomposition:
+                blocks = [
+                    comp.compress(v, eb) for v in decomposition.partition_views(data)
+                ]
+                recon = decomposition.assemble([decompress(b) for b in blocks])
+            else:
+                recon = decompress(comp.compress(data, eb))
+            assert_reports_match(
+                ev.evaluate(recon), seed_evaluate_quality(data, recon, crit)
+            )
+
+    def test_identical_reconstruction(self, snapshot):
+        data = snapshot["temperature"].astype(np.float64)
+        report = QualityEvaluator(data, QualityCriteria()).evaluate(data.copy())
+        assert report.passed
+        assert report.spectrum_worst_deviation == 0.0
+        assert report.psnr_db == float("inf")
+        assert report.nrmse_value == 0.0
+
+    def test_evaluate_quality_front_matches_evaluator(self, snapshot):
+        data = snapshot["temperature"]
+        recon = decompress(SZCompressor().compress(data, 50.0))
+        crit = QualityCriteria(spectrum_tolerance=0.05)
+        assert evaluate_quality(data, recon, crit) == QualityEvaluator(
+            data, crit
+        ).evaluate(recon)
+
+    def test_constant_original_raises_like_seed(self):
+        flat = np.full((8, 8, 8), 3.0)
+        bumpy = flat + np.random.default_rng(0).normal(0, 1e-3, flat.shape)
+        with pytest.raises(ValueError, match="empty bins"):
+            QualityEvaluator(flat, QualityCriteria()).evaluate(bumpy)
+
+
+class TestFieldReference:
+    def test_analyses_cached(self, snapshot):
+        ref = FieldReference(snapshot["baryon_density"])
+        assert ref.spectrum(8) is ref.spectrum(8)
+        assert ref.halos(1.5) is ref.halos(1.5)
+        assert ref.moments is ref.moments
+        assert ref.f64 is ref.f64
+
+    def test_requires_field_or_reference(self):
+        with pytest.raises(ValueError, match="original field or a reference"):
+            QualityEvaluator()
+
+    def test_shared_reference_across_evaluators(self, snapshot, monkeypatch):
+        data = snapshot["temperature"]
+        ref = FieldReference(data)
+        QualityEvaluator(criteria=QualityCriteria(), reference=ref)
+        calls = {"n": 0}
+        real = evaluator_mod.power_spectrum
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(evaluator_mod, "power_spectrum", counting)
+        # Same criteria -> same nbins key -> second evaluator reuses the
+        # first one's cached original spectrum.
+        QualityEvaluator(criteria=QualityCriteria(), reference=ref)
+        assert calls["n"] == 0
+
+
+class TestOriginalAnalyzedOnce:
+    @pytest.mark.parametrize("n_ebs", [3, 6])
+    def test_sweep_runs_one_reference_analysis_per_field(
+        self, snapshot, decomposition, monkeypatch, n_ebs
+    ):
+        counts = {"spectrum": 0, "halos": 0}
+        real_ps = evaluator_mod.power_spectrum
+        real_fh = evaluator_mod.find_halos
+
+        def counting_ps(*args, **kwargs):
+            counts["spectrum"] += 1
+            return real_ps(*args, **kwargs)
+
+        def counting_fh(*args, **kwargs):
+            counts["halos"] += 1
+            return real_fh(*args, **kwargs)
+
+        monkeypatch.setattr(evaluator_mod, "power_spectrum", counting_ps)
+        monkeypatch.setattr(evaluator_mod, "find_halos", counting_fh)
+
+        density = snapshot["baryon_density"]
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        run_sweep(
+            {"baryon_density": density},
+            ebs=np.geomspace(0.01, 0.5, n_ebs),
+            criteria={
+                "baryon_density": QualityCriteria(
+                    spectrum_tolerance=0.5, check_halos=True, t_boundary=tb
+                )
+            },
+            decomposition=decomposition,
+        )
+        # One reference analysis plus one per reconstruction — never one
+        # per (reconstruction, original) pair like the seed path.
+        assert counts["spectrum"] == n_ebs + 1
+        assert counts["halos"] == n_ebs + 1
+
+    def test_pickled_evaluator_keeps_caches(self, snapshot, monkeypatch):
+        data = snapshot["baryon_density"]
+        tb = float(np.percentile(data.astype(np.float64), 99.0))
+        crit = QualityCriteria(spectrum_tolerance=0.5, check_halos=True, t_boundary=tb)
+        ev = pickle.loads(pickle.dumps(QualityEvaluator(data, crit)))
+        recon = decompress(SZCompressor().compress(data, 0.1))
+
+        counts = {"spectrum": 0, "halos": 0}
+        real_ps = evaluator_mod.power_spectrum
+        real_fh = evaluator_mod.find_halos
+        monkeypatch.setattr(
+            evaluator_mod,
+            "power_spectrum",
+            lambda *a, **k: counts.__setitem__("spectrum", counts["spectrum"] + 1)
+            or real_ps(*a, **k),
+        )
+        monkeypatch.setattr(
+            evaluator_mod,
+            "find_halos",
+            lambda *a, **k: counts.__setitem__("halos", counts["halos"] + 1)
+            or real_fh(*a, **k),
+        )
+        ev.evaluate(recon)
+        # Only the reconstruction is analyzed; the original's spectrum
+        # and catalog crossed the pickle boundary with the evaluator.
+        assert counts == {"spectrum": 1, "halos": 1}
+
+
+class TestBackendEquivalence:
+    def _sweep(self, snapshot, decomposition, backend):
+        density = snapshot["baryon_density"]
+        tb = float(np.percentile(density.astype(np.float64), 99.0))
+        return run_sweep(
+            {
+                "baryon_density": density,
+                "temperature": snapshot["temperature"],
+            },
+            ebs=[0.05, 0.2, 0.8],
+            criteria={
+                "baryon_density": QualityCriteria(
+                    spectrum_tolerance=0.5, check_halos=True, t_boundary=tb
+                ),
+                "temperature": QualityCriteria(spectrum_tolerance=0.5),
+            },
+            decomposition=decomposition,
+            backend=backend,
+        )
+
+    def test_serial_thread_process_identical(self, snapshot, decomposition):
+        reference = self._sweep(snapshot, decomposition, None)
+        with ProcessBackend(max_workers=2) as process:
+            for backend in ("serial", "thread", process):
+                records = self._sweep(snapshot, decomposition, backend)
+                assert len(records) == len(reference)
+                for got, want in zip(records, reference):
+                    assert got.field == want.field
+                    assert got.eb == want.eb
+                    assert got.bit_rate == want.bit_rate
+                    assert got.ratio == want.ratio
+                    assert got.quality == want.quality
+
+
+class TestTrialAndErrorCriteria:
+    def test_criteria_path_matches_callable_path(self, snapshot, decomposition):
+        from repro.analysis.spectrum import check_spectrum_quality
+        from repro.core.baselines import TrialAndErrorSearch
+
+        data = snapshot["temperature"]
+        candidates = [1.0, 10.0, 100.0, 10000.0]
+        by_callable = TrialAndErrorSearch(
+            lambda o, r: check_spectrum_quality(o, r, tolerance=0.02)
+        )
+        by_criteria = TrialAndErrorSearch(
+            criteria=QualityCriteria(spectrum_tolerance=0.02)
+        )
+        res_callable = by_callable.search(data, decomposition, candidates)
+        res_criteria = by_criteria.search(data, decomposition, candidates)
+        assert res_criteria.eb == res_callable.eb
+        assert by_criteria.n_trials == by_callable.n_trials
+        for a, b in zip(by_criteria.trials, by_callable.trials):
+            assert (a.eb, a.passed) == (b.eb, b.passed)
+            assert a.quality_metric == b.quality_metric
+            assert a.ratio == b.ratio
+
+    def test_requires_exactly_one_quality_source(self):
+        from repro.analysis.spectrum import check_spectrum_quality
+        from repro.core.baselines import TrialAndErrorSearch
+
+        with pytest.raises(ValueError, match="exactly one"):
+            TrialAndErrorSearch()
+        with pytest.raises(ValueError, match="exactly one"):
+            TrialAndErrorSearch(
+                check_spectrum_quality, criteria=QualityCriteria()
+            )

@@ -364,3 +364,38 @@ class TestSnapshotTask:
                 compressor=SZCompressor(),
                 settings=OptimizerSettings(),
             )
+
+
+def _square(x: int) -> int:
+    """Module-level so ProcessBackend.map_tasks can pickle it."""
+    return x * x
+
+
+class TestMapTasks:
+    def test_serial_default_is_ordered_loop(self):
+        backend = SerialBackend()
+        assert backend.parallelism == 1
+        assert backend.map_tasks(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_thread_backend_preserves_order(self):
+        backend = ThreadBackend()
+        assert backend.parallelism >= 1
+        assert backend.map_tasks(_square, range(20)) == [x * x for x in range(20)]
+
+    def test_thread_backend_single_item_runs_inline(self):
+        assert ThreadBackend().map_tasks(_square, [7]) == [49]
+
+    def test_process_backend_preserves_order(self, process_backend):
+        assert process_backend.parallelism == 2
+        assert process_backend.map_tasks(_square, range(9)) == [
+            x * x for x in range(9)
+        ]
+
+    def test_process_backend_empty_items(self, process_backend):
+        assert process_backend.map_tasks(_square, []) == []
+
+    def test_every_registered_backend_agrees(self):
+        want = [x * x for x in range(5)]
+        for name in sorted(BACKENDS):
+            with get_backend(name) as backend:
+                assert backend.map_tasks(_square, range(5)) == want

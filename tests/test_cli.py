@@ -94,6 +94,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "temperature" in out
 
+    def test_sweep_backend_flag(self, snap_path, capsys):
+        rc = main(
+            [
+                "sweep",
+                "--snapshot",
+                str(snap_path),
+                "--field",
+                "temperature",
+                "--blocks",
+                "2",
+                "--ebs",
+                "50,500",
+                "--tolerance",
+                "0.5",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "temperature" in out
+
     def test_sweep_rate_only_estimate(self, snap_path, capsys):
         rc = main(
             [
