@@ -1,0 +1,176 @@
+"""Streaming-controller wall-clock: warm starts + drift-gated recalibration.
+
+The in situ deployment processes ~200 dumps per run; what matters is the
+steady-state per-snapshot cost.  This benchmark streams an 8-snapshot
+Nyx redshift schedule through two controllers sharing one total-run byte
+budget:
+
+1. **drift-gated** (the subsystem under test): rate models and budget
+   inversions are warm-started snapshot to snapshot and re-fit only when
+   the per-field drift detector fires;
+2. **full recalibration**: the naive online baseline re-fits every
+   field's rate model and re-inverts its quality budget on every
+   snapshot (``recalibrate="always"``).
+
+Both produce a complete run ledger; the drift-gated run's ledger is
+replayed (:func:`repro.stream.controller.replay_ledger`) and must
+reproduce every per-partition bound byte-for-byte without reading any
+field data.  Asserted outside smoke mode: the drift-gated path is
+>= 2x faster end-to-end, cumulative compressed bytes land within 5% of
+the budget, and the recalibration counts are pinned (the always-path
+count exactly, the drift-path count by a ceiling).
+
+Each run appends a record to ``BENCH_stream.json`` (repo root / CWD),
+building a trajectory of measured speedups across commits.  Set
+``REPRO_BENCH_SMOKE=1`` (as the CI does) for a reduced grid without
+wall-clock assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import FIELD_NAMES, NyxSimulator
+from repro.stream import InSituController, SnapshotSequence, replay_ledger
+from repro.util.tables import format_table
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+SHAPE = (16, 16, 16) if SMOKE else (32, 32, 32)
+REDSHIFTS = [4.0, 3.0, 2.2, 1.6, 1.2, 0.8, 0.5, 0.3]
+N_SNAPSHOTS = 4 if SMOKE else 8
+BLOCKS = 2
+MAX_PARTITIONS = 8
+#: Acceptance floors (asserted outside smoke mode).
+MIN_SPEEDUP = 2.0
+BUDGET_TOLERANCE = 0.05
+#: The budget forces genuine governor action: 15% below the natural spend.
+BUDGET_FRACTION = 0.85
+#: Drift-gated recalibrations must stay well below the always-path count
+#: for the warm-start claim to mean anything.
+MAX_DRIFT_RECALS = N_SNAPSHOTS * len(FIELD_NAMES) // 4
+TRAJECTORY = Path("BENCH_stream.json")
+
+
+def _run_controller(dec, snaps, recalibrate, budget):
+    ctl = InSituController(
+        dec,
+        byte_budget=budget,
+        recalibrate=recalibrate,
+        max_partitions=MAX_PARTITIONS,
+    )
+    start = time.perf_counter()
+    report = ctl.run(SnapshotSequence(snaps))
+    elapsed = time.perf_counter() - start
+    return ctl, report, elapsed
+
+
+def test_stream_controller(benchmark):
+    zs = REDSHIFTS[:N_SNAPSHOTS]
+    sim = NyxSimulator(shape=SHAPE, box_size=float(SHAPE[0]), seed=42, sigma_delta0=2.5)
+    # Pre-generate the stream: snapshot synthesis is the simulation's
+    # cost, not the controller's, so it stays outside the timers.
+    snaps = [sim.snapshot(z=z) for z in zs]
+    dec = BlockDecomposition(SHAPE, blocks=BLOCKS)
+
+    # Untimed probe run: establishes the natural (ungoverned) spend the
+    # byte budget is derived from, and warms every numpy/FFT path.
+    _, probe_report, _ = _run_controller(dec, snaps, "drift", None)
+    natural_bytes = probe_report.compressed_bytes
+    budget = int(BUDGET_FRACTION * natural_bytes)
+
+    def run():
+        ctl_drift, rep_drift, t_drift = _run_controller(dec, snaps, "drift", budget)
+        _, rep_full, t_full = _run_controller(dec, snaps, "always", budget)
+        return {
+            "t_drift_s": t_drift,
+            "t_full_s": t_full,
+            "ctl_drift": ctl_drift,
+            "rep_drift": rep_drift,
+            "rep_full": rep_full,
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rep_drift, rep_full = out["rep_drift"], out["rep_full"]
+    speedup = out["t_full_s"] / out["t_drift_s"]
+    budget_error = abs(rep_drift.compressed_bytes - budget) / budget
+
+    # Deterministic invariants hold in every mode, smoke included.
+    # Pinned recalibration counts: the always-path refits every field of
+    # every post-initial snapshot; the drift path refits only on drift.
+    assert rep_full.n_recalibrations == (N_SNAPSHOTS - 1) * len(FIELD_NAMES)
+    assert rep_drift.n_recalibrations <= MAX_DRIFT_RECALS
+    # Ledger replay: byte-identical bounds, no field data touched.
+    decisions = replay_ledger(out["ctl_drift"].ledger)
+    assert len(decisions) == len(rep_drift.outcomes)
+    for replayed, live in zip(decisions, rep_drift.outcomes):
+        assert (
+            np.asarray(replayed.ebs, dtype=np.float64).tobytes()
+            == live.result.ebs.tobytes()
+        )
+
+    record = {
+        "grid": list(SHAPE),
+        "smoke": SMOKE,
+        "n_snapshots": N_SNAPSHOTS,
+        "n_fields": len(FIELD_NAMES),
+        "blocks": BLOCKS,
+        "natural_bytes": int(natural_bytes),
+        "budget_bytes": int(budget),
+        "spent_bytes": int(rep_drift.compressed_bytes),
+        "budget_error": budget_error,
+        "t_drift_s": out["t_drift_s"],
+        "t_full_s": out["t_full_s"],
+        "speedup": speedup,
+        "recalibrations_drift": rep_drift.n_recalibrations,
+        "recalibrations_full": rep_full.n_recalibrations,
+        "replayed_decisions": len(decisions),
+    }
+    trajectory = []
+    if TRAJECTORY.exists():
+        try:
+            trajectory = json.loads(TRAJECTORY.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print()
+    print(
+        format_table(
+            ["path", "time (s)", "recalibrations", "budget use"],
+            [
+                [
+                    "drift-gated + warm start",
+                    out["t_drift_s"],
+                    rep_drift.n_recalibrations,
+                    rep_drift.budget_utilization,
+                ],
+                [
+                    "full recalibration",
+                    out["t_full_s"],
+                    rep_full.n_recalibrations,
+                    rep_full.budget_utilization,
+                ],
+            ],
+            title=(
+                f"Streaming controller ({SHAPE[0]}^3, {N_SNAPSHOTS} snapshots, "
+                f"budget {budget} B)" + (" [smoke]" if SMOKE else "")
+            ),
+        )
+    )
+    print(f"speedup {speedup:.2f}x, budget error {100 * budget_error:.2f}%")
+
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"drift-gated streaming only {speedup:.2f}x faster than "
+            f"per-snapshot full recalibration"
+        )
+        assert budget_error <= BUDGET_TOLERANCE, (
+            f"cumulative bytes missed the budget by {100 * budget_error:.1f}%"
+        )

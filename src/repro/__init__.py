@@ -26,7 +26,8 @@ Subpackages: :mod:`repro.core` (adaptive configuration),
 (SZ-style compressor), :mod:`repro.sim` (synthetic Nyx),
 :mod:`repro.analysis` (power spectrum / halo finder),
 :mod:`repro.parallel` (simulated MPI), :mod:`repro.foresight`
-(evaluation harness).
+(evaluation harness), :mod:`repro.stream` (online in situ streaming
+controller, run ledger, drift detection, budget governor).
 """
 
 from repro.compression import (
@@ -58,6 +59,16 @@ from repro.parallel import (
     run_spmd,
 )
 from repro.sim import NyxSimulator, NyxSnapshot
+from repro.stream import (
+    DirectoryStream,
+    DriftConfig,
+    InSituController,
+    RunLedger,
+    SimulatorStream,
+    SnapshotSequence,
+    StreamReport,
+    replay_ledger,
+)
 
 __version__ = "1.0.0"
 
@@ -87,5 +98,13 @@ __all__ = [
     "run_spmd",
     "NyxSimulator",
     "NyxSnapshot",
+    "InSituController",
+    "RunLedger",
+    "DriftConfig",
+    "SimulatorStream",
+    "DirectoryStream",
+    "SnapshotSequence",
+    "StreamReport",
+    "replay_ledger",
     "__version__",
 ]

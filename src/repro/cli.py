@@ -9,6 +9,10 @@ A small operational layer over the library for shell-driven workflows::
         --compressed blocks.npz
     python -m repro.cli sweep --snapshot snap.npz --field baryon_density \
         --ebs 0.1,0.2,0.4
+    python -m repro.cli generate --shape 32 --redshifts 4,2,1,0.5 --out run/
+    python -m repro.cli stream --dir run/ --budget-bytes 2000000 \
+        --ledger run.jsonl
+    python -m repro.cli stream --replay run.jsonl
 
 Compressed containers are ``.npz`` archives holding every partition's
 payloads plus layout metadata, loadable back into
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -96,6 +101,31 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     sim = NyxSimulator(
         shape=(args.shape,) * 3, box_size=float(args.shape), seed=args.seed
     )
+    if args.redshifts is not None:
+        # Snapshot sequence mode: --out names a directory; the zero-padded
+        # index prefix keeps the schedule order under DirectoryStream's
+        # sorted-filename replay.
+        schedule = [float(z) for z in args.redshifts.split(",")]
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        stale = sorted(out_dir.glob("snapshot_*.npz"))
+        if stale:
+            # A shorter schedule would overwrite a prefix and leave the
+            # tail behind; DirectoryStream would then silently mix two
+            # schedules into one stream.
+            print(
+                f"refusing to write into {out_dir}: {len(stale)} snapshot "
+                "file(s) already present (remove them or use a fresh "
+                "directory)",
+                file=sys.stderr,
+            )
+            return 1
+        for i, z in enumerate(schedule):
+            path = out_dir / f"snapshot_{i:04d}.npz"
+            save_snapshot(sim.snapshot(z=z), path)
+            print(f"wrote {path}: z={z:g}")
+        print(f"wrote {len(schedule)} snapshots to {out_dir}")
+        return 0
     snap = sim.snapshot(z=args.redshift)
     save_snapshot(snap, args.out)
     print(f"wrote {args.out}: shape {snap.shape}, z={snap.redshift}")
@@ -175,6 +205,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.config import FieldSpec
+    from repro.stream import (
+        DirectoryStream,
+        DriftConfig,
+        InSituController,
+        SimulatorStream,
+        replay_ledger,
+    )
+
+    if args.replay is not None:
+        decisions = replay_ledger(args.replay)
+        rows = [
+            [d.snapshot_index, d.redshift, d.field, d.eb_avg, min(d.ebs), max(d.ebs)]
+            for d in decisions
+        ]
+        print(
+            format_table(
+                ["snap", "z", "field", "eb_avg", "eb_min", "eb_max"],
+                rows,
+                title=f"replayed ledger: {args.replay}",
+            )
+        )
+        print(
+            f"replay verified: {len(decisions)} decisions reproduced from "
+            "the ledger alone (no field data read)"
+        )
+        return 0
+
+    fields = args.fields.split(",") if args.fields else None
+    if args.simulate:
+        sim = NyxSimulator(
+            shape=(args.shape,) * 3, box_size=float(args.shape), seed=args.seed
+        )
+        schedule = [float(z) for z in args.redshifts.split(",")]
+        stream = SimulatorStream(sim, schedule, fields=fields)
+        shape = sim.shape
+    elif args.dir is not None:
+        stream = DirectoryStream(args.dir, fields=fields)
+        shape = stream.shape
+    else:
+        print("stream: need a source (--dir or --simulate) or --replay", file=sys.stderr)
+        return 2
+
+    controller = InSituController(
+        BlockDecomposition(shape, blocks=args.blocks),
+        backend=args.backend,
+        ledger=args.ledger,
+        byte_budget=args.budget_bytes,
+        drift=DriftConfig(
+            z_threshold=args.z_threshold,
+            window=args.drift_window,
+            min_points=args.drift_min_points,
+        ),
+        recalibrate=args.recalibrate,
+        probe_mode=args.probe_mode,
+        default_spec=FieldSpec(spectrum_tolerance=args.tolerance),
+        retain_results=False,  # stream accounting only: O(1) memory
+    )
+    try:
+        report = controller.run(stream)
+    finally:
+        controller.close()
+    print(report.to_table(title=f"stream: {len(stream)} snapshots"))
+    print(
+        f"total {report.compressed_bytes} bytes "
+        f"({report.overall_ratio:.2f}x vs raw), "
+        f"{report.n_recalibrations} recalibration(s)"
+    )
+    if report.byte_budget is not None:
+        print(
+            f"budget {report.byte_budget} bytes: "
+            f"{100.0 * report.budget_utilization:.1f}% used"
+        )
+    if args.ledger:
+        print(f"ledger: {args.ledger} ({len(controller.ledger)} events)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Adaptive in situ lossy compression toolkit"
@@ -184,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
     g = sub.add_parser("generate", help="synthesize a Nyx-like snapshot")
     g.add_argument("--shape", type=int, default=64)
     g.add_argument("--redshift", type=float, default=0.5)
+    g.add_argument(
+        "--redshifts",
+        default=None,
+        help="comma-separated dump schedule; --out then names a directory "
+        "receiving one snapshot_NNNN.npz per redshift (a stream source)",
+    )
     g.add_argument("--seed", type=int, default=42)
     g.add_argument("--out", required=True)
     g.set_defaults(fn=_cmd_generate)
@@ -243,6 +358,73 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluations (rate probing always runs inline)",
     )
     s.set_defaults(fn=_cmd_sweep)
+
+    st = sub.add_parser(
+        "stream",
+        help="run the online in-situ streaming controller over a snapshot "
+        "sequence (or replay a run ledger)",
+    )
+    st.add_argument(
+        "--dir", default=None, help="directory of snapshot .npz files (sorted order)"
+    )
+    st.add_argument(
+        "--simulate",
+        action="store_true",
+        help="stream snapshots straight from the Nyx-like simulator",
+    )
+    st.add_argument("--shape", type=int, default=32, help="grid size (--simulate)")
+    st.add_argument("--seed", type=int, default=42, help="simulator seed (--simulate)")
+    st.add_argument(
+        "--redshifts",
+        default="4.0,3.0,2.0,1.5,1.0,0.7,0.5,0.3",
+        help="comma-separated dump schedule (--simulate)",
+    )
+    st.add_argument("--fields", default=None, help="comma-separated field subset")
+    st.add_argument("--blocks", type=int, default=4)
+    st.add_argument(
+        "--backend",
+        default="serial",
+        choices=sorted(BACKENDS),
+        help="execution backend for every per-field compression",
+    )
+    st.add_argument(
+        "--probe-mode",
+        default="exact",
+        choices=["exact", "estimate"],
+        help="rate-model (re)calibration probes: full codec or codec-free "
+        "histogram estimates",
+    )
+    st.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=None,
+        help="total-run compressed-byte budget enforced by the governor",
+    )
+    st.add_argument("--tolerance", type=float, default=0.01, help="P(k) tolerance")
+    st.add_argument(
+        "--z-threshold",
+        type=float,
+        default=4.0,
+        help="standardized-residual threshold triggering recalibration",
+    )
+    st.add_argument("--drift-window", type=int, default=4)
+    st.add_argument("--drift-min-points", type=int, default=2)
+    st.add_argument(
+        "--recalibrate",
+        default="drift",
+        choices=["drift", "always"],
+        help="refit models only on drift (default) or on every snapshot",
+    )
+    st.add_argument(
+        "--ledger", default=None, help="append-only JSONL run ledger to write"
+    )
+    st.add_argument(
+        "--replay",
+        default=None,
+        help="replay+verify an existing ledger instead of streaming "
+        "(reads no field data)",
+    )
+    st.set_defaults(fn=_cmd_stream)
     return parser
 
 

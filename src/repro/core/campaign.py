@@ -5,76 +5,40 @@ The paper's motivating arithmetic (§1) is storage for a *campaign*: one
 module packages the per-field machinery into that workflow:
 
 - :class:`FieldSpec` — per-field quality configuration (spectrum
-  tolerance, optional halo constraint, PW_REL mode, ...),
+  tolerance, optional halo constraint, PW_REL mode, ...), shared with
+  the streaming controller (it lives in :mod:`repro.core.config`),
 - :class:`CompressionCampaign` — calibrates once, then compresses every
   field of every snapshot adaptively, accumulating storage accounting
   (raw vs compressed bytes, per-field ratios, per-snapshot trends).
 
-Budgets are re-derived per snapshot from the models (cheap), exactly as
-the in situ deployment would.
+The campaign is a thin *batch* client of the streaming subsystem: it
+wraps an :class:`~repro.stream.controller.InSituController` configured
+with frozen models (``recalibrate="never"``) and per-snapshot budget
+re-derivation (``warm_start=False``) — exactly the seed semantics,
+"budgets re-derived per snapshot from the models (cheap), exactly as
+the in situ deployment would".  Online deployments that want warm
+starts, drift-gated recalibration, a run ledger, or a total-run byte
+budget should use the controller directly.
 """
 
 from __future__ import annotations
 
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core.config import HaloQualitySpec, OptimizerSettings
-from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
+from repro.core.config import FieldSpec, OptimizerSettings
+from repro.core.pipeline import SnapshotResult
 from repro.compression.sz import SZCompressor
-from repro.models.calibration import CalibrationResult, calibrate_rate_model
-from repro.models.fft_error import (
-    spectrum_ratio_tolerance_to_eb,
-    sub_threshold_power_estimate,
-)
-from repro.foresight.evaluator import FieldReference
-from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
+from repro.models.calibration import CalibrationResult
+from repro.parallel.backends import ExecutionBackend
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSnapshot
+from repro.stream.controller import InSituController
+from repro.util.tables import format_table
 from repro.util.timer import TimingBreakdown
 
 __all__ = ["FieldSpec", "FieldOutcome", "CampaignReport", "CompressionCampaign"]
-
-
-@dataclass(frozen=True)
-class FieldSpec:
-    """Quality/configuration policy for one field.
-
-    Attributes
-    ----------
-    spectrum_tolerance / spectrum_k_max / confidence_z:
-        P(k) acceptance band driving the model-derived budget.
-    correlated_fraction:
-        §3.5-revision knob for the budget inversion (0 = paper's model).
-    halo_aware:
-        Apply the combined §3.6 optimization (density fields).
-    halo_percentile:
-        Percentile of the field defining ``t_boundary``.
-    halo_mass_fraction:
-        Mass budget as a fraction of the total halo mass (Eq. 11).
-    eb_override:
-        Skip the model inversion and use this average bound directly.
-    """
-
-    spectrum_tolerance: float = 0.01
-    spectrum_k_max: int = 10
-    confidence_z: float = 2.0
-    correlated_fraction: float = 0.0
-    halo_aware: bool = False
-    halo_percentile: float = 99.5
-    halo_mass_fraction: float = 0.01
-    eb_override: float | None = None
-
-    def __post_init__(self) -> None:
-        if self.spectrum_tolerance <= 0:
-            raise ValueError("spectrum_tolerance must be positive")
-        if not 0 <= self.correlated_fraction <= 1:
-            raise ValueError("correlated_fraction must be in [0, 1]")
-        if not 50 <= self.halo_percentile < 100:
-            raise ValueError("halo_percentile must be in [50, 100)")
-        if self.eb_override is not None and self.eb_override <= 0:
-            raise ValueError("eb_override must be positive")
 
 
 @dataclass
@@ -98,6 +62,10 @@ class FieldOutcome:
     @property
     def compressed_bytes(self) -> int:
         return self.result.stats.total_nbytes
+
+
+#: Column order of :meth:`CampaignReport.as_rows` and the exports.
+_REPORT_COLUMNS = ("redshift", "field", "eb_avg", "ratio", "compressed_bytes")
 
 
 @dataclass
@@ -139,6 +107,30 @@ class CampaignReport:
             [o.redshift, o.field, o.eb_avg, o.ratio, o.compressed_bytes]
             for o in self.outcomes
         ]
+
+    def to_table(self, title: str | None = None) -> str:
+        """Aligned plain-text table of every outcome (CI-log friendly)."""
+        return format_table(
+            list(_REPORT_COLUMNS), self.as_rows(), title=title or "campaign report"
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON export of per-snapshot trends plus the run totals.
+
+        The flat ``outcomes`` records are what the stream ledger and CI
+        artifact uploads ingest; totals ride along for quick dashboards.
+        """
+        return json.dumps(
+            {
+                "raw_bytes": self.raw_bytes,
+                "compressed_bytes": self.compressed_bytes,
+                "overall_ratio": self.overall_ratio if self.outcomes else None,
+                "outcomes": [
+                    dict(zip(_REPORT_COLUMNS, row)) for row in self.as_rows()
+                ],
+            },
+            indent=indent,
+        )
 
     @property
     def timings(self) -> TimingBreakdown:
@@ -199,13 +191,29 @@ class CompressionCampaign:
         self.field_specs = dict(field_specs or {})
         self.compressor = compressor or SZCompressor()
         self.settings = settings or OptimizerSettings()
-        self.backend = SerialBackend() if backend is None else get_backend(backend)
-        self.calibrations: dict[str, CalibrationResult] = {}
+        self.controller = InSituController(
+            decomposition,
+            field_specs=self.field_specs,
+            compressor=self.compressor,
+            settings=self.settings,
+            backend=backend,
+            recalibrate="never",
+            warm_start=False,
+        )
         self.report = CampaignReport()
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self.controller.backend
+
+    @property
+    def calibrations(self) -> Mapping[str, CalibrationResult]:
+        """Read-only view of the controller's per-field model fits."""
+        return self.controller.calibrations
 
     def close(self) -> None:
         """Release backend resources (e.g. a process worker pool)."""
-        self.backend.close()
+        self.controller.close()
 
     def __enter__(self) -> "CompressionCampaign":
         return self
@@ -214,83 +222,27 @@ class CompressionCampaign:
         self.close()
 
     def spec_for(self, name: str) -> FieldSpec:
-        return self.field_specs.get(name, FieldSpec())
+        return self.controller.spec_for(name)
 
     # -- calibration --------------------------------------------------------
 
     def calibrate(self, snapshot: NyxSnapshot, max_partitions: int = 24, seed: int = 0) -> None:
         """Fit the rate model per field (offline, once per campaign)."""
-        for name, data in snapshot.fields.items():
-            eb_scale = self._budget(name, FieldReference(data))
-            self.calibrations[name] = calibrate_rate_model(
-                self.decomposition.partition_views(data),
-                compressor=self.compressor,
-                eb_scale=eb_scale,
-                max_partitions=max_partitions,
-                seed=seed,
-            )
+        self.controller.prime(snapshot, max_partitions=max_partitions, seed=seed)
 
     # -- per-snapshot compression --------------------------------------------
 
     def compress_snapshot(self, snapshot: NyxSnapshot) -> CampaignReport:
         """Adaptively compress every field; returns the cumulative report."""
-        if not self.calibrations:
+        if not self.controller.calibrations:
             raise RuntimeError("call calibrate() before compressing snapshots")
-        for name, data in snapshot.fields.items():
-            if name not in self.calibrations:
-                raise KeyError(f"field {name!r} was not calibrated")
-            spec = self.spec_for(name)
-            # One shared reference per (field, snapshot): the budget
-            # inversion and the halo-spec derivation reuse the same
-            # float64 cast and cached analyses.
-            ref = FieldReference(data)
-            eb_avg = self._budget(name, ref)
-            halo = self._halo_spec(name, ref, eb_avg) if spec.halo_aware else None
-            pipe = AdaptiveCompressionPipeline(
-                self.calibrations[name].rate_model,
-                compressor=self.compressor,
-                settings=self.settings,
-                backend=self.backend,
-            )
-            result = pipe.run_insitu_spmd(
-                data, self.decomposition, eb_avg=eb_avg, halo=halo
-            )
+        for outcome in self.controller.process_snapshot(snapshot):
             self.report.outcomes.append(
                 FieldOutcome(
-                    field=name,
-                    redshift=snapshot.redshift,
-                    eb_avg=eb_avg,
-                    result=result,
+                    field=outcome.field,
+                    redshift=outcome.redshift,
+                    eb_avg=outcome.eb_avg,
+                    result=outcome.result,
                 )
             )
         return self.report
-
-    # -- internals -------------------------------------------------------------
-
-    def _budget(self, name: str, ref: FieldReference) -> float:
-        spec = self.spec_for(name)
-        if spec.eb_override is not None:
-            return spec.eb_override
-        f64 = ref.f64
-        ps = ref.spectrum()
-        return spectrum_ratio_tolerance_to_eb(
-            ps,
-            f64.size,
-            tolerance=spec.spectrum_tolerance,
-            k_max=spec.spectrum_k_max,
-            confidence_z=spec.confidence_z,
-            sub_power_fn=lambda e: sub_threshold_power_estimate(f64, e, stride=2),
-            correlated_fraction=spec.correlated_fraction,
-        )
-
-    def _halo_spec(self, name: str, ref: FieldReference, eb_avg: float) -> HaloQualitySpec | None:
-        spec = self.spec_for(name)
-        t_boundary = float(np.percentile(ref.f64, spec.halo_percentile))
-        catalog = ref.halos(t_boundary)
-        if catalog.n_halos == 0:
-            return None
-        return HaloQualitySpec(
-            t_boundary=t_boundary,
-            mass_budget=spec.halo_mass_fraction * float(catalog.masses.sum()),
-            reference_eb=min(1.0, eb_avg),
-        )

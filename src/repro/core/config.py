@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["QualityTargets", "OptimizerSettings", "HaloQualitySpec"]
+__all__ = ["QualityTargets", "OptimizerSettings", "HaloQualitySpec", "FieldSpec"]
 
 
 @dataclass(frozen=True)
@@ -99,3 +99,46 @@ class HaloQualitySpec:
             raise ValueError("mass_budget must be positive")
         if self.reference_eb <= 0:
             raise ValueError("reference_eb must be positive")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Quality/configuration policy for one field.
+
+    Shared by the batch campaign (:mod:`repro.core.campaign`) and the
+    streaming controller (:mod:`repro.stream.controller`).
+
+    Attributes
+    ----------
+    spectrum_tolerance / spectrum_k_max / confidence_z:
+        P(k) acceptance band driving the model-derived budget.
+    correlated_fraction:
+        §3.5-revision knob for the budget inversion (0 = paper's model).
+    halo_aware:
+        Apply the combined §3.6 optimization (density fields).
+    halo_percentile:
+        Percentile of the field defining ``t_boundary``.
+    halo_mass_fraction:
+        Mass budget as a fraction of the total halo mass (Eq. 11).
+    eb_override:
+        Skip the model inversion and use this average bound directly.
+    """
+
+    spectrum_tolerance: float = 0.01
+    spectrum_k_max: int = 10
+    confidence_z: float = 2.0
+    correlated_fraction: float = 0.0
+    halo_aware: bool = False
+    halo_percentile: float = 99.5
+    halo_mass_fraction: float = 0.01
+    eb_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.spectrum_tolerance <= 0:
+            raise ValueError("spectrum_tolerance must be positive")
+        if not 0 <= self.correlated_fraction <= 1:
+            raise ValueError("correlated_fraction must be in [0, 1]")
+        if not 50 <= self.halo_percentile < 100:
+            raise ValueError("halo_percentile must be in [50, 100)")
+        if self.eb_override is not None and self.eb_override <= 0:
+            raise ValueError("eb_override must be positive")

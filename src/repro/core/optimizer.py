@@ -61,17 +61,26 @@ def local_protocol_bound(
     rate_model: RateModel,
     eb_avg: float,
     settings: OptimizerSettings,
+    global_coefficient: float | None = None,
 ) -> float:
     """One rank's bound under the paper's local protocol (Eq. 16 + clamp).
 
     Every rank evaluates the closed form against the coefficient of the
     *global mean* feature (obtained from a single allreduce); no
     renormalization happens, so the average-bound constraint holds only
-    approximately.  The scalar arithmetic here is elementwise-identical
-    to the vectorized local branch of :func:`optimize_for_spectrum`.
+    approximately.  This scalar arithmetic *is* the local branch of
+    :func:`optimize_for_spectrum` (which calls it per partition), so the
+    serial, SPMD and ledger-replay paths agree bitwise.  Pass
+    ``global_coefficient`` to reuse an already-evaluated
+    ``predict_coefficient(global_mean)`` — same value, fewer model
+    evaluations.
     """
     c_m = float(rate_model.predict_coefficient(mean_abs))
-    c_a = float(rate_model.predict_coefficient(global_mean))
+    c_a = (
+        float(rate_model.predict_coefficient(global_mean))
+        if global_coefficient is None
+        else global_coefficient
+    )
     c = rate_model.exponent
     eb = eb_avg * (c_m / c_a) ** (1.0 / (1.0 - c))
     return float(
@@ -126,9 +135,28 @@ def optimize_for_spectrum(
 
     if settings.normalization == "local":
         global_mean = rank_order_mean([f.mean_abs for f in features])
+        # Element-by-element scalar arithmetic, exactly as each rank
+        # solves its own bound in the distributed protocol: NumPy's
+        # vectorized power can differ from scalar ``pow`` in the last
+        # ulp on some inputs, which would break bitwise backend
+        # equivalence (and ledger replay) for the local protocol.  The
+        # global-mean coefficient is the same for every rank, so it is
+        # evaluated once and shared.
         c_a = float(rate_model.predict_coefficient(global_mean))
-        ebs = eb_avg * (coeffs / c_a) ** (1.0 / (1.0 - c))
-        ebs = np.clip(ebs, eb_avg / settings.clamp_factor, eb_avg * settings.clamp_factor)
+        ebs = np.array(
+            [
+                local_protocol_bound(
+                    f.mean_abs,
+                    global_mean,
+                    rate_model,
+                    eb_avg,
+                    settings,
+                    global_coefficient=c_a,
+                )
+                for f in features
+            ],
+            dtype=np.float64,
+        )
     else:
         # constraint_mode "paper" fixes the average bound (Eq. 10);
         # "rms" fixes the root-mean-square bound (the exact variance

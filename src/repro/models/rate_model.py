@@ -172,26 +172,48 @@ def optimal_error_bounds(
     base = (c_arr / w) ** (1.0 / (1.0 - exponent))
     target_sum = float(np.sum(w)) * eb_avg
     lo, hi = eb_avg / clamp_factor, eb_avg * clamp_factor
+    return _clipped_waterfill(base, w, target_sum, lo, hi, max_iterations)
 
-    ebs = base * (target_sum / float(np.sum(w * base)))
-    for _ in range(max_iterations):
-        clamped_lo = ebs <= lo
-        clamped_hi = ebs >= hi
-        free = ~(clamped_lo | clamped_hi)
-        ebs = np.clip(ebs, lo, hi)
-        deficit = target_sum - float(np.sum(w[clamped_lo]) * lo + np.sum(w[clamped_hi]) * hi)
-        if not free.any():
-            break
-        scale = deficit / float(np.sum(w[free] * ebs[free]))
-        if scale <= 0:
-            # Constraint infeasible within the clamp box; everything at lo.
-            ebs[free] = lo
-            break
-        new_free = np.clip(ebs[free] * scale, lo, hi)
-        if np.allclose(new_free, ebs[free], rtol=1e-12, atol=0.0):
-            ebs[free] = new_free
-            break
-        ebs[free] = new_free
+
+def _clipped_waterfill(
+    base: np.ndarray,
+    weights: np.ndarray,
+    target: float,
+    lo: float,
+    hi: float,
+    max_iterations: int,
+) -> np.ndarray:
+    """Solve ``sum(w * clip(K * base, lo, hi)) = target`` for ``K``.
+
+    The clamped stationary point keeps every *interior* bound
+    proportional to ``base``; entries ride the box boundaries.  The
+    left-hand side is continuous and monotone non-decreasing in ``K``,
+    so bisection finds the water level robustly — including the case an
+    iterative clamp-and-rescale loop gets wrong, where the proportional
+    seed pushes some entries below ``lo`` *and* others above ``hi``
+    simultaneously and every partition looks clamped even though the
+    constraint is still feasible.  A final renormalization of the
+    interior entries makes the constraint hold to machine precision.
+    """
+    w_total = float(np.sum(weights))
+    if target <= w_total * lo:
+        return np.full_like(base, lo)
+    if target >= w_total * hi:
+        return np.full_like(base, hi)
+    k_lo = lo / float(base.max())  # every bound at (or below) lo
+    k_hi = hi / float(base.min())  # every bound at (or above) hi
+    for _ in range(max(64, max_iterations)):
+        k = 0.5 * (k_lo + k_hi)
+        if float(np.sum(weights * np.clip(k * base, lo, hi))) < target:
+            k_lo = k
+        else:
+            k_hi = k
+    ebs = np.clip(0.5 * (k_lo + k_hi) * base, lo, hi)
+    free = (ebs > lo) & (ebs < hi)
+    if free.any():
+        deficit = target - float(np.sum(weights[~free] * ebs[~free]))
+        scale = deficit / float(np.sum(weights[free] * ebs[free]))
+        ebs[free] = np.clip(ebs[free] * scale, lo, hi)
     return ebs
 
 
@@ -214,24 +236,24 @@ def _optimal_bounds_rms(
     n = len(coefficients)
     target_sq = n * eb_rms**2
 
-    ebs = base * np.sqrt(target_sq / float(np.sum(base**2)))
-    for _ in range(max_iterations):
-        clamped_lo = ebs <= lo
-        clamped_hi = ebs >= hi
-        free = ~(clamped_lo | clamped_hi)
-        ebs = np.clip(ebs, lo, hi)
-        deficit = target_sq - float(
-            np.sum(clamped_lo) * lo**2 + np.sum(clamped_hi) * hi**2
-        )
-        if not free.any():
-            break
-        if deficit <= 0:
-            ebs[free] = lo
-            break
+    # Same clipped water-fill as the mean constraint, on squared bounds:
+    # sum(clip(K*base, lo, hi)^2) is continuous and monotone in K.
+    if target_sq <= n * lo**2:
+        return np.full_like(base, lo)
+    if target_sq >= n * hi**2:
+        return np.full_like(base, hi)
+    k_lo = lo / float(base.max())
+    k_hi = hi / float(base.min())
+    for _ in range(max(64, max_iterations)):
+        k = 0.5 * (k_lo + k_hi)
+        if float(np.sum(np.clip(k * base, lo, hi) ** 2)) < target_sq:
+            k_lo = k
+        else:
+            k_hi = k
+    ebs = np.clip(0.5 * (k_lo + k_hi) * base, lo, hi)
+    free = (ebs > lo) & (ebs < hi)
+    if free.any():
+        deficit = target_sq - float(np.sum(ebs[~free] ** 2))
         scale = np.sqrt(deficit / float(np.sum(ebs[free] ** 2)))
-        new_free = np.clip(ebs[free] * scale, lo, hi)
-        if np.allclose(new_free, ebs[free], rtol=1e-12, atol=0.0):
-            ebs[free] = new_free
-            break
-        ebs[free] = new_free
+        ebs[free] = np.clip(ebs[free] * scale, lo, hi)
     return ebs

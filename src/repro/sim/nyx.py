@@ -167,6 +167,26 @@ class NyxSimulator:
             target_sigma=1.0,
         )
         self._delta_b_fft = np.fft.fftn(self._delta_b)
+        # Wavenumber grids for the velocity solve, built once: a redshift
+        # schedule asks for the same three components per snapshot, and
+        # rebuilding three meshgrids per axis per snapshot dominated the
+        # velocity cost.  Broadcastable 1-D axes carry the same values as
+        # the full ``meshgrid`` arrays (velocities are bitwise identical).
+        k_axes = [
+            np.fft.fftfreq(n, d=self.box_size / n) * 2.0 * np.pi for n in self.shape
+        ]
+        self._vel_k_axes = (
+            k_axes[0][:, None, None],
+            k_axes[1][None, :, None],
+            k_axes[2][None, None, :],
+        )
+        k2 = (
+            self._vel_k_axes[0] ** 2
+            + self._vel_k_axes[1] ** 2
+            + self._vel_k_axes[2] ** 2
+        )
+        k2[0, 0, 0] = 1.0  # avoid division by zero; DC mode forced to zero below
+        self._vel_k2 = k2
 
     # -- field constructors ------------------------------------------------
 
@@ -180,13 +200,7 @@ class NyxSimulator:
 
     def _velocity(self, z: float, axis: int) -> np.ndarray:
         """Linear-theory peculiar velocity component: ``v_k = i f aH delta_k k/k^2``."""
-        k_axes = [
-            np.fft.fftfreq(n, d=self.box_size / n) * 2.0 * np.pi for n in self.shape
-        ]
-        grids = np.meshgrid(*k_axes, indexing="ij")
-        k2 = sum(g**2 for g in grids)
-        k2[0, 0, 0] = 1.0  # avoid division by zero; DC mode forced to zero below
-        vk = 1j * grids[axis] / k2 * self._delta_b_fft
+        vk = 1j * self._vel_k_axes[axis] / self._vel_k2 * self._delta_b_fft
         vk[0, 0, 0] = 0.0
         v = np.fft.ifftn(vk).real
         d = growth_factor(z, self.cosmo)

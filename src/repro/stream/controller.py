@@ -1,0 +1,975 @@
+"""The online in situ streaming controller.
+
+:class:`InSituController` is the long-running service the per-snapshot
+machinery was missing: it consumes a :class:`~repro.stream.source.
+SnapshotStream`, decides per-field error bounds for every dump, and
+closes the loop the batch campaign leaves open —
+
+- **warm starts**: each snapshot's per-field configuration starts from
+  the previous decision (the calibrated rate model *and* the
+  model-inverted base bound), so the steady-state per-snapshot cost is
+  feature extraction + the closed-form optimization + compression, with
+  no model refits and no original-field re-analysis;
+- **drift-gated recalibration**: a per-field
+  :class:`~repro.stream.drift.DriftDetector` compares the model's
+  predicted bitrate (PR 2's histogram estimator feeds the same
+  prediction path) against the achieved bitrate; only when the
+  standardized residuals drift does the controller re-fit the rate
+  model and re-invert the quality budget, reusing one
+  :class:`~repro.foresight.evaluator.FieldReference` for the budget
+  inversion, the halo-spec derivation and the optional quality check;
+- **a run-level budget governor**: :class:`BudgetGovernor` tracks
+  cumulative compressed bytes against a total-run byte budget and
+  scales every field's error bound through the rate model's own power
+  law to land on it;
+- **an append-only ledger**: every calibration, decision, outcome and
+  budget step is recorded (:mod:`repro.stream.ledger`), and
+  :func:`replay_ledger` re-executes the decision logic from the ledger
+  alone — byte-identical bounds, no field data touched.
+
+Per-field compression fans out over the PR 1
+:class:`~repro.parallel.backends.ExecutionBackend` registry exactly as
+the batch path does; the batch :class:`~repro.core.campaign.
+CompressionCampaign` is now a thin client of this controller.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field as dataclass_field
+from types import MappingProxyType
+from typing import Any
+
+import numpy as np
+
+from repro.compression.sz import SZCompressor
+from repro.core.config import FieldSpec, HaloQualitySpec, OptimizerSettings
+from repro.core.features import PartitionFeatures
+from repro.core.optimizer import optimize_combined, optimize_for_spectrum
+from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
+from repro.foresight.evaluator import FieldReference, QualityEvaluator
+from repro.foresight.quality import QualityCriteria
+from repro.models.calibration import CalibrationResult, calibrate_rate_model
+from repro.models.fft_error import (
+    spectrum_ratio_tolerance_to_eb,
+    sub_threshold_power_estimate,
+)
+from repro.models.rate_model import RateModel
+from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSnapshot
+from repro.stream.drift import DriftConfig, DriftDetector, DriftSignal
+from repro.stream.ledger import LedgerError, LedgerEvent, RunLedger
+from repro.stream.source import SnapshotStream, as_stream
+from repro.util.tables import format_table
+
+__all__ = [
+    "derive_eb_budget",
+    "derive_halo_params",
+    "BudgetGovernor",
+    "StreamOutcome",
+    "StreamReport",
+    "InSituController",
+    "ReplayedDecision",
+    "replay_ledger",
+]
+
+
+# -- per-field budget derivation (shared with the batch campaign) ------------
+
+
+def derive_eb_budget(spec: FieldSpec, ref: FieldReference) -> float:
+    """Invert the field's quality spec into an average error bound.
+
+    The §3.3/§3.5 model inversion: the P(k) acceptance band plus the
+    sub-threshold power estimate yield the admissible average bound.
+    All original-field analyses go through the shared
+    :class:`FieldReference` cache, so a budget inversion and a halo-spec
+    derivation on the same snapshot pay for one float64 cast and one
+    ``rfftn`` between them.
+    """
+    if spec.eb_override is not None:
+        return float(spec.eb_override)
+    f64 = ref.f64
+    ps = ref.spectrum()
+    return float(
+        spectrum_ratio_tolerance_to_eb(
+            ps,
+            f64.size,
+            tolerance=spec.spectrum_tolerance,
+            k_max=spec.spectrum_k_max,
+            confidence_z=spec.confidence_z,
+            sub_power_fn=lambda e: sub_threshold_power_estimate(f64, e, stride=2),
+            correlated_fraction=spec.correlated_fraction,
+        )
+    )
+
+
+def derive_halo_params(spec: FieldSpec, ref: FieldReference) -> tuple[float, float] | None:
+    """Halo-constraint inputs ``(t_boundary, mass_budget)`` for a field.
+
+    Returns ``None`` when the field has no halos above the percentile
+    threshold (the constraint is vacuous).  The reference-eb part of the
+    :class:`HaloQualitySpec` depends on the chosen average bound and is
+    attached at decision time.
+    """
+    t_boundary = float(np.percentile(ref.f64, spec.halo_percentile))
+    catalog = ref.halos(t_boundary)
+    if catalog.n_halos == 0:
+        return None
+    return t_boundary, float(spec.halo_mass_fraction * float(catalog.masses.sum()))
+
+
+# -- run-level storage budget governor ---------------------------------------
+
+
+class BudgetGovernor:
+    """Steers cumulative compressed bytes onto a total-run byte budget.
+
+    After every snapshot the governor re-derives the per-snapshot
+    allowance from the *remaining* budget and remaining dump count, and
+    converts the byte mismatch into an error-bound scale through the
+    calibrated power law: bytes scale as ``eb**c`` (Eq. 15), so landing
+    on an allowance ``a`` from achieved bytes ``b`` requires scaling
+    every bound by ``(a/b) ** (gain/c)``.  Overspending therefore
+    *raises* bounds (coarser, cheaper snapshots); underspending relaxes
+    them back.  The scale is clamped to ``[1/max_scale, max_scale]`` so
+    one misbehaved snapshot cannot swing the quality configuration
+    arbitrarily.
+
+    The governor is a pure, deterministic function of the observed byte
+    counts and calibrated exponents — both of which the run ledger
+    records — so replay reproduces its trajectory exactly.
+    """
+
+    def __init__(
+        self,
+        total_bytes: int,
+        n_snapshots: int,
+        gain: float = 1.0,
+        max_scale: float = 4.0,
+    ) -> None:
+        if total_bytes <= 0:
+            raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+        if n_snapshots <= 0:
+            raise ValueError(f"n_snapshots must be positive, got {n_snapshots}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        if max_scale < 1:
+            raise ValueError(f"max_scale must be >= 1, got {max_scale}")
+        self.total_bytes = int(total_bytes)
+        self.n_snapshots = int(n_snapshots)
+        self.gain = float(gain)
+        self.max_scale = float(max_scale)
+        self.scale = 1.0
+        self.spent = 0
+        self.snapshots_done = 0
+
+    @property
+    def remaining_bytes(self) -> int:
+        return self.total_bytes - self.spent
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the total budget consumed so far."""
+        return self.spent / self.total_bytes
+
+    def observe(self, snapshot_bytes: int, exponent: float) -> float:
+        """Account one snapshot's bytes; returns the next snapshot's scale."""
+        if snapshot_bytes <= 0:
+            raise ValueError("snapshot_bytes must be positive")
+        if exponent >= 0:
+            raise ValueError("rate exponent must be negative")
+        self.spent += int(snapshot_bytes)
+        self.snapshots_done += 1
+        if self.snapshots_done >= self.n_snapshots:
+            return self.scale
+        allowance = self.remaining_bytes / (self.n_snapshots - self.snapshots_done)
+        if allowance <= 0:
+            # Budget exhausted: tighten storage as hard as permitted.
+            self.scale = self.max_scale
+            return self.scale
+        factor = allowance / snapshot_bytes
+        proposal = self.scale * factor ** (self.gain / exponent)
+        self.scale = float(min(max(proposal, 1.0 / self.max_scale), self.max_scale))
+        return self.scale
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetGovernor(spent={self.spent}/{self.total_bytes}, "
+            f"scale={self.scale:.3f}, done={self.snapshots_done}/{self.n_snapshots})"
+        )
+
+
+# -- outcomes and the stream report ------------------------------------------
+
+
+@dataclass
+class StreamOutcome:
+    """One field of one stream snapshot, decided and compressed."""
+
+    field: str
+    redshift: float
+    snapshot_index: int
+    eb_base: float
+    scale: float
+    eb_avg: float
+    #: The full compression result (payloads included); ``None`` when the
+    #: controller runs with ``retain_results=False`` to keep long streams
+    #: at O(1) memory — the scalar accounting fields below remain.
+    result: SnapshotResult | None
+    predicted_bit_rate: float
+    achieved_bit_rate: float
+    raw_bytes: int
+    compressed_bytes: int
+    residual: float | None
+    quality_deviation: float | None = None
+    drift_signal: DriftSignal | None = None
+
+    @property
+    def ratio(self) -> float:
+        return self.raw_bytes / self.compressed_bytes
+
+
+@dataclass
+class StreamReport:
+    """Cumulative accounting of a streaming run."""
+
+    outcomes: list[StreamOutcome] = dataclass_field(default_factory=list)
+    n_snapshots: int = 0
+    n_recalibrations: int = 0
+    recalibrations: list[tuple[int, str, str]] = dataclass_field(default_factory=list)
+    byte_budget: int | None = None
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(o.raw_bytes for o in self.outcomes)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(o.compressed_bytes for o in self.outcomes)
+
+    @property
+    def overall_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            raise ValueError("stream report is empty")
+        return self.raw_bytes / self.compressed_bytes
+
+    @property
+    def budget_utilization(self) -> float | None:
+        if self.byte_budget is None:
+            return None
+        return self.compressed_bytes / self.byte_budget
+
+    def snapshot_bytes(self, index: int) -> int:
+        rows = [o.compressed_bytes for o in self.outcomes if o.snapshot_index == index]
+        if not rows:
+            raise KeyError(f"no outcomes recorded for snapshot {index}")
+        return sum(rows)
+
+    def as_rows(self) -> list[list[object]]:
+        return [
+            [
+                o.snapshot_index,
+                o.redshift,
+                o.field,
+                o.eb_avg,
+                o.scale,
+                o.ratio,
+                o.compressed_bytes,
+                o.drift_signal is not None,
+            ]
+            for o in self.outcomes
+        ]
+
+    def to_table(self, title: str | None = None) -> str:
+        return format_table(
+            ["snap", "z", "field", "eb_avg", "scale", "ratio", "bytes", "drift"],
+            self.as_rows(),
+            title=title or "stream report",
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "n_snapshots": self.n_snapshots,
+                "n_recalibrations": self.n_recalibrations,
+                "recalibrations": [list(r) for r in self.recalibrations],
+                "raw_bytes": self.raw_bytes,
+                "compressed_bytes": self.compressed_bytes,
+                "overall_ratio": self.overall_ratio if self.outcomes else None,
+                "byte_budget": self.byte_budget,
+                "budget_utilization": self.budget_utilization,
+                "outcomes": [
+                    {
+                        "snapshot": o.snapshot_index,
+                        "redshift": o.redshift,
+                        "field": o.field,
+                        "eb_avg": o.eb_avg,
+                        "scale": o.scale,
+                        "ratio": o.ratio,
+                        "compressed_bytes": o.compressed_bytes,
+                        "predicted_bit_rate": o.predicted_bit_rate,
+                        "achieved_bit_rate": o.achieved_bit_rate,
+                        "drift": o.drift_signal is not None,
+                    }
+                    for o in self.outcomes
+                ],
+            },
+            indent=2,
+        )
+
+
+@dataclass
+class _FieldState:
+    """Everything the controller warm-starts from snapshot to snapshot."""
+
+    spec: FieldSpec
+    calibration: CalibrationResult
+    pipeline: AdaptiveCompressionPipeline
+    eb_base: float
+    halo_params: tuple[float, float] | None
+    detector: DriftDetector
+
+
+# -- the controller ----------------------------------------------------------
+
+
+class InSituController:
+    """Online adaptive-compression service over a snapshot stream.
+
+    Parameters
+    ----------
+    decomposition:
+        Rank layout shared by every field and snapshot.
+    field_specs:
+        Field name -> :class:`~repro.core.config.FieldSpec`; fields
+        without an entry use the default spec.
+    compressor / settings / backend:
+        As in :class:`~repro.core.campaign.CompressionCampaign`; the
+        backend (registry name or instance) executes every per-field
+        compression, default serial.
+    ledger:
+        A :class:`~repro.stream.ledger.RunLedger`, a JSONL path, or
+        ``None`` for an in-memory ledger.
+    byte_budget:
+        Total-run compressed-byte budget enabling the
+        :class:`BudgetGovernor`; requires ``n_snapshots`` (given here or
+        inferred from ``len(stream)`` in :meth:`run`).
+    drift:
+        :class:`~repro.stream.drift.DriftConfig` thresholds.
+    recalibrate:
+        ``"drift"`` (default) refits a field's models only when its
+        detector fires; ``"always"`` refits every field every snapshot
+        (the naive online baseline); ``"never"`` freezes models after
+        :meth:`prime` (batch-campaign semantics).
+    warm_start:
+        Reuse the previous snapshot's base bound between recalibrations
+        (default).  ``False`` re-inverts the quality budget from the
+        data every snapshot (batch-campaign semantics) while still
+        keeping the rate model warm.
+    probe_mode:
+        Rate-model calibration probes: ``"exact"`` or the codec-free
+        ``"estimate"`` (PR 2's histogram estimator).
+    check_quality:
+        Decompress and measure each field's achieved spectrum deviation
+        (feeds the drift detector's quality channel; implied by a
+        :class:`DriftConfig` with ``quality_margin`` set).
+    retain_results:
+        Keep every field's full :class:`SnapshotResult` (compressed
+        payloads included) on the report outcomes — convenient for
+        analysis, but memory then grows with the stream.  ``False``
+        drops the payloads after accounting (the CLI's choice), keeping
+        a 200-dump run at one-snapshot memory.
+
+    Examples
+    --------
+    >>> from repro.sim.nyx import NyxSimulator
+    >>> from repro.stream.source import SimulatorStream
+    >>> from repro.parallel.decomposition import BlockDecomposition
+    >>> sim = NyxSimulator(shape=(16, 16, 16), seed=0)
+    >>> ctl = InSituController(BlockDecomposition((16, 16, 16), blocks=2))
+    >>> report = ctl.run(SimulatorStream(sim, [2.0, 1.0]))
+    >>> report.n_snapshots
+    2
+    """
+
+    def __init__(
+        self,
+        decomposition: BlockDecomposition,
+        field_specs: dict[str, FieldSpec] | None = None,
+        compressor: SZCompressor | None = None,
+        settings: OptimizerSettings | None = None,
+        backend: str | ExecutionBackend | None = None,
+        *,
+        ledger: RunLedger | str | os.PathLike | None = None,
+        byte_budget: int | None = None,
+        n_snapshots: int | None = None,
+        drift: DriftConfig | None = None,
+        recalibrate: str = "drift",
+        warm_start: bool = True,
+        default_spec: FieldSpec | None = None,
+        probe_mode: str = "exact",
+        max_partitions: int = 24,
+        seed: int = 0,
+        check_quality: bool = False,
+        governor_gain: float = 1.0,
+        governor_max_scale: float = 4.0,
+        retain_results: bool = True,
+    ) -> None:
+        if recalibrate not in ("drift", "always", "never"):
+            raise ValueError(
+                f"recalibrate must be 'drift', 'always' or 'never', got {recalibrate!r}"
+            )
+        if byte_budget is not None and byte_budget <= 0:
+            raise ValueError(f"byte_budget must be positive, got {byte_budget}")
+        self.decomposition = decomposition
+        self.field_specs = dict(field_specs or {})
+        self.default_spec = default_spec or FieldSpec()
+        self.compressor = compressor or SZCompressor()
+        self.settings = settings or OptimizerSettings()
+        self.backend = SerialBackend() if backend is None else get_backend(backend)
+        self.ledger = ledger if isinstance(ledger, RunLedger) else RunLedger(ledger)
+        self.byte_budget = None if byte_budget is None else int(byte_budget)
+        self.drift = drift or DriftConfig()
+        self.recalibrate = recalibrate
+        self.warm_start = bool(warm_start)
+        self.probe_mode = probe_mode
+        self.max_partitions = int(max_partitions)
+        self.seed = int(seed)
+        self.check_quality = bool(check_quality) or self.drift.quality_margin is not None
+        self.governor_gain = float(governor_gain)
+        self.governor_max_scale = float(governor_max_scale)
+        self.retain_results = bool(retain_results)
+
+        self.report = StreamReport(byte_budget=self.byte_budget)
+        self._governor: BudgetGovernor | None = None
+        if self.byte_budget is not None and n_snapshots is not None:
+            self._make_governor(n_snapshots)
+        self._states: dict[str, _FieldState] = {}
+        self._field_order: list[str] = []
+        self._pending: set[str] = set()
+        self._snapshot_index = 0
+        self._started = False
+        self._ended = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the backend pool and the ledger file handle."""
+        self.backend.close()
+        self.ledger.close()
+
+    def __enter__(self) -> "InSituController":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def spec_for(self, name: str) -> FieldSpec:
+        return self.field_specs.get(name, self.default_spec)
+
+    @property
+    def calibrations(self) -> Mapping[str, CalibrationResult]:
+        """Current per-field rate-model fits (latest recalibration wins).
+
+        A read-only view: calibration state is owned by the controller
+        (mutating the mapping raises rather than silently no-opping).
+        """
+        return MappingProxyType(
+            {name: state.calibration for name, state in self._states.items()}
+        )
+
+    @property
+    def governor(self) -> BudgetGovernor | None:
+        return self._governor
+
+    def _make_governor(self, n_snapshots: int) -> None:
+        self._governor = BudgetGovernor(
+            self.byte_budget,
+            n_snapshots,
+            gain=self.governor_gain,
+            max_scale=self.governor_max_scale,
+        )
+        if self._started:
+            self._append_governor_event()
+
+    def _append_governor_event(self) -> None:
+        gov = self._governor
+        assert gov is not None
+        self.ledger.append(
+            "governor",
+            total_bytes=gov.total_bytes,
+            n_snapshots=gov.n_snapshots,
+            gain=gov.gain,
+            max_scale=gov.max_scale,
+        )
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self.ledger.append(
+            "run_start",
+            shape=list(self.decomposition.shape),
+            n_partitions=self.decomposition.n_partitions,
+            byte_budget=self.byte_budget,
+            settings={
+                "clamp_factor": self.settings.clamp_factor,
+                "normalization": self.settings.normalization,
+                "constraint_mode": self.settings.constraint_mode,
+            },
+            recalibrate=self.recalibrate,
+            warm_start=self.warm_start,
+            probe_mode=self.probe_mode,
+            drift={
+                "z_threshold": self.drift.z_threshold,
+                "window": self.drift.window,
+                "min_points": self.drift.min_points,
+                "rate_sigma": self.drift.rate_sigma,
+                "quality_margin": self.drift.quality_margin,
+            },
+            backend=self.backend.name,
+        )
+        self._started = True
+        if self._governor is not None:
+            self._append_governor_event()
+
+    # -- calibration -----------------------------------------------------
+
+    def prime(
+        self,
+        snapshot: NyxSnapshot,
+        max_partitions: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        """Calibrate every field of ``snapshot`` (the offline §3.5 step).
+
+        Optional with ``recalibrate="drift"``/``"always"`` (the first
+        snapshot self-calibrates); required before streaming with
+        ``recalibrate="never"``.
+        """
+        if max_partitions is not None:
+            self.max_partitions = int(max_partitions)
+        if seed is not None:
+            self.seed = int(seed)
+        self._ensure_started()
+        for name, data in snapshot.fields.items():
+            ref = FieldReference(data)
+            self._calibrate_field(name, data, ref, reason="initial")
+
+    def _calibrate_field(
+        self, name: str, data: np.ndarray, ref: FieldReference, reason: str
+    ) -> _FieldState:
+        spec = self.spec_for(name)
+        eb_base = derive_eb_budget(spec, ref)
+        calibration = calibrate_rate_model(
+            self.decomposition.partition_views(data),
+            compressor=self.compressor,
+            eb_scale=eb_base,
+            max_partitions=self.max_partitions,
+            seed=self.seed,
+            probe_mode=self.probe_mode,
+        )
+        halo_params = derive_halo_params(spec, ref) if spec.halo_aware else None
+        previous = self._states.get(name)
+        if previous is not None:
+            detector = previous.detector
+            detector.reset()
+        else:
+            detector = DriftDetector(name, self.drift)
+        state = _FieldState(
+            spec=spec,
+            calibration=calibration,
+            pipeline=AdaptiveCompressionPipeline(
+                calibration.rate_model,
+                compressor=self.compressor,
+                settings=self.settings,
+                backend=self.backend,
+            ),
+            eb_base=eb_base,
+            halo_params=halo_params,
+            detector=detector,
+        )
+        self._states[name] = state
+        if name not in self._field_order:
+            self._field_order.append(name)
+        kind = "calibration" if reason == "initial" else "recalibration"
+        if kind == "recalibration":
+            self.report.n_recalibrations += 1
+            self.report.recalibrations.append((self._snapshot_index, name, reason))
+        model = calibration.rate_model
+        self.ledger.append(
+            kind,
+            snapshot=self._snapshot_index,
+            field=name,
+            reason=reason,
+            exponent=model.exponent,
+            coef_alpha=model.coef_alpha,
+            coef_beta=model.coef_beta,
+            feature_floor=model.feature_floor,
+            coef_r2=calibration.coef_r2,
+            eb_base=eb_base,
+            halo_params=(
+                None
+                if halo_params is None
+                else {"t_boundary": halo_params[0], "mass_budget": halo_params[1]}
+            ),
+        )
+        return state
+
+    def _exponent_mean(self) -> float:
+        exps = [self._states[f].calibration.rate_model.exponent for f in self._field_order]
+        return sum(exps) / len(exps)
+
+    # -- streaming -------------------------------------------------------
+
+    def run(self, stream: "SnapshotStream | list[NyxSnapshot]") -> StreamReport:
+        """Consume every snapshot of ``stream``; returns the final report.
+
+        Accepts any :class:`SnapshotStream` or a plain snapshot list
+        (coerced via :func:`~repro.stream.source.as_stream`).
+        """
+        stream = as_stream(stream)
+        if self.byte_budget is not None and self._governor is None:
+            self._make_governor(len(stream))
+        for snapshot in stream:
+            self.process_snapshot(snapshot)
+        self.finish()
+        return self.report
+
+    def finish(self) -> StreamReport:
+        """Seal the run with a ``run_end`` ledger event (idempotent)."""
+        if self._started and not self._ended:
+            self.ledger.append(
+                "run_end",
+                n_snapshots=self.report.n_snapshots,
+                compressed_bytes=self.report.compressed_bytes,
+                raw_bytes=self.report.raw_bytes,
+                n_recalibrations=self.report.n_recalibrations,
+                budget_utilization=self.report.budget_utilization,
+            )
+            self._ended = True
+        return self.report
+
+    def process_snapshot(self, snapshot: NyxSnapshot) -> list[StreamOutcome]:
+        """Decide, compress and account every field of one snapshot."""
+        if self.byte_budget is not None and self._governor is None:
+            raise RuntimeError(
+                "a byte budget requires n_snapshots (pass it to the "
+                "constructor, or use run() on a sized stream)"
+            )
+        self._ensure_started()
+        index = self._snapshot_index
+        outcomes = [
+            self._process_field(index, snapshot.redshift, name, data)
+            for name, data in snapshot.fields.items()
+        ]
+        if self._governor is not None:
+            snapshot_bytes = sum(o.compressed_bytes for o in outcomes)
+            exponent_mean = self._exponent_mean()
+            scale_next = self._governor.observe(snapshot_bytes, exponent_mean)
+            self.ledger.append(
+                "budget",
+                snapshot=index,
+                snapshot_bytes=snapshot_bytes,
+                spent=self._governor.spent,
+                exponent_mean=exponent_mean,
+                scale_next=scale_next,
+                utilization=self._governor.utilization,
+            )
+        self._snapshot_index += 1
+        self.report.n_snapshots += 1
+        return outcomes
+
+    def _process_field(
+        self, index: int, redshift: float, name: str, data: np.ndarray
+    ) -> StreamOutcome:
+        spec = self.spec_for(name)
+        state = self._states.get(name)
+        ref: FieldReference | None = None
+        if state is None:
+            if self.recalibrate == "never":
+                raise KeyError(f"field {name!r} was not calibrated")
+            ref = FieldReference(data)
+            state = self._calibrate_field(name, data, ref, reason="initial")
+        elif self.recalibrate == "always" or name in self._pending:
+            reason = "forced" if self.recalibrate == "always" else "drift"
+            self._pending.discard(name)
+            ref = FieldReference(data)
+            state = self._calibrate_field(name, data, ref, reason=reason)
+        elif not self.warm_start:
+            # Batch-campaign semantics: the rate model stays frozen but
+            # the budget inversion re-derives from this snapshot's data.
+            ref = FieldReference(data)
+            state.eb_base = derive_eb_budget(spec, ref)
+            state.halo_params = derive_halo_params(spec, ref) if spec.halo_aware else None
+
+        scale = self._governor.scale if self._governor is not None else 1.0
+        eb_avg = state.eb_base * scale
+        halo = None
+        if state.halo_params is not None:
+            t_boundary, mass_budget = state.halo_params
+            halo = HaloQualitySpec(
+                t_boundary=t_boundary,
+                mass_budget=mass_budget,
+                reference_eb=min(1.0, eb_avg),
+            )
+        result = state.pipeline.run_insitu_spmd(
+            data, self.decomposition, eb_avg=eb_avg, halo=halo
+        )
+
+        feats = result.features
+        self.ledger.append(
+            "decision",
+            snapshot=index,
+            redshift=redshift,
+            field=name,
+            eb_base=state.eb_base,
+            scale=scale,
+            eb_avg=eb_avg,
+            mean_abs=[f.mean_abs for f in feats],
+            n_cells=[f.n_cells for f in feats],
+            cell_rates=(
+                [f.effective_cell_rate for f in feats] if halo is not None else None
+            ),
+            halo=(
+                None
+                if halo is None
+                else {
+                    "t_boundary": halo.t_boundary,
+                    "mass_budget": halo.mass_budget,
+                    "reference_eb": halo.reference_eb,
+                }
+            ),
+            ebs=result.ebs,
+            constraint=(
+                result.optimization.constraint if result.optimization else "spectrum"
+            ),
+        )
+
+        stats = result.stats
+        raw_bytes = stats.source_itemsize * stats.total_elements
+        compressed_bytes = stats.total_nbytes
+        achieved = float(stats.overall_bit_rate)
+        predicted = (
+            float(result.optimization.predicted_mean_bitrate)
+            if result.optimization is not None
+            else float("nan")
+        )
+        residual = (
+            math.log(achieved / predicted)
+            if achieved > 0 and predicted > 0
+            else None
+        )
+
+        quality_dev: float | None = None
+        if self.check_quality:
+            if ref is None:
+                ref = FieldReference(data)
+            evaluator = QualityEvaluator(
+                reference=ref,
+                criteria=QualityCriteria(
+                    spectrum_tolerance=spec.spectrum_tolerance,
+                    spectrum_k_max=spec.spectrum_k_max,
+                ),
+            )
+            quality_dev = float(
+                evaluator.evaluate(
+                    result.reconstruct(self.decomposition)
+                ).spectrum_worst_deviation
+            )
+
+        signal: DriftSignal | None = None
+        if self.recalibrate == "drift":
+            if residual is not None:
+                signal = state.detector.update_rate(predicted, achieved)
+            if signal is None and quality_dev is not None:
+                signal = state.detector.update_quality(
+                    quality_dev, spec.spectrum_tolerance
+                )
+            if signal is not None:
+                self._pending.add(name)
+
+        self.ledger.append(
+            "outcome",
+            snapshot=index,
+            field=name,
+            raw_bytes=raw_bytes,
+            compressed_bytes=compressed_bytes,
+            achieved_bit_rate=achieved,
+            predicted_bit_rate=predicted,
+            residual=residual,
+            drift_z=state.detector.zscore(),
+            quality_deviation=quality_dev,
+            recalibrate_next=name in self._pending,
+        )
+        outcome = StreamOutcome(
+            field=name,
+            redshift=redshift,
+            snapshot_index=index,
+            eb_base=state.eb_base,
+            scale=scale,
+            eb_avg=eb_avg,
+            result=result if self.retain_results else None,
+            predicted_bit_rate=predicted,
+            achieved_bit_rate=achieved,
+            raw_bytes=raw_bytes,
+            compressed_bytes=compressed_bytes,
+            residual=residual,
+            quality_deviation=quality_dev,
+            drift_signal=signal,
+        )
+        self.report.outcomes.append(outcome)
+        return outcome
+
+
+# -- deterministic ledger replay ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayedDecision:
+    """One re-derived per-(snapshot, field) decision."""
+
+    snapshot_index: int
+    redshift: float
+    field: str
+    eb_avg: float
+    ebs: tuple[float, ...]
+
+
+def _replay_features(data: dict[str, Any]) -> list[PartitionFeatures]:
+    rates = data["cell_rates"] or [None] * len(data["mean_abs"])
+    return [
+        PartitionFeatures(
+            rank=i, n_cells=int(n), mean_abs=float(m), effective_cell_rate=r
+        )
+        for i, (n, m, r) in enumerate(zip(data["n_cells"], data["mean_abs"], rates))
+    ]
+
+
+def replay_ledger(
+    source: "RunLedger | str | os.PathLike | list[LedgerEvent]",
+    verify: bool = True,
+) -> list[ReplayedDecision]:
+    """Re-execute a run's decision logic from its ledger alone.
+
+    Walks the events in sequence order, reconstructing the rate models
+    from calibration events, the governor trajectory from outcome byte
+    counts, and every per-partition bound vector by re-running the
+    actual optimizer on the recorded features — no field data is read,
+    no compressor is invoked.  JSON round-trips floats exactly, so the
+    replayed bounds are bitwise identical to the live run's.
+
+    With ``verify=True`` (default) every recomputed quantity — governor
+    scale, average bound, per-partition bounds — is checked against the
+    recorded decision and a :class:`~repro.stream.ledger.LedgerError`
+    is raised on the first divergence (a tampered or corrupted ledger,
+    or a non-deterministic controller, which would be a bug).
+    """
+    if isinstance(source, RunLedger):
+        events = source.events
+    elif isinstance(source, list):
+        events = source
+    else:
+        events = RunLedger.load(source).events
+
+    settings: OptimizerSettings | None = None
+    governor: BudgetGovernor | None = None
+    models: dict[str, RateModel] = {}
+    field_order: list[str] = []
+    pending_bytes = 0
+    decisions: list[ReplayedDecision] = []
+
+    def _mismatch(event: LedgerEvent, what: str, got: object, recorded: object) -> LedgerError:
+        return LedgerError(
+            f"replay diverged at seq {event.seq} ({event.kind}): "
+            f"{what} {got!r} != recorded {recorded!r}"
+        )
+
+    for event in events:
+        d = event.data
+        if event.kind == "run_start":
+            # A ledger file may hold several runs back to back (re-opened
+            # files continue the sequence); every run replays from a
+            # clean slate.
+            settings = OptimizerSettings(**d["settings"])
+            governor = None
+            models = {}
+            field_order = []
+            pending_bytes = 0
+        elif event.kind == "governor":
+            governor = BudgetGovernor(
+                d["total_bytes"],
+                d["n_snapshots"],
+                gain=d["gain"],
+                max_scale=d["max_scale"],
+            )
+        elif event.kind in ("calibration", "recalibration"):
+            name = d["field"]
+            models[name] = RateModel(
+                exponent=d["exponent"],
+                coef_alpha=d["coef_alpha"],
+                coef_beta=d["coef_beta"],
+                feature_floor=d["feature_floor"],
+            )
+            if name not in field_order:
+                field_order.append(name)
+        elif event.kind == "decision":
+            if settings is None:
+                raise LedgerError("decision event before run_start")
+            name = d["field"]
+            if name not in models:
+                raise LedgerError(
+                    f"decision for {name!r} at seq {event.seq} has no calibration"
+                )
+            scale = governor.scale if governor is not None else 1.0
+            if verify and scale != d["scale"]:
+                raise _mismatch(event, "governor scale", scale, d["scale"])
+            # The base bound is a recorded *input*: with warm starts it
+            # matches the latest calibration event; without them it is
+            # re-derived from the data each snapshot, so the decision
+            # event is its only record.
+            base = float(d["eb_base"])
+            eb_avg = base * scale
+            features = _replay_features(d)
+            if d.get("halo") is not None:
+                opt = optimize_combined(
+                    features, models[name], eb_avg, HaloQualitySpec(**d["halo"]), settings
+                )
+            else:
+                opt = optimize_for_spectrum(features, models[name], eb_avg, settings)
+            ebs = tuple(float(e) for e in opt.ebs)
+            if verify:
+                recorded = tuple(float(e) for e in d["ebs"])
+                if float(eb_avg) != float(d["eb_avg"]):
+                    raise _mismatch(event, "eb_avg", float(eb_avg), d["eb_avg"])
+                if ebs != recorded:
+                    raise _mismatch(event, "per-partition bounds", ebs, recorded)
+            decisions.append(
+                ReplayedDecision(
+                    snapshot_index=int(d["snapshot"]),
+                    redshift=float(d["redshift"]),
+                    field=name,
+                    eb_avg=float(eb_avg),
+                    ebs=ebs,
+                )
+            )
+        elif event.kind == "outcome":
+            pending_bytes += int(d["compressed_bytes"])
+        elif event.kind == "budget":
+            if governor is None:
+                raise LedgerError("budget event without a governed run_start")
+            exps = [models[f].exponent for f in field_order]
+            exponent_mean = sum(exps) / len(exps)
+            if verify and pending_bytes != int(d["snapshot_bytes"]):
+                raise _mismatch(
+                    event, "snapshot bytes", pending_bytes, d["snapshot_bytes"]
+                )
+            scale_next = governor.observe(pending_bytes, exponent_mean)
+            if verify and scale_next != d["scale_next"]:
+                raise _mismatch(event, "next scale", scale_next, d["scale_next"])
+            pending_bytes = 0
+    return decisions

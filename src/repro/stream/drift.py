@@ -1,0 +1,165 @@
+"""Drift detection: when do the calibrated models stop describing the data?
+
+The paper calibrates the rate model once, offline; the follow-up
+ratio-quality modeling work (Jin et al., arXiv:2111.09815) observes the
+models are cheap enough to *re-fit online* when their predictions drift.
+This module decides when: each field compares the model-predicted
+bitrate against the achieved bitrate of every snapshot and standardizes
+the log-residual
+
+    r_t = ln(achieved_t / predicted_t)
+
+against a reference scatter ``rate_sigma`` (the estimator's calibrated
+accuracy band, ~8-10% relative).  Over a sliding window of the last
+``window`` residuals the detector forms the z-statistic of the window
+mean,
+
+    z = mean(r) * sqrt(n) / rate_sigma,
+
+and emits a :class:`DriftSignal` when ``|z|`` exceeds ``z_threshold`` —
+a persistent bias several sigma beyond the estimator's own noise, not a
+one-snapshot fluctuation (unless the window is configured that tight).
+
+An optional *quality* channel compares the achieved spectrum deviation
+of decompressed snapshots against the field's tolerance and fires when
+the margin is exhausted (``achieved > quality_margin * tolerance``);
+rate drift says "the storage model is stale", quality drift says "the
+error-bound budget itself is stale".
+
+Detectors are deliberately pure, deterministic state machines: the
+recalibration schedule they induce is recorded in the run ledger and
+never needs to be re-derived at replay time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["DriftConfig", "DriftSignal", "DriftDetector"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds of the per-field drift detector.
+
+    Attributes
+    ----------
+    z_threshold:
+        Standardized-residual magnitude that triggers recalibration.
+    window:
+        Sliding-window length (residuals beyond it are forgotten).
+    min_points:
+        Minimum residual count before the detector may fire (a fresh or
+        just-reset detector stays silent while it re-accumulates).
+    rate_sigma:
+        Reference scatter of the log bitrate residual — the estimator's
+        own accuracy band; residuals are standardized against it.
+    quality_margin:
+        Fraction of the field's spectrum tolerance the achieved
+        deviation may consume before the quality channel fires.
+        ``None`` disables the channel.
+    """
+
+    z_threshold: float = 4.0
+    window: int = 4
+    min_points: int = 2
+    rate_sigma: float = 0.08
+    quality_margin: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.z_threshold <= 0:
+            raise ValueError("z_threshold must be positive")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 1 <= self.min_points <= self.window:
+            raise ValueError("min_points must be in [1, window]")
+        if self.rate_sigma <= 0:
+            raise ValueError("rate_sigma must be positive")
+        if self.quality_margin is not None and self.quality_margin <= 0:
+            raise ValueError("quality_margin must be positive")
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One detector firing: which channel tripped, and how hard."""
+
+    field: str
+    channel: str  # "rate" or "quality"
+    z: float  # standardized window statistic (rate) or margin ratio (quality)
+    n_points: int
+    residual: float  # the most recent raw residual / deviation
+
+    def __str__(self) -> str:
+        return (
+            f"drift[{self.field}/{self.channel}]: z={self.z:.2f} "
+            f"over {self.n_points} snapshot(s)"
+        )
+
+
+class DriftDetector:
+    """Sliding-window standardized-residual monitor for one field."""
+
+    def __init__(self, field: str, config: DriftConfig | None = None) -> None:
+        self.field = field
+        self.config = config or DriftConfig()
+        self._residuals: deque[float] = deque(maxlen=self.config.window)
+
+    @property
+    def n_points(self) -> int:
+        return len(self._residuals)
+
+    def reset(self) -> None:
+        """Forget accumulated residuals (call after a recalibration)."""
+        self._residuals.clear()
+
+    def zscore(self) -> float:
+        """Current standardized window-mean statistic (0 when empty)."""
+        n = len(self._residuals)
+        if n == 0:
+            return 0.0
+        mean = sum(self._residuals) / n
+        return mean * math.sqrt(n) / self.config.rate_sigma
+
+    def update_rate(self, predicted_bitrate: float, achieved_bitrate: float) -> DriftSignal | None:
+        """Feed one snapshot's predicted-vs-achieved bitrate pair."""
+        if predicted_bitrate <= 0 or achieved_bitrate <= 0:
+            raise ValueError("bitrates must be positive")
+        residual = math.log(achieved_bitrate / predicted_bitrate)
+        self._residuals.append(residual)
+        if len(self._residuals) < self.config.min_points:
+            return None
+        z = self.zscore()
+        if abs(z) > self.config.z_threshold:
+            return DriftSignal(
+                field=self.field,
+                channel="rate",
+                z=z,
+                n_points=len(self._residuals),
+                residual=residual,
+            )
+        return None
+
+    def update_quality(self, achieved_deviation: float, tolerance: float) -> DriftSignal | None:
+        """Feed one snapshot's achieved spectrum deviation (optional channel)."""
+        if self.config.quality_margin is None:
+            return None
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        ratio = achieved_deviation / tolerance
+        if ratio > self.config.quality_margin:
+            return DriftSignal(
+                field=self.field,
+                channel="quality",
+                z=ratio,
+                n_points=1,
+                residual=achieved_deviation,
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftDetector({self.field!r}, n={self.n_points}, "
+            f"z={self.zscore():.2f})"
+        )

@@ -1,0 +1,221 @@
+"""Append-only JSONL run ledger — the stream subsystem's persistent state.
+
+Every consequential step of an :class:`~repro.stream.controller.
+InSituController` run is appended as one JSON line with a monotonic
+sequence id::
+
+    {"seq": 0, "kind": "run_start",     "data": {...}}
+    {"seq": 1, "kind": "calibration",   "data": {"field": ..., "exponent": ...}}
+    {"seq": 2, "kind": "decision",      "data": {"ebs": [...], ...}}
+    {"seq": 3, "kind": "outcome",       "data": {"compressed_bytes": ...}}
+    {"seq": 4, "kind": "budget",        "data": {"scale_next": ...}}
+    ...
+    {"seq": n, "kind": "run_end",       "data": {...}}
+
+Design rules:
+
+- **Append-only.**  Events are flushed line by line as they happen; an
+  interrupted run leaves a valid prefix.  Re-opening an existing ledger
+  file continues the sequence (ids stay monotonic across process
+  restarts).
+- **Self-contained decisions.**  Every model parameter, feature vector
+  and governor input that produced a decision is recorded, so
+  :func:`repro.stream.controller.replay_ledger` can re-execute the
+  decision logic — optimizer, budget governor and all — and reproduce
+  the exact per-partition error bounds *without reading any field
+  data*.  Floats survive the JSON round trip exactly (``json`` emits
+  ``repr``-precision), which is what makes bitwise replay possible.
+- **Dependency-free format.**  Plain JSON lines; numpy scalars/arrays
+  are converted to Python numbers/lists on append.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "EVENT_KINDS",
+    "LedgerError",
+    "LedgerEvent",
+    "RunLedger",
+]
+
+#: The event vocabulary, in the order a run emits them.  ``governor``
+#: arms the run-level byte-budget governor (recorded separately from
+#: ``run_start`` because the snapshot count may only become known when a
+#: sized stream is handed to ``run()``); ``calibration`` is the initial
+#: per-field model fit; ``recalibration`` a drift- or policy-triggered
+#: refit; ``decision`` the per-(snapshot, field) error bounds;
+#: ``outcome`` the achieved rate/quality; ``budget`` the governor's
+#: per-snapshot accounting.
+EVENT_KINDS = (
+    "run_start",
+    "governor",
+    "calibration",
+    "recalibration",
+    "decision",
+    "outcome",
+    "budget",
+    "run_end",
+)
+
+
+class LedgerError(ValueError):
+    """A malformed ledger file or an out-of-order append."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to plain JSON types."""
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} into the ledger")
+
+
+@dataclass(frozen=True)
+class LedgerEvent:
+    """One ledger line: a monotonic id, an event kind, and its payload."""
+
+    seq: int
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"seq": self.seq, "kind": self.kind, "data": self.data})
+
+    @classmethod
+    def from_json(cls, line: str) -> "LedgerEvent":
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LedgerError(f"malformed ledger line: {line[:80]!r}") from exc
+        if not isinstance(obj, dict) or "seq" not in obj or "kind" not in obj:
+            raise LedgerError(f"ledger line missing seq/kind: {line[:80]!r}")
+        if obj["kind"] not in EVENT_KINDS:
+            raise LedgerError(f"unknown ledger event kind {obj['kind']!r}")
+        return cls(seq=int(obj["seq"]), kind=str(obj["kind"]), data=obj.get("data", {}))
+
+
+class RunLedger:
+    """Append-only event log, optionally mirrored to a JSONL file.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append to.  ``None`` keeps the ledger in memory
+        only (useful for tests and ephemeral runs).  If the file already
+        holds events, they are loaded and the sequence continues after
+        them — the append-only contract spans process restarts.
+
+    Examples
+    --------
+    >>> ledger = RunLedger()
+    >>> ledger.append("run_start", n_snapshots=8).seq
+    0
+    >>> ledger.append("decision", field="temperature", ebs=[0.5, 0.25]).seq
+    1
+    >>> [e.kind for e in ledger.select("decision")]
+    ['decision']
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[LedgerEvent] = []
+        self._fh = None
+        if self.path is not None:
+            if self.path.exists() and self.path.stat().st_size > 0:
+                self.events = self._read_events(self.path)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    # -- append side -----------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        return self.events[-1].seq + 1 if self.events else 0
+
+    def append(self, kind: str, **data: Any) -> LedgerEvent:
+        """Record one event; assigns the next sequence id and flushes."""
+        if kind not in EVENT_KINDS:
+            raise LedgerError(
+                f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
+            )
+        if self.path is not None and self._fh is None:
+            # A closed (or load()-ed read-only) file-backed ledger must
+            # not degrade to memory-only: events would silently be
+            # missing from disk and a later replay would verify a
+            # truncated run without noticing.
+            raise LedgerError(
+                f"ledger {self.path} is closed; re-open it with "
+                "RunLedger(path) to continue appending"
+            )
+        event = LedgerEvent(seq=self.next_seq, kind=kind, data=_jsonable(data))
+        self.events.append(event)
+        if self._fh is not None:
+            self._fh.write(event.to_json() + "\n")
+            self._fh.flush()
+        return event
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        where = str(self.path) if self.path else "<memory>"
+        return f"RunLedger({where!r}, n_events={len(self.events)})"
+
+    # -- read side -------------------------------------------------------
+
+    def select(self, kind: str) -> list[LedgerEvent]:
+        """Events of one kind, in sequence order."""
+        if kind not in EVENT_KINDS:
+            raise LedgerError(f"unknown event kind {kind!r}")
+        return [e for e in self.events if e.kind == kind]
+
+    @staticmethod
+    def _read_events(path: Path) -> list[LedgerEvent]:
+        events: list[LedgerEvent] = []
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                event = LedgerEvent.from_json(line)
+                if event.seq != len(events):
+                    raise LedgerError(
+                        f"{path}:{lineno}: sequence id {event.seq} breaks the "
+                        f"monotonic order (expected {len(events)})"
+                    )
+                events.append(event)
+        return events
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunLedger":
+        """Read a ledger file without opening it for appending."""
+        ledger = cls.__new__(cls)
+        ledger.path = Path(path)
+        ledger._fh = None
+        ledger.events = cls._read_events(ledger.path)
+        return ledger

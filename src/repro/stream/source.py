@@ -1,0 +1,203 @@
+"""Snapshot sources: where an in situ stream's dumps come from.
+
+The controller consumes any :class:`SnapshotStream` — an iterable of
+:class:`~repro.sim.nyx.NyxSnapshot` with a known length — so it is
+decoupled from the producer:
+
+- :class:`SimulatorStream` drives a :class:`~repro.sim.nyx.NyxSimulator`
+  through a redshift schedule (the "simulation is running next door"
+  deployment),
+- :class:`DirectoryStream` replays an on-disk ``.npz`` sequence written
+  by :func:`repro.sim.io.save_snapshot` (e.g. by
+  ``python -m repro.cli generate --redshifts ...``),
+- :class:`SnapshotSequence` wraps an in-memory list (tests, notebooks,
+  synthetic distribution-shift experiments).
+
+All sources accept a ``fields`` subset so a stream can be restricted to
+the fields under study without touching the snapshots on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from repro.sim.io import load_snapshot, peek_snapshot_shape
+from repro.sim.nyx import NyxSimulator, NyxSnapshot
+
+__all__ = [
+    "SnapshotStream",
+    "SimulatorStream",
+    "DirectoryStream",
+    "SnapshotSequence",
+    "as_stream",
+]
+
+
+@runtime_checkable
+class SnapshotStream(Protocol):
+    """A finite, ordered sequence of snapshots (one pass, in dump order)."""
+
+    def __iter__(self) -> Iterator[NyxSnapshot]: ...
+
+    def __len__(self) -> int: ...
+
+
+def _restrict(snapshot: NyxSnapshot, fields: tuple[str, ...] | None) -> NyxSnapshot:
+    if fields is None:
+        return snapshot
+    missing = [f for f in fields if f not in snapshot.fields]
+    if missing:
+        raise KeyError(
+            f"snapshot at z={snapshot.redshift} lacks fields {missing}; "
+            f"available: {sorted(snapshot.fields)}"
+        )
+    return NyxSnapshot(
+        fields={f: snapshot.fields[f] for f in fields},
+        redshift=snapshot.redshift,
+        box_size=snapshot.box_size,
+        meta=dict(snapshot.meta),
+    )
+
+
+def _field_tuple(fields: Sequence[str] | None) -> tuple[str, ...] | None:
+    if fields is None:
+        return None
+    out = tuple(fields)
+    if not out:
+        raise ValueError("fields subset must not be empty")
+    return out
+
+
+class SimulatorStream:
+    """Snapshots generated on demand from a redshift schedule.
+
+    Parameters
+    ----------
+    simulator:
+        The snapshot generator (fixed phases across the schedule).
+    redshifts:
+        Dump schedule in stream order (typically decreasing, as a
+        simulation runs forward in time).
+    fields:
+        Optional subset of field names to expose.
+    """
+
+    def __init__(
+        self,
+        simulator: NyxSimulator,
+        redshifts: Sequence[float],
+        fields: Sequence[str] | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.redshifts = [float(z) for z in redshifts]
+        if not self.redshifts:
+            raise ValueError("redshift schedule must not be empty")
+        if any(z < 0 for z in self.redshifts):
+            raise ValueError("redshifts must be non-negative")
+        self.fields = _field_tuple(fields)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.simulator.shape
+
+    def __len__(self) -> int:
+        return len(self.redshifts)
+
+    def __iter__(self) -> Iterator[NyxSnapshot]:
+        for z in self.redshifts:
+            yield _restrict(self.simulator.snapshot(z=z), self.fields)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatorStream(shape={self.simulator.shape}, "
+            f"redshifts={self.redshifts})"
+        )
+
+
+class DirectoryStream:
+    """An on-disk snapshot sequence, replayed in sorted filename order.
+
+    Files are discovered eagerly (so ``len`` is cheap and the order is
+    fixed at construction) but *loaded* lazily, one snapshot per
+    iteration step — a 200-dump campaign never holds two snapshots in
+    memory at once.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        pattern: str = "*.npz",
+        fields: Sequence[str] | None = None,
+    ) -> None:
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"snapshot directory {self.directory} not found")
+        self.paths = sorted(self.directory.glob(pattern))
+        if not self.paths:
+            raise FileNotFoundError(
+                f"no snapshots matching {pattern!r} in {self.directory}"
+            )
+        self.fields = _field_tuple(fields)
+        self._shape: tuple[int, int, int] | None = None
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Grid shape of the sequence, read from the first container's
+        array headers (a few hundred bytes — no field is decompressed)."""
+        if self._shape is None:
+            self._shape = tuple(peek_snapshot_shape(self.paths[0]))
+        return self._shape
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def __iter__(self) -> Iterator[NyxSnapshot]:
+        for path in self.paths:
+            yield _restrict(load_snapshot(path), self.fields)
+
+    def __repr__(self) -> str:
+        return f"DirectoryStream({str(self.directory)!r}, n={len(self.paths)})"
+
+
+class SnapshotSequence:
+    """An in-memory snapshot list as a stream (tests and experiments)."""
+
+    def __init__(
+        self,
+        snapshots: Sequence[NyxSnapshot],
+        fields: Sequence[str] | None = None,
+    ) -> None:
+        self.snapshots = list(snapshots)
+        if not self.snapshots:
+            raise ValueError("snapshot sequence must not be empty")
+        self.fields = _field_tuple(fields)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return self.snapshots[0].shape
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[NyxSnapshot]:
+        for snap in self.snapshots:
+            yield _restrict(snap, self.fields)
+
+    def __repr__(self) -> str:
+        return f"SnapshotSequence(n={len(self.snapshots)})"
+
+
+def as_stream(source: "SnapshotStream | Sequence[NyxSnapshot]") -> SnapshotStream:
+    """Coerce a plain snapshot list into a stream; pass streams through."""
+    if isinstance(source, (SimulatorStream, DirectoryStream, SnapshotSequence)):
+        return source
+    if isinstance(source, NyxSnapshot):
+        return SnapshotSequence([source])
+    if isinstance(source, Sequence):
+        return SnapshotSequence(source)
+    if isinstance(source, SnapshotStream):
+        return source
+    raise TypeError(f"cannot interpret {type(source).__name__} as a snapshot stream")

@@ -136,3 +136,33 @@ class TestCampaign:
 
         with pytest.raises(ValueError, match="empty"):
             CampaignReport().overall_ratio
+
+    def test_report_exports(self, campaign):
+        import json
+
+        report = campaign.report
+        table = report.to_table(title="campaign")
+        assert table.startswith("campaign")
+        assert "baryon_density" in table
+        payload = json.loads(report.to_json())
+        assert payload["compressed_bytes"] == report.compressed_bytes
+        assert len(payload["outcomes"]) == len(report.outcomes)
+        first = payload["outcomes"][0]
+        assert set(first) == {
+            "redshift", "field", "eb_avg", "ratio", "compressed_bytes",
+        }
+
+    def test_is_thin_client_of_stream_controller(self, campaign):
+        """The campaign's decisions are the controller's decisions: the
+        in-memory ledger of the wrapped controller replays to the same
+        per-partition bounds the campaign reported."""
+        from repro.stream.controller import replay_ledger
+
+        decisions = replay_ledger(campaign.controller.ledger)
+        live = {
+            (o.redshift, o.field): o.result.ebs for o in campaign.report.outcomes
+        }
+        assert len(decisions) == len(campaign.report.outcomes)
+        for d in decisions:
+            key = (d.redshift, d.field)
+            assert np.array_equal(np.asarray(d.ebs), live[key])

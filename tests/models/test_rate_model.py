@@ -138,6 +138,28 @@ class TestOptimalErrorBounds:
         with pytest.raises(ValueError, match="clamp_factor"):
             optimal_error_bounds(np.ones(2), 1.0, -0.5, clamp_factor=0.5)
 
+    def test_simultaneous_lo_hi_clamping_keeps_constraint(self):
+        """Pinned regression: one dominant coefficient pushes the
+        proportional seed above the clamp ceiling while every other
+        partition lands below the floor.  An iterative clamp-and-rescale
+        water-fill sees "everything clamped" and freezes at mean 0.875,
+        silently under-using the budget; the bisection water-fill must
+        raise the small partitions off the floor instead."""
+        coeffs = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 40.0])
+        ebs = optimal_error_bounds(coeffs, 1.0, -0.25, clamp_factor=4.0)
+        assert ebs.mean() == pytest.approx(1.0, rel=1e-12)
+        np.testing.assert_allclose(ebs, [0.4, 0.4, 0.4, 0.4, 0.4, 4.0], rtol=1e-12)
+
+    def test_simultaneous_lo_hi_clamping_rms(self):
+        """Same pathological input class under the quadratic constraint."""
+        coeffs = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 40.0])
+        ebs = optimal_error_bounds(
+            coeffs, 1.0, -0.25, clamp_factor=4.0, constraint="rms"
+        )
+        assert np.sqrt((ebs**2).mean()) == pytest.approx(1.0, rel=1e-12)
+        assert (ebs >= 0.25 - 1e-12).all() and (ebs <= 4.0 + 1e-12).all()
+        assert ebs[:5].min() > 0.25  # floor entries lifted, not frozen
+
     @given(
         st.lists(st.floats(0.01, 100.0), min_size=2, max_size=50),
         st.floats(-1.5, -0.1),

@@ -103,3 +103,30 @@ class TestDeterminismAndValidation:
         views = decomposition.partition_views(snapshot["baryon_density"])
         means = np.array([v.mean() for v in views])
         assert means.max() / means.min() > 2.0
+
+    def test_cached_velocity_grids_match_direct_meshgrid(self):
+        """The k-grids precomputed in ``__init__`` reproduce the direct
+        per-call meshgrid construction bitwise (anisotropic shape to
+        exercise every axis)."""
+        from repro.sim.cosmology import growth_factor
+
+        sim = NyxSimulator(shape=(8, 12, 16), box_size=8.0, seed=3)
+        k_axes = [
+            np.fft.fftfreq(n, d=sim.box_size / n) * 2.0 * np.pi for n in sim.shape
+        ]
+        grids = np.meshgrid(*k_axes, indexing="ij")
+        k2 = sum(g**2 for g in grids)
+        k2[0, 0, 0] = 1.0
+        for axis in range(3):
+            vk = 1j * grids[axis] / k2 * sim._delta_b_fft
+            vk[0, 0, 0] = 0.0
+            v = np.fft.ifftn(vk).real
+            d = growth_factor(0.5, sim.cosmo)
+            expected = v * (sim.velocity_scale * d / max(v.std(), 1e-30))
+            assert np.array_equal(sim._velocity(0.5, axis), expected)
+
+    def test_velocity_identical_across_snapshots(self):
+        sim = NyxSimulator(shape=(8, 8, 8), seed=4)
+        a = sim.snapshot(z=1.0)["velocity_y"]
+        b = sim.snapshot(z=1.0)["velocity_y"]
+        assert np.array_equal(a, b)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sim.io import load_snapshot, save_snapshot
+from repro.sim.io import load_snapshot, peek_snapshot_shape, save_snapshot
 from repro.sim.nyx import FIELD_NAMES
 
 
@@ -32,6 +32,17 @@ class TestSnapshotIO:
         np.savez(path, a=np.zeros(3))
         with pytest.raises(ValueError, match="not a snapshot"):
             load_snapshot(path)
+
+    def test_peek_shape_reads_headers_only(self, snapshot, tmp_path):
+        path = tmp_path / "snap.npz"
+        save_snapshot(snapshot, path)
+        assert peek_snapshot_shape(path) == snapshot.shape
+
+    def test_peek_shape_rejects_field_free_container(self, tmp_path):
+        path = tmp_path / "meta_only.npz"
+        np.savez(path, __redshift=np.array(1.0))
+        with pytest.raises(ValueError, match="no field arrays"):
+            peek_snapshot_shape(path)
 
     def test_compressed_on_disk(self, snapshot, tmp_path):
         """The container must actually compress (it stands in for HDF5+filters)."""

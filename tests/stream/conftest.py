@@ -1,0 +1,19 @@
+"""Shared fixtures for the streaming-subsystem tests: a tiny simulator
+whose snapshots are cheap enough to stream many times per test run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSimulator
+
+
+@pytest.fixture(scope="module")
+def stream_sim() -> NyxSimulator:
+    return NyxSimulator(shape=(16, 16, 16), box_size=16.0, seed=7, sigma_delta0=2.5)
+
+
+@pytest.fixture(scope="module")
+def stream_dec() -> BlockDecomposition:
+    return BlockDecomposition((16, 16, 16), blocks=2)

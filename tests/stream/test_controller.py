@@ -1,0 +1,413 @@
+"""InSituController: warm starts, drift-gated recalibration, budget
+governor, and deterministic ledger replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import FieldSpec
+from repro.sim.nyx import NyxSnapshot
+from repro.stream.controller import (
+    BudgetGovernor,
+    InSituController,
+    replay_ledger,
+)
+from repro.stream.drift import DriftConfig
+from repro.stream.ledger import LedgerError, RunLedger
+from repro.stream.source import SnapshotSequence
+
+
+def _single_field(snapshot: NyxSnapshot, name: str, data=None) -> NyxSnapshot:
+    return NyxSnapshot(
+        fields={name: snapshot[name] if data is None else data},
+        redshift=snapshot.redshift,
+        box_size=snapshot.box_size,
+    )
+
+
+@pytest.fixture(scope="module")
+def base_snapshot(stream_sim):
+    return stream_sim.snapshot(z=1.0)
+
+
+class TestDriftGating:
+    def test_stationary_stream_zero_recalibrations(self, stream_dec, base_snapshot):
+        """A statistically stationary stream must never trigger a refit."""
+        ctl = InSituController(stream_dec, max_partitions=8)
+        report = ctl.run(SnapshotSequence([base_snapshot] * 4))
+        assert report.n_recalibrations == 0
+        assert report.recalibrations == []
+        # Warm start: identical data, frozen models -> identical decisions.
+        by_field: dict[str, list] = {}
+        for o in report.outcomes:
+            by_field.setdefault(o.field, []).append(o)
+        for rows in by_field.values():
+            assert len(rows) == 4
+            assert all(o.eb_avg == rows[0].eb_avg for o in rows)
+            assert all(np.array_equal(o.result.ebs, rows[0].result.ebs) for o in rows)
+
+    def test_injected_shift_exactly_one_recalibration(
+        self, stream_dec, base_snapshot
+    ):
+        """A spatial-decorrelation shift mid-stream forces one refit.
+
+        Shuffling the voxels preserves the feature the rate model sees
+        (mean |value|) while destroying the Lorenzo predictability the
+        bitrate depends on — the model's prediction goes stale and only
+        recalibration can fix it.
+        """
+        name = "velocity_x"
+        data = base_snapshot[name]
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(data.ravel()).reshape(data.shape).copy()
+        base = _single_field(base_snapshot, name)
+        shifted = _single_field(base_snapshot, name, shuffled)
+
+        ctl = InSituController(
+            stream_dec,
+            max_partitions=8,
+            drift=DriftConfig(z_threshold=3.0, window=2, min_points=2, rate_sigma=0.1),
+        )
+        report = ctl.run(SnapshotSequence([base, base, shifted, shifted, shifted]))
+
+        # The detector needs two post-shift residuals (min_points=2), so
+        # it fires at snapshot 3 and the refit lands at snapshot 4.
+        assert report.n_recalibrations == 1
+        assert report.recalibrations == [(4, name, "drift")]
+        assert report.outcomes[3].drift_signal is not None
+        assert report.outcomes[3].drift_signal.channel == "rate"
+        # Post-shift, pre-recalibration: large under-prediction.
+        assert report.outcomes[2].residual > 0.2
+        # After the refit the model describes the shifted data again.
+        assert abs(report.outcomes[4].residual) < 0.1
+        assert report.outcomes[4].drift_signal is None
+        # The ledger shows exactly one recalibration event.
+        assert len(ctl.ledger.select("recalibration")) == 1
+        assert len(ctl.ledger.select("calibration")) == 1
+
+    def test_always_policy_recalibrates_every_snapshot(
+        self, stream_dec, base_snapshot
+    ):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8, recalibrate="always")
+        report = ctl.run(SnapshotSequence([snap] * 3))
+        assert report.n_recalibrations == 2  # first one is the initial fit
+        assert [r[2] for r in report.recalibrations] == ["forced", "forced"]
+
+    def test_quality_channel_forces_recalibration(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(
+            stream_dec,
+            max_partitions=8,
+            drift=DriftConfig(quality_margin=1e-9),  # any deviation trips it
+        )
+        report = ctl.run(SnapshotSequence([snap] * 3))
+        assert all(o.quality_deviation is not None for o in report.outcomes)
+        # Fires every snapshot; each firing refits at the next snapshot.
+        assert report.n_recalibrations == 2
+
+
+class TestWarmStart:
+    def test_budget_inversion_amortized(
+        self, stream_dec, base_snapshot, monkeypatch
+    ):
+        import repro.stream.controller as controller_mod
+
+        calls = {"n": 0}
+        real = controller_mod.derive_eb_budget
+
+        def counting(spec, ref):
+            calls["n"] += 1
+            return real(spec, ref)
+
+        monkeypatch.setattr(controller_mod, "derive_eb_budget", counting)
+        snap = _single_field(base_snapshot, "temperature")
+
+        warm = InSituController(stream_dec, max_partitions=8)
+        warm.run(SnapshotSequence([snap] * 3))
+        assert calls["n"] == 1  # once, at the initial calibration
+
+        calls["n"] = 0
+        cold = InSituController(stream_dec, max_partitions=8, warm_start=False)
+        cold.run(SnapshotSequence([snap] * 3))
+        assert calls["n"] == 3  # re-derived per snapshot (batch semantics)
+
+    def test_never_policy_requires_priming(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8, recalibrate="never")
+        with pytest.raises(KeyError, match="was not calibrated"):
+            ctl.process_snapshot(snap)
+        ctl.prime(snap)
+        outcomes = ctl.process_snapshot(snap)
+        assert len(outcomes) == 1
+        assert ctl.calibrations.keys() == {"temperature"}
+
+
+class TestBudgetGovernor:
+    def test_overspend_raises_bounds(self):
+        gov = BudgetGovernor(total_bytes=1000, n_snapshots=4)
+        scale = gov.observe(500, exponent=-1.0)  # spent 2x the allowance
+        assert scale > 1.0
+        assert gov.spent == 500
+
+    def test_underspend_relaxes_bounds(self):
+        gov = BudgetGovernor(total_bytes=1000, n_snapshots=4)
+        scale = gov.observe(100, exponent=-1.0)
+        assert scale < 1.0
+
+    def test_scale_clamped(self):
+        gov = BudgetGovernor(total_bytes=1000, n_snapshots=4, max_scale=4.0)
+        assert gov.observe(999, exponent=-0.2) == 4.0
+        gov2 = BudgetGovernor(total_bytes=10**9, n_snapshots=4, max_scale=4.0)
+        assert gov2.observe(1, exponent=-0.2) == 0.25
+
+    def test_exhausted_budget_pins_max_scale(self):
+        gov = BudgetGovernor(total_bytes=100, n_snapshots=3)
+        gov.observe(200, exponent=-1.0)
+        assert gov.scale == gov.max_scale
+
+    def test_last_snapshot_keeps_scale(self):
+        gov = BudgetGovernor(total_bytes=1000, n_snapshots=1)
+        assert gov.observe(5000, exponent=-1.0) == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_bytes": 0, "n_snapshots": 2},
+            {"total_bytes": 10, "n_snapshots": 0},
+            {"total_bytes": 10, "n_snapshots": 2, "gain": 0.0},
+            {"total_bytes": 10, "n_snapshots": 2, "max_scale": 0.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BudgetGovernor(**kwargs)
+
+    def test_run_lands_within_five_percent(self, stream_sim, stream_dec):
+        snaps = [
+            _single_field(stream_sim.snapshot(z=z), "temperature")
+            for z in (3.0, 2.0, 1.5, 1.0, 0.7, 0.5)
+        ]
+        probe = InSituController(stream_dec, max_partitions=8)
+        natural = probe.run(SnapshotSequence(snaps)).compressed_bytes
+
+        budget = int(0.85 * natural)
+        ctl = InSituController(stream_dec, max_partitions=8, byte_budget=budget)
+        report = ctl.run(SnapshotSequence(snaps))
+        assert report.byte_budget == budget
+        assert abs(report.compressed_bytes - budget) / budget <= 0.05
+
+    def test_prime_then_budgeted_run(self, stream_dec, base_snapshot):
+        """prime() must not require the snapshot count — only streaming
+        does, and run() can still infer it from the sized stream."""
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(
+            stream_dec, max_partitions=8, byte_budget=10**6, recalibrate="never"
+        )
+        ctl.prime(snap)
+        report = ctl.run(SnapshotSequence([snap, snap]))
+        assert report.n_snapshots == 2
+        assert ctl.governor is not None and ctl.governor.n_snapshots == 2
+        # The governor event trails run_start/calibrations but precedes
+        # every budget event, so replay arms the replica in time.
+        kinds = [e.kind for e in ctl.ledger.events]
+        assert kinds.index("governor") > kinds.index("calibration")
+        assert kinds.index("governor") < kinds.index("budget")
+        assert len(replay_ledger(ctl.ledger)) == 2
+
+    def test_budget_requires_snapshot_count(self, stream_dec, base_snapshot):
+        ctl = InSituController(stream_dec, max_partitions=8, byte_budget=10**6)
+        with pytest.raises(RuntimeError, match="n_snapshots"):
+            ctl.process_snapshot(base_snapshot)
+        # run() infers the count from the sized stream.
+        snap = _single_field(base_snapshot, "temperature")
+        ctl2 = InSituController(stream_dec, max_partitions=8, byte_budget=10**6)
+        report = ctl2.run(SnapshotSequence([snap, snap]))
+        assert ctl2.governor is not None
+        assert ctl2.governor.n_snapshots == 2
+        assert report.n_snapshots == 2
+
+
+class TestLedgerReplay:
+    @pytest.fixture()
+    def run_with_ledger(self, tmp_path, stream_sim, stream_dec):
+        """A governed, halo-aware, multi-field run recorded to disk."""
+        path = tmp_path / "run.jsonl"
+        snaps = [
+            NyxSnapshot(
+                fields={
+                    "baryon_density": s["baryon_density"],
+                    "temperature": s["temperature"],
+                },
+                redshift=s.redshift,
+                box_size=s.box_size,
+            )
+            for s in (stream_sim.snapshot(z=z) for z in (2.0, 1.0, 0.5, 0.3))
+        ]
+        specs = {"baryon_density": FieldSpec(halo_aware=True)}
+        probe = InSituController(stream_dec, field_specs=specs, max_partitions=8)
+        natural = probe.run(SnapshotSequence(snaps)).compressed_bytes
+        ctl = InSituController(
+            stream_dec,
+            field_specs=specs,
+            max_partitions=8,
+            ledger=str(path),
+            byte_budget=int(0.9 * natural),
+        )
+        report = ctl.run(SnapshotSequence(snaps))
+        ctl.close()
+        return path, report
+
+    def test_replay_reproduces_decisions_bit_for_bit(self, run_with_ledger):
+        path, report = run_with_ledger
+        decisions = replay_ledger(path)  # reads the JSONL only
+        assert len(decisions) == len(report.outcomes)
+        for replayed, live in zip(decisions, report.outcomes):
+            assert replayed.field == live.field
+            assert replayed.snapshot_index == live.snapshot_index
+            assert replayed.eb_avg == live.eb_avg
+            # Byte-identical per-partition bounds.
+            assert (
+                np.asarray(replayed.ebs, dtype=np.float64).tobytes()
+                == live.result.ebs.tobytes()
+            )
+
+    def test_replay_accepts_ledger_objects(self, run_with_ledger):
+        path, report = run_with_ledger
+        ledger = RunLedger.load(path)
+        assert len(replay_ledger(ledger)) == len(report.outcomes)
+        assert len(replay_ledger(ledger.events)) == len(report.outcomes)
+
+    def test_replay_detects_tampered_decision(self, run_with_ledger, tmp_path):
+        path, _ = run_with_ledger
+        lines = path.read_text().strip().splitlines()
+        tampered = []
+        poisoned = False
+        for line in lines:
+            obj = json.loads(line)
+            if not poisoned and obj["kind"] == "decision":
+                obj["data"]["ebs"][0] *= 1.0 + 1e-9
+                poisoned = True
+            tampered.append(json.dumps(obj))
+        bad = tmp_path / "tampered.jsonl"
+        bad.write_text("\n".join(tampered) + "\n")
+        with pytest.raises(LedgerError, match="replay diverged"):
+            replay_ledger(bad)
+
+    def test_replay_detects_tampered_bytes(self, run_with_ledger, tmp_path):
+        path, _ = run_with_ledger
+        lines = path.read_text().strip().splitlines()
+        tampered = []
+        poisoned = False
+        for line in lines:
+            obj = json.loads(line)
+            if not poisoned and obj["kind"] == "outcome":
+                obj["data"]["compressed_bytes"] += 1
+                poisoned = True
+            tampered.append(json.dumps(obj))
+        bad = tmp_path / "tampered.jsonl"
+        bad.write_text("\n".join(tampered) + "\n")
+        with pytest.raises(LedgerError, match="replay diverged"):
+            replay_ledger(bad)
+
+    def test_reopened_ledger_with_two_runs_replays(
+        self, tmp_path, stream_dec, base_snapshot
+    ):
+        """Re-opening a ledger file appends a second run; replay resets
+        its replica state at every run_start (an ungoverned run's bytes
+        must not leak into the governed run's budget accounting)."""
+        path = tmp_path / "run.jsonl"
+        snap = _single_field(base_snapshot, "temperature")
+        first = InSituController(stream_dec, max_partitions=8, ledger=str(path))
+        first.run(SnapshotSequence([snap, snap]))
+        first.close()
+        second = InSituController(
+            stream_dec, max_partitions=8, ledger=str(path), byte_budget=10**6
+        )
+        second.run(SnapshotSequence([snap, snap]))
+        second.close()
+        decisions = replay_ledger(path)
+        assert len(decisions) == 4
+        assert len(RunLedger.load(path).select("run_start")) == 2
+
+    def test_local_protocol_replay_and_backend_equivalence(
+        self, stream_sim, stream_dec
+    ):
+        """The paper's local protocol (per-rank solves from one
+        allreduce) must replay bitwise and agree across backends."""
+        from repro.core.config import OptimizerSettings
+
+        snaps = [stream_sim.snapshot(z=z) for z in (2.0, 1.0)]
+        settings = OptimizerSettings(normalization="local")
+        reports = {}
+        for backend in ("serial", "thread"):
+            ctl = InSituController(
+                stream_dec, settings=settings, backend=backend, max_partitions=8
+            )
+            reports[backend] = ctl.run(SnapshotSequence(snaps))
+            decisions = replay_ledger(ctl.ledger)
+            assert [d.ebs for d in decisions] == [
+                tuple(o.result.ebs.tolist()) for o in reports[backend].outcomes
+            ]
+        for a, b in zip(reports["serial"].outcomes, reports["thread"].outcomes):
+            assert a.result.ebs.tobytes() == b.result.ebs.tobytes()
+
+    def test_live_ledger_replayable_in_memory(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8)
+        report = ctl.run(SnapshotSequence([snap] * 2))
+        decisions = replay_ledger(ctl.ledger)
+        assert [d.ebs for d in decisions] == [
+            tuple(o.result.ebs.tolist()) for o in report.outcomes
+        ]
+
+
+class TestReportAndLifecycle:
+    def test_report_exports(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8)
+        report = ctl.run(SnapshotSequence([snap] * 2))
+        assert report.snapshot_bytes(0) > 0
+        with pytest.raises(KeyError):
+            report.snapshot_bytes(99)
+        table = report.to_table()
+        assert "temperature" in table and "eb_avg" in table
+        payload = json.loads(report.to_json())
+        assert payload["n_snapshots"] == 2
+        assert payload["compressed_bytes"] == report.compressed_bytes
+        assert len(payload["outcomes"]) == 2
+
+    def test_retain_results_off_keeps_accounting(self, stream_dec, base_snapshot):
+        """Long streams can drop compressed payloads after accounting."""
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8, retain_results=False)
+        report = ctl.run(SnapshotSequence([snap] * 2))
+        assert all(o.result is None for o in report.outcomes)
+        assert report.compressed_bytes > 0
+        assert report.overall_ratio > 1.0
+        # The ledger is complete either way: replay still reproduces.
+        assert len(replay_ledger(ctl.ledger)) == 2
+
+    def test_run_accepts_plain_snapshot_list(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8)
+        report = ctl.run([snap, snap])
+        assert report.n_snapshots == 2
+
+    def test_run_end_sealed_once(self, stream_dec, base_snapshot):
+        snap = _single_field(base_snapshot, "temperature")
+        ctl = InSituController(stream_dec, max_partitions=8)
+        ctl.run(SnapshotSequence([snap]))
+        ctl.finish()  # idempotent
+        assert len(ctl.ledger.select("run_end")) == 1
+
+    def test_rejects_bad_policy(self, stream_dec):
+        with pytest.raises(ValueError, match="recalibrate"):
+            InSituController(stream_dec, recalibrate="sometimes")
+
+    def test_rejects_bad_budget(self, stream_dec):
+        with pytest.raises(ValueError, match="byte_budget"):
+            InSituController(stream_dec, byte_budget=0)

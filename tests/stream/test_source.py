@@ -1,0 +1,134 @@
+"""Snapshot stream sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.io import save_snapshot
+from repro.sim.nyx import FIELD_NAMES, NyxSimulator, NyxSnapshot
+from repro.stream.source import (
+    DirectoryStream,
+    SimulatorStream,
+    SnapshotSequence,
+    SnapshotStream,
+    as_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sim() -> NyxSimulator:
+    return NyxSimulator(shape=(8, 8, 8), box_size=8.0, seed=11)
+
+
+class TestSimulatorStream:
+    def test_length_and_order(self, small_sim):
+        stream = SimulatorStream(small_sim, [3.0, 1.0, 0.5])
+        assert len(stream) == 3
+        assert [s.redshift for s in stream] == [3.0, 1.0, 0.5]
+
+    def test_is_snapshot_stream(self, small_sim):
+        assert isinstance(SimulatorStream(small_sim, [1.0]), SnapshotStream)
+
+    def test_field_subset(self, small_sim):
+        stream = SimulatorStream(small_sim, [1.0], fields=["temperature"])
+        snap = next(iter(stream))
+        assert sorted(snap.fields) == ["temperature"]
+
+    def test_unknown_field_rejected(self, small_sim):
+        stream = SimulatorStream(small_sim, [1.0], fields=["no_such_field"])
+        with pytest.raises(KeyError, match="no_such_field"):
+            next(iter(stream))
+
+    def test_empty_schedule_rejected(self, small_sim):
+        with pytest.raises(ValueError, match="schedule"):
+            SimulatorStream(small_sim, [])
+
+    def test_negative_redshift_rejected(self, small_sim):
+        with pytest.raises(ValueError, match="non-negative"):
+            SimulatorStream(small_sim, [1.0, -0.5])
+
+    def test_repeatable(self, small_sim):
+        stream = SimulatorStream(small_sim, [1.0])
+        first = next(iter(stream))
+        second = next(iter(stream))
+        assert np.array_equal(first["baryon_density"], second["baryon_density"])
+
+
+class TestDirectoryStream:
+    @pytest.fixture()
+    def seq_dir(self, tmp_path, small_sim):
+        for i, z in enumerate([2.0, 1.0, 0.5]):
+            save_snapshot(small_sim.snapshot(z=z), tmp_path / f"snapshot_{i:04d}.npz")
+        return tmp_path
+
+    def test_sorted_replay(self, seq_dir):
+        stream = DirectoryStream(seq_dir)
+        assert len(stream) == 3
+        assert [s.redshift for s in stream] == [2.0, 1.0, 0.5]
+        assert stream.shape == (8, 8, 8)
+
+    def test_round_trips_fields(self, seq_dir, small_sim):
+        snap = next(iter(DirectoryStream(seq_dir)))
+        fresh = small_sim.snapshot(z=2.0)
+        assert sorted(snap.fields) == sorted(FIELD_NAMES)
+        assert np.array_equal(snap["temperature"], fresh["temperature"])
+
+    def test_field_subset(self, seq_dir):
+        stream = DirectoryStream(seq_dir, fields=["velocity_x"])
+        assert sorted(next(iter(stream)).fields) == ["velocity_x"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DirectoryStream(tmp_path / "nope")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no snapshots"):
+            DirectoryStream(tmp_path)
+
+
+class TestSnapshotSequence:
+    def test_wraps_list(self, small_sim):
+        snaps = [small_sim.snapshot(z=z) for z in (1.0, 0.5)]
+        stream = SnapshotSequence(snaps)
+        assert len(stream) == 2
+        assert [s.redshift for s in stream] == [1.0, 0.5]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            SnapshotSequence([])
+
+    def test_rejects_empty_field_subset(self, small_sim):
+        with pytest.raises(ValueError, match="fields"):
+            SnapshotSequence([small_sim.snapshot(z=1.0)], fields=[])
+
+
+class TestAsStream:
+    def test_passthrough(self, small_sim):
+        stream = SimulatorStream(small_sim, [1.0])
+        assert as_stream(stream) is stream
+
+    def test_list_coercion(self, small_sim):
+        snaps = [small_sim.snapshot(z=1.0)]
+        stream = as_stream(snaps)
+        assert isinstance(stream, SnapshotSequence)
+        assert len(stream) == 1
+
+    def test_single_snapshot(self, small_sim):
+        stream = as_stream(small_sim.snapshot(z=1.0))
+        assert isinstance(stream, SnapshotSequence)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_stream(object())
+
+
+class TestRestrictPreservesMeta:
+    def test_meta_and_box(self, small_sim):
+        snap = small_sim.snapshot(z=0.5)
+        restricted = next(
+            iter(SnapshotSequence([snap], fields=["baryon_density"]))
+        )
+        assert isinstance(restricted, NyxSnapshot)
+        assert restricted.box_size == snap.box_size
+        assert restricted.meta == snap.meta

@@ -207,3 +207,78 @@ class TestCommands:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestStreamCommand:
+    @pytest.fixture()
+    def seq_dir(self, tmp_path):
+        out = tmp_path / "seq"
+        rc = main(
+            [
+                "generate",
+                "--shape", "16",
+                "--redshifts", "2.0,1.0,0.5",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        return out
+
+    def test_generate_redshift_schedule(self, seq_dir):
+        from repro.sim.io import load_snapshot
+
+        paths = sorted(seq_dir.glob("*.npz"))
+        assert len(paths) == 3
+        assert [load_snapshot(p).redshift for p in paths] == [2.0, 1.0, 0.5]
+
+    def test_generate_refuses_stale_sequence_dir(self, seq_dir, capsys):
+        """A shorter re-run must not leave a mixed-schedule directory."""
+        rc = main(
+            ["generate", "--shape", "16", "--redshifts", "2.0", "--out", str(seq_dir)]
+        )
+        assert rc == 1
+        assert "refusing" in capsys.readouterr().err
+        assert len(sorted(seq_dir.glob("*.npz"))) == 3  # untouched
+
+    def test_stream_over_directory_with_ledger(self, seq_dir, tmp_path, capsys):
+        ledger = tmp_path / "run.jsonl"
+        rc = main(
+            [
+                "stream",
+                "--dir", str(seq_dir),
+                "--blocks", "2",
+                "--fields", "temperature,velocity_x",
+                "--ledger", str(ledger),
+                "--budget-bytes", "500000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stream: 3 snapshots" in out
+        assert "budget" in out
+        assert ledger.exists()
+
+        rc = main(["stream", "--replay", str(ledger)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay verified: 6 decisions" in out
+
+    def test_stream_simulate(self, capsys):
+        rc = main(
+            [
+                "stream",
+                "--simulate",
+                "--shape", "16",
+                "--redshifts", "2.0,1.0",
+                "--blocks", "2",
+                "--fields", "temperature",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recalibration" in out
+
+    def test_stream_needs_a_source(self, capsys):
+        rc = main(["stream"])
+        assert rc == 2
+        assert "need a source" in capsys.readouterr().err
