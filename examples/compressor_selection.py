@@ -1,0 +1,91 @@
+"""Per-field compressor selection: the paper's §2.2 as a runtime decision.
+
+The paper argues for SZ over ZFP in prose — fixed-rate ZFP cannot
+enforce an absolute error bound, and the whole adaptive-configuration
+machinery optimizes error bounds.  With the capability-typed compressor
+registry that argument is *measured*: ``select_compressor`` calibrates
+every candidate family against each field, rejects the fixed-rate
+candidate with a quantified error-bound violation, and picks the
+cheapest error-bounded configuration.
+
+Run::
+
+    PYTHONPATH=src python examples/compressor_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.compression.api import REGISTRY, CompressorSpec
+from repro.core.config import FieldSpec
+from repro.core.selection import select_compressor
+from repro.models.calibration import RateModelBank
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSimulator
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    print("registered compressor families:", ", ".join(REGISTRY.families()))
+
+    # A Nyx-like snapshot at paper quality targets (P(k) within 1%).
+    shape = (32, 32, 32)
+    sim = NyxSimulator(shape=shape, box_size=float(shape[0]), seed=7, sigma_delta0=2.5)
+    snapshot = sim.snapshot(z=1.0)
+    decomposition = BlockDecomposition(shape, blocks=2)
+
+    # The candidate slate: plain SZ, SZ with a Huffman entropy stage
+    # ('codec' is an SZ *parameter*, not a family), and the fixed-rate
+    # ZFP-style comparator.
+    candidates = [
+        CompressorSpec.sz(),
+        CompressorSpec.sz(codec="huffman"),
+        CompressorSpec.zfp_like(rate=8.0),
+    ]
+
+    bank = RateModelBank(max_partitions=8)  # (field, spec)-keyed fit cache
+    rows = []
+    for name, data in snapshot.fields.items():
+        result = select_compressor(
+            data,
+            decomposition,
+            candidates=candidates,
+            field_spec=FieldSpec(),  # paper defaults: 1% spectrum band
+            field=name,
+            bank=bank,
+        )
+        chosen = result.chosen_verdict
+        zfp = result.verdict_for(CompressorSpec.zfp_like(rate=8.0))
+        rows.append(
+            [
+                name,
+                f"{result.eb_avg:.4g}",
+                result.chosen.family,
+                f"{chosen.predicted_bit_rate:.2f}",
+                f"{zfp.max_abs_error:.4g}",
+                f"{zfp.eb_violation:.1f}x",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "field",
+                "admissible eb",
+                "selected",
+                "pred. bits/val",
+                "zfp max|err|",
+                "eb violation",
+            ],
+            rows,
+            title="per-field selection at paper quality targets",
+        )
+    )
+    print()
+    print("every field selects an error-bounded SZ-family configuration;")
+    print("the fixed-rate candidate is rejected with the violation quantified —")
+    print("the §2.2 argument reproduced as data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -31,13 +31,21 @@ controller, run ledger, drift detection, budget governor).
 """
 
 from repro.compression import (
+    REGISTRY,
     AdaptiveSZCompressor,
+    CompressorCapabilities,
+    CompressorSpec,
     SZCompressor,
+    UnsupportedCapabilityError,
     ZFPLikeCompressor,
     decompress,
+    decompress_any,
+    resolve_compressor,
 )
 from repro.core import (
     AdaptiveCompressionPipeline,
+    SelectionResult,
+    select_compressor,
     CompressionCampaign,
     FieldSpec,
     HaloQualitySpec,
@@ -47,7 +55,7 @@ from repro.core import (
     StaticBaseline,
     TrialAndErrorSearch,
 )
-from repro.models import RateModel, calibrate_rate_model
+from repro.models import RateModel, RateModelBank, calibrate_rate_model
 from repro.parallel import (
     BlockDecomposition,
     ExecutionBackend,
@@ -74,6 +82,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "SZCompressor",
+    "REGISTRY",
+    "CompressorCapabilities",
+    "CompressorSpec",
+    "UnsupportedCapabilityError",
+    "decompress_any",
+    "resolve_compressor",
+    "SelectionResult",
+    "select_compressor",
+    "RateModelBank",
     "AdaptiveSZCompressor",
     "CompressionCampaign",
     "FieldSpec",

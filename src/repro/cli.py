@@ -13,6 +13,14 @@ A small operational layer over the library for shell-driven workflows::
     python -m repro.cli stream --dir run/ --budget-bytes 2000000 \
         --ledger run.jsonl
     python -m repro.cli stream --replay run.jsonl
+    python -m repro.cli list-compressors
+    python -m repro.cli sweep --snapshot snap.npz --field temperature \
+        --ebs 100,200 --compressor sz --compressor zfp_like:rate=8
+
+Compressors are named by registry specs ``family[:key=value,...]``
+(``list-compressors`` shows the families).  The legacy ``--codec`` flag
+selects SZ's *entropy* stage (zlib/huffman/raw) — one parameter of the
+``sz`` family, not a compressor family — and is folded into the spec.
 
 Compressed containers are ``.npz`` archives holding every partition's
 payloads plus layout metadata, loadable back into
@@ -27,7 +35,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.compression.api import (
+    REGISTRY,
+    CompressorSpec,
+    UnsupportedCapabilityError,
+    decompress_any,
+)
+from repro.compression.sz import CompressedBlock
 from repro.core.pipeline import AdaptiveCompressionPipeline
 from repro.models.calibration import calibrate_rate_model
 from repro.parallel.backends import BACKENDS, get_backend
@@ -132,6 +146,27 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_spec(
+    compressor: str | None, codec: str | None
+) -> CompressorSpec:
+    """Fold the legacy ``--codec`` alias into the ``--compressor`` spec.
+
+    ``--codec`` names SZ's *entropy* stage (zlib/huffman/raw), one
+    parameter of the ``sz`` family — not a compressor family.  It
+    therefore only composes with (implicit or explicit) ``sz`` specs.
+    """
+    spec = CompressorSpec.parse(compressor) if compressor else CompressorSpec("sz")
+    if codec is not None:
+        if spec.family != "sz":
+            raise SystemExit(
+                f"--codec selects SZ's entropy stage and cannot apply to the "
+                f"{spec.family!r} family; parameterize the family instead "
+                f"(e.g. --compressor {spec.family}:...)"
+            )
+        spec = CompressorSpec.make("sz", **{**spec.options, "codec": codec})
+    return spec
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     snap = load_snapshot(args.snapshot)
     data = snap[args.field]
@@ -139,12 +174,36 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     eb_avg = args.eb_avg
     if eb_avg is None:
         eb_avg = float(np.ptp(data.astype(np.float64))) * 3e-3
-    cal = calibrate_rate_model(
-        dec.partition_views(data), eb_scale=eb_avg, seed=0, probe_mode=args.probe_mode
-    )
+    spec = _resolve_spec(args.compressor, args.codec)
+    if spec.family in REGISTRY and not (
+        REGISTRY.block_type(spec.family) is None
+        or issubclass(REGISTRY.block_type(spec.family), CompressedBlock)
+    ):
+        # Fail before calibrating/compressing anything: the .npz block
+        # container only stores SZ-family blocks.
+        print(
+            f"compress: the .npz block container stores SZ-family blocks "
+            f"only; {spec.label} produces "
+            f"{REGISTRY.block_type(spec.family).__name__} streams (use the "
+            "library API to handle them)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        compressor = REGISTRY.create(spec)
+        cal = calibrate_rate_model(
+            dec.partition_views(data),
+            compressor=compressor,
+            eb_scale=eb_avg,
+            seed=0,
+            probe_mode=args.probe_mode,
+        )
+    except (UnsupportedCapabilityError, ValueError) as exc:
+        print(f"compress: {exc}", file=sys.stderr)
+        return 2
     backend = get_backend(args.backend)
     pipe = AdaptiveCompressionPipeline(
-        cal.rate_model, compressor=SZCompressor(codec=args.codec), backend=backend
+        cal.rate_model, compressor=compressor, backend=backend
     )
     try:
         result = pipe.run_insitu_spmd(data, dec, eb_avg=eb_avg)
@@ -171,7 +230,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     data = snap[args.field].astype(np.float64)
     blocks, ebs, bpa = load_blocks(args.compressed)
     dec = BlockDecomposition(data.shape, blocks=bpa)
-    recon = dec.assemble([decompress(b) for b in blocks])
+    recon = dec.assemble([decompress_any(b) for b in blocks])
     ok, dev = check_spectrum_quality(data, recon, tolerance=args.tolerance)
     rows = [
         ["max abs error", float(np.max(np.abs(recon - data)))],
@@ -192,15 +251,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     data = snap[args.field]
     dec = BlockDecomposition(data.shape, blocks=args.blocks)
     ebs = [float(e) for e in args.ebs.split(",")]
-    records = run_sweep(
-        {args.field: data},
-        ebs,
-        {args.field: QualityCriteria(spectrum_tolerance=args.tolerance)},
-        decomposition=dec,
-        rate_only=args.rate_only,
-        probe_mode=args.probe_mode,
-        backend=args.backend,
-    )
+    specs = [CompressorSpec.parse(c) for c in (args.compressor or [])]
+    single = specs[0] if len(specs) == 1 else None
+    try:
+        records = run_sweep(
+            {args.field: data},
+            ebs,
+            {args.field: QualityCriteria(spectrum_tolerance=args.tolerance)},
+            decomposition=dec,
+            compressor=single,
+            compressors=specs if len(specs) > 1 else None,
+            rate_only=args.rate_only,
+            probe_mode=args.probe_mode,
+            backend=args.backend,
+        )
+    except UnsupportedCapabilityError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     print(records_to_table(records, title=f"sweep: {args.field}"))
     return 0
 
@@ -249,9 +316,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print("stream: need a source (--dir or --simulate) or --replay", file=sys.stderr)
         return 2
 
+    specs = [CompressorSpec.parse(c) for c in (args.compressor or [])]
     controller = InSituController(
         BlockDecomposition(shape, blocks=args.blocks),
         backend=args.backend,
+        compressor=specs[0] if len(specs) == 1 else None,
+        candidates=specs if len(specs) > 1 else None,
         ledger=args.ledger,
         byte_budget=args.budget_bytes,
         drift=DriftConfig(
@@ -266,9 +336,21 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     try:
         report = controller.run(stream)
+    except (UnsupportedCapabilityError, ValueError) as exc:
+        # e.g. a fixed-rate --compressor hitting calibration, or a
+        # candidate slate with no eligible member for some field.
+        print(f"stream: {exc}", file=sys.stderr)
+        return 2
     finally:
         controller.close()
     print(report.to_table(title=f"stream: {len(stream)} snapshots"))
+    if controller.selections:
+        for name, sel in controller.selections.items():
+            rejected = "; ".join(
+                f"{v.spec.label}: {v.reason}" for v in sel.rejected
+            )
+            line = f"selected {sel.chosen.label} for {name}"
+            print(line + (f" ({rejected})" if rejected else ""))
     print(
         f"total {report.compressed_bytes} bytes "
         f"({report.overall_ratio:.2f}x vs raw), "
@@ -281,6 +363,38 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
     if args.ledger:
         print(f"ledger: {args.ledger} ({len(controller.ledger)} events)")
+    return 0
+
+
+def _cmd_list_compressors(args: argparse.Namespace) -> int:
+    default_family = REGISTRY.default().family
+    flag_names = (
+        "error_bounded",
+        "fixed_rate",
+        "supports_estimate",
+        "supports_workspace",
+    )
+    rows = []
+    for family in REGISTRY.families():
+        caps = REGISTRY.capabilities(family)
+        flags = ",".join(n for n in flag_names if getattr(caps, n)) or "-"
+        defaults = (
+            ",".join(f"{k}={v}" for k, v in sorted(REGISTRY.defaults(family).items()))
+            or "-"
+        )
+        name = family + (" *" if family == default_family else "")
+        rows.append([name, flags, defaults, REGISTRY.describe(family)])
+    print(
+        format_table(
+            ["family", "capabilities", "defaults", "description"],
+            rows,
+            title="registered compressor families (* = default)",
+        )
+    )
+    print(
+        "spec grammar: family[:key=value,...], e.g. sz:codec=huffman or "
+        "zfp_like:rate=8 (note: 'codec' is SZ's entropy stage, not a family)"
+    )
     return 0
 
 
@@ -308,7 +422,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--field", required=True)
     c.add_argument("--blocks", type=int, default=4)
     c.add_argument("--eb-avg", type=float, default=None)
-    c.add_argument("--codec", default="zlib", choices=["zlib", "huffman", "raw"])
+    c.add_argument(
+        "--compressor",
+        default=None,
+        help="compressor family spec, family[:key=value,...] (see the "
+        "list-compressors subcommand); default sz",
+    )
+    c.add_argument(
+        "--codec",
+        default=None,
+        choices=["zlib", "huffman", "raw"],
+        help="SZ's *entropy* codec (an alias for --compressor "
+        "sz:codec=...); not a compressor family — use --compressor "
+        "to switch families",
+    )
     c.add_argument(
         "--backend",
         default="serial",
@@ -337,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--field", required=True)
     s.add_argument("--blocks", type=int, default=4)
     s.add_argument("--ebs", required=True, help="comma-separated error bounds")
+    s.add_argument(
+        "--compressor",
+        action="append",
+        default=None,
+        help="compressor spec family[:key=value,...]; repeat the flag to "
+        "fan the sweep over several families (records then carry the "
+        "spec per row)",
+    )
     s.add_argument("--tolerance", type=float, default=0.01)
     s.add_argument(
         "--rate-only",
@@ -380,6 +515,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated dump schedule (--simulate)",
     )
     st.add_argument("--fields", default=None, help="comma-separated field subset")
+    st.add_argument(
+        "--compressor",
+        action="append",
+        default=None,
+        help="compressor spec family[:key=value,...]; one flag pins every "
+        "field to that configuration, repeating it builds a candidate "
+        "slate from which each field's compressor is *selected* at "
+        "calibration time (rejections are quantified in the ledger)",
+    )
     st.add_argument("--blocks", type=int, default=4)
     st.add_argument(
         "--backend",
@@ -425,6 +569,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(reads no field data)",
     )
     st.set_defaults(fn=_cmd_stream)
+
+    lc = sub.add_parser(
+        "list-compressors",
+        help="list registered compressor families, capabilities and defaults",
+    )
+    lc.set_defaults(fn=_cmd_list_compressors)
     return parser
 
 

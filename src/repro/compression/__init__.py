@@ -17,7 +17,13 @@ pipeline in vectorized NumPy:
 - :mod:`repro.compression.estimator` — codec-free bit-rate prediction
   from quantization-code histograms (the calibration/sweep fast path),
 - :mod:`repro.compression.zfp_like` — a fixed-rate transform codec used
-  as the ZFP-style comparator.
+  as the ZFP-style comparator,
+- :mod:`repro.compression.api` — the pluggable compressor backbone: a
+  capability-typed :class:`CompressorRegistry` resolving serializable
+  :class:`CompressorSpec` values into compressor instances, so every
+  layer above (calibration, pipeline, campaign, sweeps, the stream
+  controller, the CLI) selects a compressor *family* instead of
+  hard-coding SZ.
 """
 
 from repro.compression.sz import SZCompressor, CompressedBlock, decompress
@@ -26,6 +32,21 @@ from repro.compression.estimator import RateEstimate, estimate_nbytes
 from repro.compression.zfp_like import ZFPLikeCompressor
 from repro.compression.regression import AdaptiveSZCompressor
 from repro.compression.codecs import HuffmanCodec, RawCodec, ZlibCodec, get_codec
+from repro.compression.api import (
+    REGISTRY,
+    AdaptiveSZAdapter,
+    Compressor,
+    CompressorCapabilities,
+    CompressorRegistry,
+    CompressorSpec,
+    UnsupportedCapabilityError,
+    ZFPLikeAdapter,
+    capabilities_of,
+    decompress_any,
+    register_builtin_families,
+    resolve_compressor,
+    spec_of,
+)
 from repro.compression.stats import (
     CompressionStats,
     bit_rate,
@@ -33,6 +54,10 @@ from repro.compression.stats import (
     max_abs_error,
     max_pointwise_rel_error,
 )
+
+# The registry's builtin families need the concrete compressor modules
+# fully imported, so registration runs here rather than in api.py.
+register_builtin_families()
 
 __all__ = [
     "SZCompressor",
@@ -47,6 +72,19 @@ __all__ = [
     "ZlibCodec",
     "RawCodec",
     "get_codec",
+    "REGISTRY",
+    "Compressor",
+    "CompressorCapabilities",
+    "CompressorRegistry",
+    "CompressorSpec",
+    "UnsupportedCapabilityError",
+    "ZFPLikeAdapter",
+    "AdaptiveSZAdapter",
+    "capabilities_of",
+    "decompress_any",
+    "register_builtin_families",
+    "resolve_compressor",
+    "spec_of",
     "CompressionStats",
     "bit_rate",
     "compression_ratio",

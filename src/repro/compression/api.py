@@ -1,0 +1,617 @@
+"""The pluggable compressor backbone: capabilities, specs, registry.
+
+The paper argues SZ over ZFP in prose (§2.2: fixed-rate ZFP cannot
+enforce an absolute error bound); the reproduction makes the compressor
+a first-class, registry-resolved citizen so that argument becomes a
+*measured runtime decision* (:func:`repro.core.selection.
+select_compressor`) instead of a hard-coded default:
+
+- :class:`CompressorCapabilities` — what a compressor family can do
+  (``error_bounded``, ``fixed_rate``, ``supports_estimate``,
+  ``supports_workspace``), checked by every consumer that needs a
+  capability instead of dying with an ``AttributeError`` deep inside
+  calibration,
+- :class:`CompressorSpec` — a serializable (family + params) value
+  naming one concrete configuration; what sweeps fan over, what the
+  stream ledger records with every decision, and what the
+  :class:`~repro.models.calibration.RateModelBank` keys on,
+- :class:`CompressorRegistry` — ``register``/``create(spec)``/
+  ``default()``; adapts the existing compressors with byte-identical
+  payloads (``registry.create(spec).compress(...)`` equals direct
+  construction, property-tested),
+- :func:`decompress_any` — block-type dispatch so reconstruction paths
+  work for every registered family, not just SZ.
+
+Terminology note: the *entropy codec* (zlib / huffman / raw) is the SZ
+family's internal entropy stage — one **parameter** of the ``sz`` spec —
+while the compressor **family** (``sz``, ``zfp_like``, ...) is what the
+registry selects between.  The CLI's legacy ``--codec`` flag is an alias
+for ``--compressor sz:codec=...``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+# Leaf-module imports only: this module sits *below* the concrete
+# compressors (sz.py imports its capability/spec types from here), so
+# the concrete families are imported lazily — inside adapters and
+# :func:`register_builtin_families` — to keep the graph acyclic.
+from repro.compression.quantizer import DEFAULT_RADIUS
+from repro.compression.zfp_like import ZFPBlockStream, ZFPLikeCompressor
+
+__all__ = [
+    "CompressorCapabilities",
+    "CompressorSpec",
+    "Compressor",
+    "CompressorRegistry",
+    "REGISTRY",
+    "UnsupportedCapabilityError",
+    "SZ_CAPABILITIES",
+    "register_builtin_families",
+    "ZFPLikeAdapter",
+    "AdaptiveSZAdapter",
+    "resolve_compressor",
+    "capabilities_of",
+    "spec_of",
+    "decompress_any",
+]
+
+
+class UnsupportedCapabilityError(TypeError):
+    """An operation requires a capability the compressor does not declare.
+
+    Raised *at the boundary* (calibration entry, sweep entry, pipeline
+    construction) with an actionable message, instead of an
+    ``AttributeError`` from deep inside a probe loop.
+    """
+
+
+@dataclass(frozen=True)
+class CompressorCapabilities:
+    """What a compressor family can and cannot do.
+
+    Attributes
+    ----------
+    error_bounded:
+        ``compress(data, eb)`` honours ``eb`` as a pointwise error
+        bound.  Required by the adaptive pipeline (the optimizer's whole
+        output is a per-partition bound vector) and by rate-model
+        calibration (the model is bitrate *as a function of* the bound).
+    fixed_rate:
+        The stored size is fixed by configuration (bits/value), not by
+        the data or a bound — §2.2's ZFP fixed-rate mode.  Mutually
+        exclusive with ``error_bounded`` in practice.
+    supports_estimate:
+        Provides ``estimate``/``estimate_bitrate`` — the codec-free
+        histogram rate prediction used by ``probe_mode="estimate"``.
+    supports_workspace:
+        ``compress`` accepts a reusable
+        :class:`~repro.compression.workspace.Workspace` scratch arena.
+    """
+
+    error_bounded: bool = False
+    fixed_rate: bool = False
+    supports_estimate: bool = False
+    supports_workspace: bool = False
+
+    def require(self, capability: str, operation: str, who: object = None) -> None:
+        """Raise :class:`UnsupportedCapabilityError` unless ``capability`` holds."""
+        if not getattr(self, capability):
+            subject = f"{who!r} " if who is not None else ""
+            raise UnsupportedCapabilityError(
+                f"{operation} requires a compressor with the "
+                f"{capability!r} capability; {subject}does not declare it"
+            )
+
+
+#: Capabilities of the SZ family (attached to ``SZCompressor`` itself —
+#: the registry's "adapter" for SZ is the real class, which is what makes
+#: payload byte-identity trivial).
+SZ_CAPABILITIES = CompressorCapabilities(
+    error_bounded=True,
+    fixed_rate=False,
+    supports_estimate=True,
+    supports_workspace=True,
+)
+
+#: The *raw* fixed-rate codec carries a declaration too (attached here —
+#: :mod:`repro.compression.zfp_like` stays a leaf module below this one),
+#: so capability gates catch direct instances, not just the adapter:
+#: without it, :func:`capabilities_of`'s legacy fallback would misreport
+#: a hand-constructed ``ZFPLikeCompressor`` as error-bounded and the old
+#: deep ``TypeError`` inside calibration would survive the refactor.
+ZFPLikeCompressor.capabilities = CompressorCapabilities(fixed_rate=True)
+
+
+def _coerce_param(value: str) -> Any:
+    """Best-effort typed coercion for CLI/parsed spec parameters."""
+    low = value.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+@dataclass(frozen=True)
+class CompressorSpec:
+    """A serializable name for one concrete compressor configuration.
+
+    ``family`` selects the registry entry; ``params`` are the
+    family-specific constructor parameters (e.g. SZ's entropy ``codec``
+    and ``mode``, ZFP-like's ``rate``).  Specs are hashable value
+    objects — suitable as cache keys (:class:`~repro.models.calibration.
+    RateModelBank`) — and JSON round-trippable (:meth:`to_dict` /
+    :meth:`from_dict`), which is how the stream ledger records the
+    compressor behind every decision.
+
+    Examples
+    --------
+    >>> CompressorSpec.sz(codec="huffman").label
+    'sz(codec=huffman)'
+    >>> CompressorSpec.parse("zfp_like:rate=8")
+    CompressorSpec(family='zfp_like', params=(('rate', 8),))
+    """
+
+    family: str
+    params: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.family or not isinstance(self.family, str):
+            raise ValueError(f"spec family must be a non-empty string, got {self.family!r}")
+        params = self.params
+        if isinstance(params, Mapping):
+            params = tuple(sorted(params.items()))
+        else:
+            params = tuple(sorted((str(k), v) for k, v in params))
+        object.__setattr__(self, "params", params)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def make(cls, family: str, **params: Any) -> "CompressorSpec":
+        return cls(family=family, params=tuple(sorted(params.items())))
+
+    @classmethod
+    def sz(
+        cls,
+        mode: str = "abs",
+        codec: str = "zlib",
+        radius: int = DEFAULT_RADIUS,
+        engine: str = "dual",
+    ) -> "CompressorSpec":
+        """The SZ family; ``codec`` is the *entropy* stage (zlib/huffman/raw)."""
+        return cls.make("sz", mode=mode, codec=codec, radius=int(radius), engine=engine)
+
+    @classmethod
+    def zfp_like(cls, rate: float = 8.0) -> "CompressorSpec":
+        """The fixed-rate ZFP-style comparator at ``rate`` bits/value."""
+        return cls.make("zfp_like", rate=float(rate))
+
+    @classmethod
+    def parse(cls, text: str) -> "CompressorSpec":
+        """Parse ``"family"`` or ``"family:key=val,key=val"`` (CLI grammar)."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty compressor spec")
+        family, _, tail = text.partition(":")
+        params: dict[str, Any] = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, raw = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(
+                        f"malformed spec parameter {item!r} in {text!r} "
+                        "(expected key=value)"
+                    )
+                params[key.strip()] = _coerce_param(raw.strip())
+        return cls.make(family.strip(), **params)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def options(self) -> dict[str, Any]:
+        """The params as a plain dict (copy)."""
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable form, e.g. ``sz(codec=huffman)``."""
+        if not self.params:
+            return self.family
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.family}({inner})"
+
+    def __str__(self) -> str:
+        return self.label
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (what the stream ledger stores)."""
+        return {"family": self.family, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompressorSpec":
+        if "family" not in data:
+            raise ValueError(f"compressor spec dict missing 'family': {data!r}")
+        return cls.make(str(data["family"]), **dict(data.get("params") or {}))
+
+
+@runtime_checkable
+class Compressor(Protocol):
+    """Structural interface every registered compressor satisfies.
+
+    ``compress(data, eb, workspace=None)`` returns a self-describing
+    block; ``decompress(block)`` inverts it.  ``eb`` is honoured as an
+    error bound only when :attr:`capabilities` declares
+    ``error_bounded`` — fixed-rate families accept and ignore it, so the
+    call shape stays uniform across the registry.
+    """
+
+    capabilities: CompressorCapabilities
+
+    @property
+    def spec(self) -> CompressorSpec: ...
+
+    def compress(self, data: np.ndarray, eb: float, workspace: Any | None = None) -> Any: ...
+
+    def decompress(self, block: Any) -> np.ndarray: ...
+
+
+# -- adapters for the non-SZ families ----------------------------------------
+
+
+class ZFPLikeAdapter:
+    """Registry adapter giving :class:`ZFPLikeCompressor` the uniform shape.
+
+    The underlying codec is fixed-rate: ``compress`` accepts the
+    registry-wide ``(data, eb, workspace)`` signature but **ignores the
+    error bound** — precisely the §2.2 property
+    :func:`~repro.core.selection.select_compressor` quantifies and
+    rejects.  Payloads are byte-identical to direct
+    :class:`ZFPLikeCompressor` use (the adapter owns a real instance and
+    delegates).
+    """
+
+    capabilities = CompressorCapabilities(error_bounded=False, fixed_rate=True)
+
+    def __init__(self, rate: float = 8.0) -> None:
+        self._inner = ZFPLikeCompressor(rate=rate)
+        self.rate = self._inner.rate
+
+    @property
+    def spec(self) -> CompressorSpec:
+        return CompressorSpec.zfp_like(rate=self.rate)
+
+    def compress(
+        self, data: np.ndarray, eb: float | None = None, workspace: Any | None = None
+    ) -> ZFPBlockStream:
+        return self._inner.compress(data)
+
+    def compress_many(
+        self,
+        views: list[np.ndarray],
+        ebs: Any,
+        workspace: Any | None = None,
+    ) -> list[ZFPBlockStream]:
+        return [self._inner.compress(v) for v in views]
+
+    def decompress(self, block: ZFPBlockStream) -> np.ndarray:
+        # Blocks are self-describing: reuse the owned instance when the
+        # rates match, otherwise decode with a codec at the block's rate.
+        inner = (
+            self._inner
+            if block.rate == self.rate
+            else ZFPLikeCompressor(rate=block.rate)
+        )
+        return inner.decompress(block)
+
+    def __repr__(self) -> str:
+        return f"ZFPLikeAdapter(rate={self.rate})"
+
+
+class AdaptiveSZAdapter:
+    """Registry adapter for the SZ2-style regression-predictor compressor.
+
+    Error-bounded like plain SZ but without the histogram estimator or
+    workspace arena — the capability flags say so, and the estimate-mode
+    probe paths raise :class:`UnsupportedCapabilityError` instead of an
+    ``AttributeError``.
+    """
+
+    capabilities = CompressorCapabilities(error_bounded=True)
+
+    def __init__(
+        self, codec: str = "zlib", block: int = 8, radius: int = DEFAULT_RADIUS
+    ) -> None:
+        from repro.compression.regression import AdaptiveSZCompressor
+
+        self._inner = AdaptiveSZCompressor(codec=codec, block=block, radius=radius)
+        self.codec_name = self._inner.codec.name
+        self.block = int(block)
+        self.radius = int(radius)
+
+    @property
+    def spec(self) -> CompressorSpec:
+        return CompressorSpec.make(
+            "sz_adaptive", codec=self.codec_name, block=self.block, radius=self.radius
+        )
+
+    def compress(
+        self, data: np.ndarray, eb: float, workspace: Any | None = None
+    ) -> AdaptiveBlockStream:
+        return self._inner.compress(data, eb)
+
+    def compress_many(
+        self,
+        views: list[np.ndarray],
+        ebs: Any,
+        workspace: Any | None = None,
+    ) -> list[AdaptiveBlockStream]:
+        return [self._inner.compress(v, float(eb)) for v, eb in zip(views, ebs)]
+
+    def decompress(self, block: AdaptiveBlockStream) -> np.ndarray:
+        return self._inner.decompress(block)
+
+    def __repr__(self) -> str:
+        return f"AdaptiveSZAdapter(codec={self.codec_name!r}, block={self.block})"
+
+
+# -- the registry ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FamilyEntry:
+    factory: Callable[..., Any]
+    capabilities: CompressorCapabilities
+    defaults: tuple[tuple[str, Any], ...]
+    description: str
+    block_type: type | None = None
+    block_decompress: Callable[[Any], np.ndarray] | None = None
+
+
+class CompressorRegistry:
+    """Capability-typed factory for compressor families.
+
+    ``register`` declares a family (factory + capabilities + default
+    params); ``create`` instantiates a :class:`CompressorSpec`;
+    ``default`` names the registry's default configuration (plain SZ,
+    matching every call site that used to default-construct
+    ``SZCompressor()``).
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _FamilyEntry] = {}
+        self._default_family: str | None = None
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        family: str,
+        factory: Callable[..., Any],
+        capabilities: CompressorCapabilities,
+        defaults: Mapping[str, Any] | None = None,
+        description: str = "",
+        block_type: type | None = None,
+        block_decompress: Callable[[Any], np.ndarray] | None = None,
+        default: bool = False,
+    ) -> None:
+        """Declare a compressor family.
+
+        ``defaults`` names every accepted parameter with its default —
+        ``create`` rejects unknown parameters against it.  ``block_type``
+        plus ``block_decompress`` register the family's compressed-block
+        class for :func:`decompress_any` dispatch.
+        """
+        if not family:
+            raise ValueError("family name must be non-empty")
+        self._families[family] = _FamilyEntry(
+            factory=factory,
+            capabilities=capabilities,
+            defaults=tuple(sorted((defaults or {}).items())),
+            description=description,
+            block_type=block_type,
+            block_decompress=block_decompress,
+        )
+        if default or self._default_family is None:
+            self._default_family = family
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def __contains__(self, family: str) -> bool:
+        return family in self._families
+
+    def _entry(self, family: str) -> _FamilyEntry:
+        try:
+            return self._families[family]
+        except KeyError:
+            raise ValueError(
+                f"unknown compressor family {family!r}; "
+                f"registered: {self.families()}"
+            ) from None
+
+    def capabilities(self, family: str) -> CompressorCapabilities:
+        return self._entry(family).capabilities
+
+    def block_type(self, family: str) -> type | None:
+        """The family's compressed-block class (``None`` if undeclared)."""
+        return self._entry(family).block_type
+
+    def describe(self, family: str) -> str:
+        return self._entry(family).description
+
+    def defaults(self, family: str) -> dict[str, Any]:
+        return dict(self._entry(family).defaults)
+
+    # -- construction ----------------------------------------------------
+
+    def default(self) -> CompressorSpec:
+        """The registry's default configuration (the old implicit SZ)."""
+        if self._default_family is None:
+            raise ValueError("no compressor families registered")
+        return CompressorSpec(self._default_family)
+
+    def canonical(self, spec: "CompressorSpec | str") -> CompressorSpec:
+        """Fill a spec's params with the family defaults (stable cache key)."""
+        if isinstance(spec, str):
+            spec = CompressorSpec.parse(spec)
+        entry = self._entry(spec.family)
+        params = dict(entry.defaults)
+        unknown = set(spec.options) - set(params)
+        if unknown:
+            raise ValueError(
+                f"unknown parameter(s) {sorted(unknown)} for compressor "
+                f"family {spec.family!r}; accepted: {sorted(params)}"
+            )
+        params.update(spec.options)
+        return CompressorSpec.make(spec.family, **params)
+
+    def create(self, spec: "CompressorSpec | str | None" = None) -> Any:
+        """Instantiate a compressor from a spec (or the default)."""
+        spec = self.default() if spec is None else self.canonical(spec)
+        return self._entry(spec.family).factory(**spec.options)
+
+    # -- block dispatch --------------------------------------------------
+
+    def decompress(self, block: Any) -> np.ndarray:
+        """Reconstruct a field from any registered family's block."""
+        for entry in self._families.values():
+            if (
+                entry.block_type is not None
+                and entry.block_decompress is not None
+                and isinstance(block, entry.block_type)
+            ):
+                return entry.block_decompress(block)
+        raise TypeError(
+            f"no registered compressor family decompresses "
+            f"{type(block).__name__} blocks"
+        )
+
+
+REGISTRY = CompressorRegistry()
+
+
+def _sz_factory(**params: Any):
+    from repro.compression.sz import SZCompressor
+
+    return SZCompressor(**params)
+
+
+def register_builtin_families(registry: CompressorRegistry | None = None) -> None:
+    """Register the built-in families (idempotent).
+
+    Called from :mod:`repro.compression`'s package init, after the
+    concrete compressor modules are importable; re-running simply
+    overwrites the entries with identical ones.
+    """
+    from repro.compression.regression import AdaptiveBlockStream
+    from repro.compression.sz import CompressedBlock
+    from repro.compression.sz import decompress as sz_decompress
+
+    reg = registry if registry is not None else REGISTRY
+    reg.register(
+        "sz",
+        _sz_factory,
+        SZ_CAPABILITIES,
+        defaults={
+            "mode": "abs",
+            "codec": "zlib",
+            "radius": DEFAULT_RADIUS,
+            "engine": "dual",
+        },
+        description=(
+            "error-bounded SZ-style compressor (quantize -> Lorenzo -> "
+            "entropy codec); 'codec' is the entropy stage, not the family"
+        ),
+        block_type=CompressedBlock,
+        block_decompress=sz_decompress,
+        default=True,
+    )
+    reg.register(
+        "zfp_like",
+        ZFPLikeAdapter,
+        ZFPLikeAdapter.capabilities,
+        defaults={"rate": 8.0},
+        description=(
+            "fixed-rate block-transform codec (ZFP-style comparator); "
+            "cannot enforce an absolute error bound (paper §2.2)"
+        ),
+        block_type=ZFPBlockStream,
+        block_decompress=lambda b: ZFPLikeAdapter(rate=b.rate).decompress(b),
+    )
+    reg.register(
+        "sz_adaptive",
+        AdaptiveSZAdapter,
+        AdaptiveSZAdapter.capabilities,
+        defaults={"codec": "zlib", "block": 8, "radius": DEFAULT_RADIUS},
+        description=(
+            "error-bounded SZ2-style compressor with per-block "
+            "Lorenzo-vs-regression predictor selection"
+        ),
+        block_type=AdaptiveBlockStream,
+        block_decompress=lambda b: AdaptiveSZAdapter(
+            codec=b.codec_name, block=b.block, radius=b.radius
+        ).decompress(b),
+    )
+
+
+# -- module-level conveniences ------------------------------------------------
+
+
+def resolve_compressor(
+    compressor: "Compressor | CompressorSpec | str | None",
+) -> Any:
+    """Turn ``None`` / a spec / a spec string / an instance into an instance.
+
+    The single resolution point every layer funnels through: ``None``
+    keeps the historical default (plain SZ), specs go through the
+    registry, instances pass through untouched (caller-owned state such
+    as codec levels is preserved — required for byte-identical
+    process-pool output).
+    """
+    if compressor is None or isinstance(compressor, (CompressorSpec, str)):
+        return REGISTRY.create(compressor)
+    return compressor
+
+
+def capabilities_of(compressor: Any) -> CompressorCapabilities:
+    """A compressor's declared capabilities, with a legacy fallback.
+
+    Instances without a ``capabilities`` declaration (third-party
+    SZ-alikes, test doubles) are assumed error-bounded — the historical
+    duck-typed contract — with ``supports_estimate`` inferred from the
+    presence of ``estimate_bitrate``.
+    """
+    caps = getattr(compressor, "capabilities", None)
+    if isinstance(caps, CompressorCapabilities):
+        return caps
+    return CompressorCapabilities(
+        error_bounded=True,
+        supports_estimate=callable(getattr(compressor, "estimate_bitrate", None)),
+        supports_workspace=False,
+    )
+
+
+def spec_of(compressor: Any) -> CompressorSpec | None:
+    """A compressor's spec, or ``None`` for instances that don't carry one."""
+    spec = getattr(compressor, "spec", None)
+    return spec if isinstance(spec, CompressorSpec) else None
+
+
+def decompress_any(block: Any) -> np.ndarray:
+    """Reconstruct a field from any registered family's compressed block."""
+    return REGISTRY.decompress(block)

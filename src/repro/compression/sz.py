@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compression.api import SZ_CAPABILITIES, CompressorSpec
 from repro.compression.codecs import Codec, _minimal_uint_dtype, get_codec
 from repro.compression.estimator import (
     HEADER_BYTES,
@@ -152,6 +153,11 @@ class SZCompressor:
     True
     """
 
+    #: Declared capabilities (the registry's capability typing): SZ is
+    #: the error-bounded family with the codec-free histogram estimator
+    #: and the reusable workspace arena.
+    capabilities = SZ_CAPABILITIES
+
     def __init__(
         self,
         mode: str = "abs",
@@ -170,6 +176,18 @@ class SZCompressor:
         self.radius = int(radius)
         self.engine = engine
         self._tls = threading.local()
+
+    @property
+    def spec(self) -> CompressorSpec:
+        """This instance's configuration as a serializable spec.
+
+        ``registry.create(compressor.spec)`` reconstructs an instance
+        with byte-identical payloads (property-tested); the stream
+        ledger records this spec with every decision.
+        """
+        return CompressorSpec.sz(
+            mode=self.mode, codec=self.codec.name, radius=self.radius, engine=self.engine
+        )
 
     # -- workspace management --------------------------------------------
 

@@ -21,6 +21,7 @@ cannot work with, which the ablation bench demonstrates.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -75,12 +76,17 @@ def _coefficient_levels() -> np.ndarray:
     return lv
 
 
+@lru_cache(maxsize=64)
 def _bit_allocation(rate: float) -> np.ndarray:
     """Per-coefficient bit widths for a 4x4x4 block at ``rate`` bits/value.
 
-    Deterministic water-filling: the budget (``64*rate`` bits, minus one
-    sign bit per kept coefficient) is spent one bit at a time on the
-    lowest-level coefficient that currently has the fewest bits.
+    Deterministic water-filling: the budget (``64*rate`` bits) is spent
+    one bit at a time on the lowest-level coefficient that currently has
+    the fewest bits.  Keeping a coefficient costs its one sign bit too
+    (charged when its first magnitude bit is granted), so the stored
+    stream — ``sum(bits) + sign bits`` per block — adheres to the budget
+    *exactly*: at most one bit per block goes unspent, and only when the
+    remainder cannot pay for a new coefficient's sign.
     """
     budget = int(round(rate * _BLOCK**3))
     levels = _coefficient_levels().ravel()
@@ -89,17 +95,27 @@ def _bit_allocation(rate: float) -> np.ndarray:
     # Greedy rounds: sweep coefficients from low to high frequency, giving
     # each one bit per sweep, with low levels joining earlier sweeps.
     max_bits = _PRECISION + 2
+    done = False
     for sweep in range(max_bits):
+        if done:
+            break
         for idx in order:
             if budget <= 0:
-                return bits
+                done = True
+                break
             if bits[idx] >= max_bits:
                 continue
             # Higher-frequency coefficients join later sweeps.
             if sweep < levels[idx]:
                 continue
+            # A coefficient's first bit also buys its sign bit.
+            cost = 2 if bits[idx] == 0 else 1
+            if budget < cost:
+                continue
             bits[idx] += 1
-            budget -= 1
+            budget -= cost
+    # The allocation is cached and shared across instances: freeze it.
+    bits.flags.writeable = False
     return bits
 
 

@@ -14,7 +14,9 @@ cheap per-partition features plus one collective.
   thread-SPMD with collectives),
 - :mod:`repro.core.baselines` — the traditional static configuration and
   the Foresight-style trial-and-error search,
-- :mod:`repro.core.overhead` — overhead accounting for §4.3.
+- :mod:`repro.core.overhead` — overhead accounting for §4.3,
+- :mod:`repro.core.selection` — per-field compressor selection over the
+  capability-typed registry (§2.2 as a measured runtime decision).
 """
 
 from repro.core.config import HaloQualitySpec, OptimizerSettings, QualityTargets
@@ -29,6 +31,14 @@ from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
 from repro.core.baselines import StaticBaseline, TrialAndErrorSearch
 from repro.core.overhead import OverheadReport, measure_overhead
 from repro.core.campaign import CompressionCampaign, FieldSpec
+from repro.core.selection import (
+    CandidateVerdict,
+    SelectionResult,
+    default_candidates,
+    derive_eb_budget,
+    derive_halo_params,
+    select_compressor,
+)
 
 __all__ = [
     "QualityTargets",
@@ -48,4 +58,10 @@ __all__ = [
     "CompressionCampaign",
     "FieldSpec",
     "measure_overhead",
+    "CandidateVerdict",
+    "SelectionResult",
+    "default_candidates",
+    "derive_eb_budget",
+    "derive_halo_params",
+    "select_compressor",
 ]

@@ -20,8 +20,14 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.foresight.quality import QualityCriteria
 
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    decompress_any,
+    resolve_compressor,
+)
 from repro.compression.stats import CompressionStats
-from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.compression.sz import CompressedBlock
 from repro.parallel.decomposition import BlockDecomposition
 from repro.util.timer import TimingBreakdown
 
@@ -49,14 +55,26 @@ class StaticResult:
         return self.stats.overall_bit_rate
 
     def reconstruct(self, decomposition: BlockDecomposition, dtype=np.float64) -> np.ndarray:
-        return decomposition.assemble([decompress(b) for b in self.blocks], dtype=dtype)
+        return decomposition.assemble(
+            [decompress_any(b) for b in self.blocks], dtype=dtype
+        )
 
 
 class StaticBaseline:
-    """Traditional static configuration: one bound for every partition."""
+    """Traditional static configuration: one bound for every partition.
 
-    def __init__(self, compressor: SZCompressor | None = None) -> None:
-        self.compressor = compressor or SZCompressor()
+    Accepts any registry-resolvable compressor (instance, spec, spec
+    string or ``None`` for the SZ default).  Fixed-rate families are
+    permitted here — the baseline just calls ``compress(view, eb)`` and
+    such codecs ignore the bound — which is exactly how
+    :func:`~repro.core.selection.select_compressor` measures their
+    error-bound violation.
+    """
+
+    def __init__(
+        self, compressor: "Compressor | CompressorSpec | str | None" = None
+    ) -> None:
+        self.compressor = resolve_compressor(compressor)
 
     def run(
         self, data: np.ndarray, decomposition: BlockDecomposition, eb: float
@@ -105,14 +123,14 @@ class TrialAndErrorSearch:
     def __init__(
         self,
         quality_check: Callable[[np.ndarray, np.ndarray], tuple[bool, float]] | None = None,
-        compressor: SZCompressor | None = None,
+        compressor: "Compressor | CompressorSpec | str | None" = None,
         criteria: "QualityCriteria | None" = None,
     ) -> None:
         if (quality_check is None) == (criteria is None):
             raise ValueError("provide exactly one of quality_check or criteria")
         self.quality_check = quality_check
         self.criteria = criteria
-        self.compressor = compressor or SZCompressor()
+        self.compressor = resolve_compressor(compressor)
         self.trials: list[TrialRecord] = []
 
     def search(

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import FieldSpec, OptimizerSettings
 from repro.core.pipeline import SnapshotResult
-from repro.compression.sz import SZCompressor
+from repro.compression.api import Compressor, CompressorSpec, resolve_compressor
 from repro.models.calibration import CalibrationResult
 from repro.parallel.backends import ExecutionBackend
 from repro.parallel.decomposition import BlockDecomposition
@@ -154,9 +154,18 @@ class CompressionCampaign:
         Rank layout shared by every field.
     field_specs:
         Field name -> :class:`FieldSpec`; fields without an entry use the
-        default spec.
+        default spec.  A spec's ``compressor`` pins that field to one
+        configuration.
     compressor:
-        Error-bounded compressor shared across fields.
+        Error-bounded compressor shared across fields — an instance, a
+        :class:`~repro.compression.api.CompressorSpec` (or spec string),
+        or ``None`` for the registry default (plain SZ).
+    candidates:
+        Compressor candidate slate: when given, each field's compressor
+        is *selected* at calibration time by
+        :func:`~repro.core.selection.select_compressor` (fixed-rate
+        candidates that violate the field's bound are rejected with the
+        violation quantified).
     settings:
         Optimizer settings.
     backend:
@@ -183,13 +192,14 @@ class CompressionCampaign:
         self,
         decomposition: BlockDecomposition,
         field_specs: dict[str, FieldSpec] | None = None,
-        compressor: SZCompressor | None = None,
+        compressor: "Compressor | CompressorSpec | str | None" = None,
         settings: OptimizerSettings | None = None,
         backend: str | ExecutionBackend | None = None,
+        candidates: "list[CompressorSpec | str] | None" = None,
     ) -> None:
         self.decomposition = decomposition
         self.field_specs = dict(field_specs or {})
-        self.compressor = compressor or SZCompressor()
+        self.compressor = resolve_compressor(compressor)
         self.settings = settings or OptimizerSettings()
         self.controller = InSituController(
             decomposition,
@@ -197,6 +207,7 @@ class CompressionCampaign:
             compressor=self.compressor,
             settings=self.settings,
             backend=backend,
+            candidates=candidates,
             recalibrate="never",
             warm_start=False,
         )
@@ -210,6 +221,11 @@ class CompressionCampaign:
     def calibrations(self) -> Mapping[str, CalibrationResult]:
         """Read-only view of the controller's per-field model fits."""
         return self.controller.calibrations
+
+    @property
+    def selections(self):
+        """Per-field compressor-selection outcomes (``candidates`` mode)."""
+        return self.controller.selections
 
     def close(self) -> None:
         """Release backend resources (e.g. a process worker pool)."""

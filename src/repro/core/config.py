@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.compression.api import CompressorSpec
+
 __all__ = ["QualityTargets", "OptimizerSettings", "HaloQualitySpec", "FieldSpec"]
 
 
@@ -122,6 +124,14 @@ class FieldSpec:
         Mass budget as a fraction of the total halo mass (Eq. 11).
     eb_override:
         Skip the model inversion and use this average bound directly.
+    compressor:
+        Pin this field to one compressor configuration (a
+        :class:`~repro.compression.api.CompressorSpec` or spec string
+        such as ``"sz:codec=huffman"``).  ``None`` (default) inherits
+        the campaign/controller-level compressor, or — when a candidate
+        slate is configured — whatever
+        :func:`~repro.core.selection.select_compressor` picks for the
+        field.
     """
 
     spectrum_tolerance: float = 0.01
@@ -132,6 +142,7 @@ class FieldSpec:
     halo_percentile: float = 99.5
     halo_mass_fraction: float = 0.01
     eb_override: float | None = None
+    compressor: CompressorSpec | str | None = None
 
     def __post_init__(self) -> None:
         if self.spectrum_tolerance <= 0:
@@ -142,3 +153,7 @@ class FieldSpec:
             raise ValueError("halo_percentile must be in [50, 100)")
         if self.eb_override is not None and self.eb_override <= 0:
             raise ValueError("eb_override must be positive")
+        if isinstance(self.compressor, str):
+            object.__setattr__(
+                self, "compressor", CompressorSpec.parse(self.compressor)
+            )

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.sz import SZCompressor
+from repro.compression.api import Compressor, CompressorSpec, resolve_compressor
 from repro.core.features import extract_features
 from repro.parallel.decomposition import BlockDecomposition
 
@@ -50,18 +50,20 @@ def measure_overhead(
     data: np.ndarray,
     decomposition: BlockDecomposition,
     eb: float,
-    compressor: SZCompressor | None = None,
+    compressor: "Compressor | CompressorSpec | str | None" = None,
     t_boundary: float | None = None,
     repeats: int = 3,
 ) -> OverheadReport:
     """Measure feature-extraction overhead relative to compression.
 
     Phases are timed separately over ``repeats`` passes (minimum taken,
-    standard practice for wall-clock micro-measurements).
+    standard practice for wall-clock micro-measurements).  ``compressor``
+    is registry-resolvable (instance, spec, spec string or ``None`` for
+    the SZ default), so the §4.3 ratios can be measured per family.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    comp = compressor or SZCompressor()
+    comp = resolve_compressor(compressor)
     views = decomposition.partition_views(data)
 
     def _time(fn) -> float:

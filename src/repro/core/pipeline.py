@@ -25,8 +25,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    capabilities_of,
+    decompress_any,
+    resolve_compressor,
+)
 from repro.compression.stats import CompressionStats
-from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.compression.sz import CompressedBlock
 from repro.core.config import HaloQualitySpec, OptimizerSettings
 from repro.core.features import PartitionFeatures
 from repro.core.optimizer import OptimizationResult
@@ -67,8 +74,13 @@ class SnapshotResult:
         return self.stats.overall_bit_rate
 
     def reconstruct(self, decomposition: BlockDecomposition, dtype=np.float64) -> np.ndarray:
-        """Decompress all partitions and reassemble the global field."""
-        parts = [decompress(b) for b in self.blocks]
+        """Decompress all partitions and reassemble the global field.
+
+        Blocks dispatch through the compressor registry
+        (:func:`~repro.compression.api.decompress_any`), so results from
+        any registered family reconstruct.
+        """
+        parts = [decompress_any(b) for b in self.blocks]
         return decomposition.assemble(parts, dtype=dtype)
 
     def eb_map(self, decomposition: BlockDecomposition) -> np.ndarray:
@@ -85,7 +97,15 @@ class AdaptiveCompressionPipeline:
         Calibrated Eq. 15 model
         (:func:`repro.models.calibration.calibrate_rate_model`).
     compressor:
-        Error-bounded compressor (default ``SZCompressor()``).
+        Error-bounded compressor — an instance, a
+        :class:`~repro.compression.api.CompressorSpec` (or spec string)
+        resolved through the registry, or ``None`` for the registry
+        default (plain SZ).  The pipeline's output *is* a per-partition
+        bound vector, so the compressor must declare the
+        ``error_bounded`` capability; fixed-rate specs raise
+        :class:`~repro.compression.api.UnsupportedCapabilityError`
+        (pick them apart with
+        :func:`~repro.core.selection.select_compressor` instead).
     settings:
         Optimizer knobs (clamping, normalization protocol).
     backend:
@@ -112,12 +132,17 @@ class AdaptiveCompressionPipeline:
     def __init__(
         self,
         rate_model: RateModel,
-        compressor: SZCompressor | None = None,
+        compressor: "Compressor | CompressorSpec | str | None" = None,
         settings: OptimizerSettings | None = None,
         backend: str | ExecutionBackend | None = None,
     ) -> None:
         self.rate_model = rate_model
-        self.compressor = compressor or SZCompressor()
+        self.compressor = resolve_compressor(compressor)
+        capabilities_of(self.compressor).require(
+            "error_bounded",
+            "the adaptive pipeline (its output is a per-partition bound vector)",
+            who=self.compressor,
+        )
         self.settings = settings or OptimizerSettings()
         self.backend = get_backend(backend)
 

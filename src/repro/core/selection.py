@@ -1,0 +1,377 @@
+"""Per-field compressor selection: §2.2 as a measured runtime decision.
+
+The paper *argues* SZ over ZFP in prose — fixed-rate ZFP cannot enforce
+an absolute error bound, and the whole rate-quality machinery optimizes
+error bounds.  With the capability-typed registry
+(:mod:`repro.compression.api`) that argument becomes something the
+pipeline can check at runtime: :func:`select_compressor` calibrates every
+candidate :class:`~repro.compression.api.CompressorSpec` against a
+field, measures whether each candidate can honour the field's derived
+quality budget, and picks the cheapest (lowest predicted bitrate)
+candidate that can.  Fixed-rate candidates are rejected with a
+*quantified* error-bound violation — the measured ``max|err|`` against
+the admissible bound — so the §2.2 trade-off appears in the result as
+data rather than as a comment.
+
+This module is also the home of the per-field quality-budget inversion
+(:func:`derive_eb_budget` / :func:`derive_halo_params`), shared by the
+batch campaign and the streaming controller (both re-export them; they
+used to live in :mod:`repro.stream.controller`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any
+
+import numpy as np
+
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    capabilities_of,
+    resolve_compressor,
+    spec_of,
+)
+from repro.core.config import FieldSpec
+from repro.foresight.evaluator import FieldReference
+from repro.models.calibration import CalibrationResult, RateModelBank
+from repro.models.fft_error import (
+    spectrum_ratio_tolerance_to_eb,
+    sub_threshold_power_estimate,
+)
+from repro.parallel.decomposition import BlockDecomposition
+from repro.util.rng import default_rng
+
+__all__ = [
+    "derive_eb_budget",
+    "derive_halo_params",
+    "CandidateVerdict",
+    "SelectionResult",
+    "select_compressor",
+    "default_candidates",
+]
+
+
+# -- per-field quality-budget derivation --------------------------------------
+
+
+def derive_eb_budget(spec: FieldSpec, ref: FieldReference) -> float:
+    """Invert the field's quality spec into an average error bound.
+
+    The §3.3/§3.5 model inversion: the P(k) acceptance band plus the
+    sub-threshold power estimate yield the admissible average bound.
+    All original-field analyses go through the shared
+    :class:`FieldReference` cache, so a budget inversion and a halo-spec
+    derivation on the same snapshot pay for one float64 cast and one
+    ``rfftn`` between them.
+    """
+    if spec.eb_override is not None:
+        return float(spec.eb_override)
+    f64 = ref.f64
+    ps = ref.spectrum()
+    return float(
+        spectrum_ratio_tolerance_to_eb(
+            ps,
+            f64.size,
+            tolerance=spec.spectrum_tolerance,
+            k_max=spec.spectrum_k_max,
+            confidence_z=spec.confidence_z,
+            sub_power_fn=lambda e: sub_threshold_power_estimate(f64, e, stride=2),
+            correlated_fraction=spec.correlated_fraction,
+        )
+    )
+
+
+def derive_halo_params(spec: FieldSpec, ref: FieldReference) -> tuple[float, float] | None:
+    """Halo-constraint inputs ``(t_boundary, mass_budget)`` for a field.
+
+    Returns ``None`` when the field has no halos above the percentile
+    threshold (the constraint is vacuous).  The reference-eb part of the
+    :class:`~repro.core.config.HaloQualitySpec` depends on the chosen
+    average bound and is attached at decision time.
+    """
+    t_boundary = float(np.percentile(ref.f64, spec.halo_percentile))
+    catalog = ref.halos(t_boundary)
+    if catalog.n_halos == 0:
+        return None
+    return t_boundary, float(spec.halo_mass_fraction * float(catalog.masses.sum()))
+
+
+# -- the selection stage ------------------------------------------------------
+
+
+def default_candidates() -> list[CompressorSpec]:
+    """The stock candidate slate: the SZ default vs the ZFP-style codec.
+
+    Exactly the paper's §2.2 comparison, expressed as specs.
+    """
+    return [CompressorSpec.sz(), CompressorSpec.zfp_like()]
+
+
+@dataclass(frozen=True)
+class CandidateVerdict:
+    """What selection concluded about one candidate spec on one field.
+
+    ``eb_violation`` quantifies §2.2 for ineligible fixed-rate
+    candidates: the measured ``max|err| / eb_avg`` factor by which the
+    candidate overshoots the admissible bound (``> 1`` means the quality
+    target cannot be guaranteed).
+    """
+
+    spec: CompressorSpec
+    eligible: bool
+    reason: str
+    predicted_bit_rate: float | None = None
+    measured_bit_rate: float | None = None
+    max_abs_error: float | None = None
+    eb_violation: float | None = None
+    calibration: CalibrationResult | None = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (what the stream ledger records)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "eligible": self.eligible,
+            "reason": self.reason,
+            "predicted_bit_rate": self.predicted_bit_rate,
+            "measured_bit_rate": self.measured_bit_rate,
+            "max_abs_error": self.max_abs_error,
+            "eb_violation": self.eb_violation,
+        }
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of :func:`select_compressor` for one field."""
+
+    field: str
+    eb_avg: float
+    chosen: CompressorSpec
+    compressor: Any
+    verdicts: list[CandidateVerdict]
+
+    @property
+    def chosen_verdict(self) -> CandidateVerdict:
+        return self.verdict_for(self.chosen)
+
+    def verdict_for(self, spec: CompressorSpec) -> CandidateVerdict:
+        for v in self.verdicts:
+            if v.spec == spec:
+                return v
+        raise KeyError(f"no verdict recorded for {spec}")
+
+    @property
+    def rejected(self) -> list[CandidateVerdict]:
+        return [v for v in self.verdicts if not v.eligible]
+
+    @property
+    def calibration(self) -> CalibrationResult | None:
+        """The chosen candidate's rate-model fit (``None`` if measured-only)."""
+        return self.chosen_verdict.calibration
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "field": self.field,
+            "eb_avg": self.eb_avg,
+            "chosen": self.chosen.to_dict(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def _measure_fixed_rate(
+    comp: Any,
+    views: list[np.ndarray],
+    eb_avg: float,
+    sample_partitions: int,
+    seed: int,
+) -> tuple[float, float]:
+    """Measured (bit rate, max abs error) of a fixed-rate candidate.
+
+    Compresses a seeded sample of partitions and decompresses them —
+    the candidate has no model to predict with, so its cost and its
+    error-bound behaviour are *measured*, exactly the §4.1 empirical
+    methodology scoped down to a few partitions.
+    """
+    rng = default_rng(seed)
+    idx = np.arange(len(views))
+    if len(views) > sample_partitions:
+        idx = np.sort(rng.choice(idx, size=sample_partitions, replace=False))
+    total_bytes = 0
+    total_elems = 0
+    max_err = 0.0
+    for i in idx:
+        view = np.asarray(views[i])
+        block = comp.compress(view, eb_avg)
+        recon = comp.decompress(block)
+        total_bytes += int(block.nbytes)
+        total_elems += int(block.n_elements)
+        max_err = max(max_err, float(np.max(np.abs(recon - np.asarray(view, dtype=np.float64)))))
+    return 8.0 * total_bytes / total_elems, max_err
+
+
+def select_compressor(
+    data: np.ndarray,
+    decomposition: BlockDecomposition,
+    candidates: "Sequence[Compressor | CompressorSpec | str] | None" = None,
+    field_spec: FieldSpec | None = None,
+    field: str = "field",
+    eb_avg: float | None = None,
+    reference: FieldReference | None = None,
+    bank: RateModelBank | None = None,
+    probe_mode: str = "exact",
+    max_partitions: int = 32,
+    sample_partitions: int = 8,
+    seed: int = 0,
+    require_error_bounded: bool = False,
+) -> SelectionResult:
+    """Pick the cheapest candidate compressor that can honour the quality targets.
+
+    For every candidate spec:
+
+    - **error-bounded** candidates are calibrated (through ``bank``, so
+      repeated selections share fits) and scored by the rate model's
+      predicted mean bitrate at the field's admissible average bound;
+    - **fixed-rate** candidates are *measured* on a partition sample:
+      compress, decompress, compare ``max|err|`` against the bound.  A
+      violation disqualifies the candidate and is recorded quantified
+      (``eb_violation = max|err| / eb_avg``) — the paper's §2.2
+      SZ-over-ZFP argument reproduced as a runtime decision.
+
+    The admissible bound comes from ``eb_avg`` if given, else from the
+    §3.3/§3.5 budget inversion of ``field_spec`` (default
+    :class:`~repro.core.config.FieldSpec`, the paper's targets).
+
+    ``require_error_bounded=True`` additionally disqualifies fixed-rate
+    candidates even when they happen to stay within the bound on the
+    measured sample — the adaptive pipeline's per-partition bound vector
+    needs a *guarantee*, not a sample — which is what the streaming
+    controller passes.
+
+    Raises ``ValueError`` when no candidate is eligible, with every
+    verdict in the message.
+    """
+    if not candidates:
+        candidates = default_candidates()
+    field_spec = field_spec or FieldSpec()
+    if eb_avg is None:
+        ref = reference if reference is not None else FieldReference(data)
+        eb_avg = derive_eb_budget(field_spec, ref)
+    eb_avg = float(eb_avg)
+    if eb_avg <= 0:
+        raise ValueError(f"eb_avg must be positive, got {eb_avg}")
+    if bank is None:  # NB: an empty bank is falsy (it has __len__)
+        bank = RateModelBank(
+            probe_mode=probe_mode, max_partitions=max_partitions, seed=seed
+        )
+    views = decomposition.partition_views(data)
+
+    verdicts: list[CandidateVerdict] = []
+    scored: list[tuple[float, int, Any]] = []  # (predicted rate, index, instance)
+    for cand in candidates:
+        comp = resolve_compressor(cand)
+        caps = capabilities_of(comp)
+        spec = spec_of(comp) or CompressorSpec.make(type(comp).__name__)
+        if caps.error_bounded:
+            try:
+                calibration = bank.calibrate(
+                    field, views, compressor=comp, eb_scale=eb_avg
+                )
+            except ValueError as exc:
+                verdicts.append(
+                    CandidateVerdict(
+                        spec=spec,
+                        eligible=False,
+                        reason=f"rejected: rate-model calibration failed ({exc})",
+                    )
+                )
+                continue
+            model = calibration.rate_model
+            predicted = float(
+                np.mean(model.predict_bitrate(calibration.features, eb_avg))
+            )
+            verdicts.append(
+                CandidateVerdict(
+                    spec=spec,
+                    eligible=True,
+                    reason=(
+                        f"error-bounded; predicted {predicted:.3f} bits/value "
+                        f"at eb={eb_avg:.4g}"
+                    ),
+                    predicted_bit_rate=predicted,
+                    calibration=calibration,
+                )
+            )
+            scored.append((predicted, len(verdicts) - 1, comp))
+        else:
+            measured_rate, max_err = _measure_fixed_rate(
+                comp, views, eb_avg, sample_partitions, seed
+            )
+            violation = max_err / eb_avg
+            if violation > 1.0:
+                verdicts.append(
+                    CandidateVerdict(
+                        spec=spec,
+                        eligible=False,
+                        reason=(
+                            f"rejected: fixed-rate codec cannot enforce "
+                            f"eb={eb_avg:.4g}; measured max|err|={max_err:.4g} "
+                            f"({violation:.1f}x the bound)"
+                        ),
+                        measured_bit_rate=measured_rate,
+                        max_abs_error=max_err,
+                        eb_violation=violation,
+                    )
+                )
+            elif require_error_bounded:
+                verdicts.append(
+                    CandidateVerdict(
+                        spec=spec,
+                        eligible=False,
+                        reason=(
+                            f"rejected: within bound on the sample "
+                            f"(max|err|={max_err:.4g} <= eb={eb_avg:.4g}) but "
+                            "fixed-rate codecs carry no error-bound guarantee, "
+                            "which the adaptive pipeline requires"
+                        ),
+                        measured_bit_rate=measured_rate,
+                        max_abs_error=max_err,
+                        eb_violation=violation,
+                    )
+                )
+            else:
+                verdicts.append(
+                    CandidateVerdict(
+                        spec=spec,
+                        eligible=True,
+                        reason=(
+                            f"fixed-rate but within bound on the sample: "
+                            f"max|err|={max_err:.4g} <= eb={eb_avg:.4g} "
+                            f"(measured {measured_rate:.3f} bits/value; "
+                            "no error-bound *guarantee*)"
+                        ),
+                        predicted_bit_rate=measured_rate,
+                        measured_bit_rate=measured_rate,
+                        max_abs_error=max_err,
+                        eb_violation=violation,
+                    )
+                )
+                scored.append((measured_rate, len(verdicts) - 1, comp))
+
+    if not scored:
+        lines = "; ".join(f"{v.spec}: {v.reason}" for v in verdicts)
+        raise ValueError(
+            f"no candidate compressor can honour the quality targets for "
+            f"field {field!r} (eb_avg={eb_avg:.4g}): {lines}"
+        )
+    _, best_idx, best_comp = min(scored, key=lambda t: (t[0], t[1]))
+    return SelectionResult(
+        field=field,
+        eb_avg=eb_avg,
+        chosen=verdicts[best_idx].spec,
+        compressor=best_comp,
+        verdicts=verdicts,
+    )

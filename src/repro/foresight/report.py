@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import csv
 import io
 from collections.abc import Sequence
 
@@ -37,16 +38,42 @@ def _row(r: SweepRecord) -> list[object]:
     ]
 
 
+def _columns_and_rows(
+    records: Sequence[SweepRecord],
+) -> tuple[list[str], list[list[object]]]:
+    """Prepend a compressor column when the sweep fanned over specs.
+
+    Single-compressor sweeps (every ``record.spec`` is ``None``) keep
+    the historical column set.
+    """
+    rows = [_row(r) for r in records]
+    if any(r.spec is not None for r in records):
+        cols = ["compressor", *_COLUMNS]
+        rows = [
+            [r.spec.label if r.spec is not None else "-", *row]
+            for r, row in zip(records, rows)
+        ]
+        return cols, rows
+    return list(_COLUMNS), rows
+
+
 def records_to_table(records: Sequence[SweepRecord], title: str | None = None) -> str:
     """Aligned plain-text table of sweep records."""
-    return format_table(_COLUMNS, [_row(r) for r in records], title=title)
+    cols, rows = _columns_and_rows(records)
+    return format_table(cols, rows, title=title)
 
 
 def records_to_csv(records: Sequence[SweepRecord]) -> str:
-    """CSV rendering (header + one line per record)."""
+    """CSV rendering (header + one line per record).
+
+    Written through :mod:`csv` with minimal quoting: plain sweep rows
+    come out identical to the historical join, while multi-compressor
+    rows — whose spec labels contain commas — are quoted correctly.
+    """
+    cols, rows = _columns_and_rows(records)
     buf = io.StringIO()
-    buf.write(",".join(_COLUMNS) + "\n")
-    for r in records:
-        cells = _row(r)
-        buf.write(",".join(str(c) for c in cells) + "\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(cols)
+    for cells in rows:
+        writer.writerow([str(c) for c in cells])
     return buf.getvalue()

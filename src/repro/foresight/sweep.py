@@ -28,7 +28,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.sz import CompressedBlock, SZCompressor, decompress
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    capabilities_of,
+    decompress_any,
+    resolve_compressor,
+    spec_of,
+)
+from repro.compression.sz import CompressedBlock
 from repro.foresight.evaluator import QualityEvaluator
 from repro.foresight.quality import QualityCriteria, QualityReport
 from repro.parallel.backends import ExecutionBackend, get_backend
@@ -39,10 +47,14 @@ __all__ = ["SweepRecord", "run_sweep"]
 
 @dataclass
 class SweepRecord:
-    """One (field, eb) evaluation.
+    """One (field, eb[, compressor]) evaluation.
 
     ``quality`` is ``None`` for rate-only records (no reconstruction was
     produced), in which case :attr:`passed` is ``None`` as well.
+    ``spec`` names the compressor configuration behind the record when
+    the sweep fanned over multiple families (``compressors=``); plain
+    single-compressor sweeps leave it ``None``, keeping their records
+    (and rendered tables/CSV) identical to the historical output.
     """
 
     field: str
@@ -50,6 +62,7 @@ class SweepRecord:
     bit_rate: float
     ratio: float
     quality: QualityReport | None
+    spec: CompressorSpec | None = None
 
     @property
     def passed(self) -> bool | None:
@@ -69,9 +82,9 @@ def _evaluate_chunk(
     out = []
     for idx, blocks in chunk:
         if decomposition is not None:
-            recon = decomposition.assemble([decompress(b) for b in blocks])
+            recon = decomposition.assemble([decompress_any(b) for b in blocks])
         else:
-            recon = decompress(blocks[0])
+            recon = decompress_any(blocks[0])
         out.append((idx, evaluator.evaluate(recon)))
     return out
 
@@ -105,38 +118,53 @@ def run_sweep(
     ebs: Sequence[float],
     criteria: dict[str, QualityCriteria],
     decomposition: BlockDecomposition | None = None,
-    compressor: SZCompressor | None = None,
+    compressor: "Compressor | CompressorSpec | str | None" = None,
     rate_only: bool = False,
     probe_mode: str = "exact",
     backend: str | ExecutionBackend | None = None,
+    compressors: "Sequence[Compressor | CompressorSpec | str] | None" = None,
 ) -> list[SweepRecord]:
-    """Evaluate every (field, eb) combination.
+    """Evaluate every (field, eb) — or (compressor, field, eb) — combination.
 
     Parameters
     ----------
     fields:
         Field name -> 3-D array.
     ebs:
-        Error bounds to trial (absolute).
+        Error bounds to trial (absolute).  Fixed-rate families ignore
+        them (their records repeat the configured rate per bound) but
+        their *quality* still varies per field — which is the point of
+        sweeping them.
     criteria:
         Field name -> acceptance criteria (fields without an entry use
         spectrum-only defaults).  Ignored when rates alone are swept.
     decomposition:
         If given, fields are compressed partition-wise (matching the in
         situ layout); otherwise whole-field.
+    compressor:
+        A single registry-resolvable compressor (instance, spec, spec
+        string or ``None`` for the SZ default).
     rate_only:
         Skip decompression and quality evaluation; records carry
         ``quality=None``.
     probe_mode:
         ``"exact"`` (default) runs the full compressor; ``"estimate"``
         predicts rates from code histograms without running the entropy
-        codec — codec-free sweeps are inherently rate-only.
+        codec — codec-free sweeps are inherently rate-only, and require
+        every swept compressor to declare the ``supports_estimate``
+        capability (:class:`~repro.compression.api.
+        UnsupportedCapabilityError` otherwise).
     backend:
         Execution backend (registry name or instance) for the quality
         evaluations, which are independent per ``(field, eb)``.  ``None``
         (default) evaluates inline; a name is resolved via
         :func:`~repro.parallel.backends.get_backend` and closed on exit,
         while an instance is left open for the caller to manage.
+    compressors:
+        Fan the whole sweep over several compressor configurations (the
+        family-ablation mode).  Mutually exclusive with ``compressor``;
+        each record then carries the originating
+        :class:`~repro.compression.api.CompressorSpec` in ``record.spec``.
     """
     if not fields:
         raise ValueError("need at least one field")
@@ -146,67 +174,89 @@ def run_sweep(
         raise ValueError(
             f"probe_mode must be 'exact' or 'estimate', got {probe_mode!r}"
         )
+    if compressors is not None and compressor is not None:
+        raise ValueError("pass either compressor or compressors, not both")
+    if compressors is not None and not len(list(compressors)):
+        raise ValueError("compressors must name at least one configuration")
     if probe_mode == "estimate":
         rate_only = True  # no payloads exist to decompress
-    comp = compressor or SZCompressor()
+    multi = compressors is not None
+    comps = (
+        [resolve_compressor(c) for c in compressors]
+        if multi
+        else [resolve_compressor(compressor)]
+    )
+    if probe_mode == "estimate":
+        for comp in comps:
+            capabilities_of(comp).require(
+                "supports_estimate",
+                'probe_mode="estimate" (codec-free histogram rate prediction)',
+                who=comp,
+            )
     owns_backend = isinstance(backend, str)
     exec_backend = get_backend(backend) if backend is not None else None
     records: list[SweepRecord] = []
     try:
-        for name, data in fields.items():
-            crit = criteria.get(name, QualityCriteria())
-            views = (
-                decomposition.partition_views(data)
-                if decomposition is not None
-                else [data]
-            )
-            # Without real fan-out, evaluate each bound as soon as it is
-            # compressed: buffering every bound's blocks would multiply
-            # peak memory by len(ebs) for no scheduling benefit.
-            fan_out = exec_backend is not None and exec_backend.parallelism > 1
-            evaluator: QualityEvaluator | None = None
-            rates: list[tuple[float, int, int, int]] = []  # (eb, nbytes, n, itemsize)
-            per_eb_blocks: list[list[CompressedBlock]] = []
-            qualities: list[QualityReport | None] = []
-            for eb in ebs:
-                eb = float(eb)
-                quality: QualityReport | None = None
-                if probe_mode == "estimate":
-                    ests = [comp.estimate(v, eb) for v in views]
-                    nbytes = sum(e.est_nbytes for e in ests)
-                    n = sum(e.n_elements for e in ests)
-                    itemsize = ests[0].source_itemsize
-                else:
-                    blocks = [comp.compress(v, eb) for v in views]
-                    nbytes = sum(b.nbytes for b in blocks)
-                    n = sum(b.n_elements for b in blocks)
-                    itemsize = blocks[0].source_itemsize
-                    if not rate_only:
-                        if fan_out:
-                            per_eb_blocks.append(blocks)
-                        else:
-                            if evaluator is None:
-                                evaluator = QualityEvaluator(data, crit)
-                            (_, quality), = _evaluate_chunk(
-                                (evaluator, decomposition, [(0, blocks)])
-                            )
-                rates.append((eb, nbytes, n, itemsize))
-                qualities.append(quality)
-            if per_eb_blocks:
-                evaluator = QualityEvaluator(data, crit)
-                qualities = _quality_reports(
-                    evaluator, decomposition, per_eb_blocks, exec_backend
+        for comp in comps:
+            # Tag records with the spec only in multi-compressor mode, so
+            # single-compressor sweeps keep their historical record shape.
+            tag = spec_of(comp) if multi else None
+            for name, data in fields.items():
+                crit = criteria.get(name, QualityCriteria())
+                views = (
+                    decomposition.partition_views(data)
+                    if decomposition is not None
+                    else [data]
                 )
-            for (eb, nbytes, n, itemsize), quality in zip(rates, qualities):
-                records.append(
-                    SweepRecord(
-                        field=name,
-                        eb=eb,
-                        bit_rate=8.0 * nbytes / n,
-                        ratio=itemsize * n / nbytes,
-                        quality=quality,
+                # Without real fan-out, evaluate each bound as soon as it
+                # is compressed: buffering every bound's blocks would
+                # multiply peak memory by len(ebs) for no scheduling
+                # benefit.
+                fan_out = exec_backend is not None and exec_backend.parallelism > 1
+                evaluator: QualityEvaluator | None = None
+                rates: list[tuple[float, int, int, int]] = []  # (eb, nbytes, n, itemsize)
+                per_eb_blocks: list[list[CompressedBlock]] = []
+                qualities: list[QualityReport | None] = []
+                for eb in ebs:
+                    eb = float(eb)
+                    quality: QualityReport | None = None
+                    if probe_mode == "estimate":
+                        ests = [comp.estimate(v, eb) for v in views]
+                        nbytes = sum(e.est_nbytes for e in ests)
+                        n = sum(e.n_elements for e in ests)
+                        itemsize = ests[0].source_itemsize
+                    else:
+                        blocks = [comp.compress(v, eb) for v in views]
+                        nbytes = sum(b.nbytes for b in blocks)
+                        n = sum(b.n_elements for b in blocks)
+                        itemsize = blocks[0].source_itemsize
+                        if not rate_only:
+                            if fan_out:
+                                per_eb_blocks.append(blocks)
+                            else:
+                                if evaluator is None:
+                                    evaluator = QualityEvaluator(data, crit)
+                                (_, quality), = _evaluate_chunk(
+                                    (evaluator, decomposition, [(0, blocks)])
+                                )
+                    rates.append((eb, nbytes, n, itemsize))
+                    qualities.append(quality)
+                if per_eb_blocks:
+                    evaluator = QualityEvaluator(data, crit)
+                    qualities = _quality_reports(
+                        evaluator, decomposition, per_eb_blocks, exec_backend
                     )
-                )
+                for (eb, nbytes, n, itemsize), quality in zip(rates, qualities):
+                    records.append(
+                        SweepRecord(
+                            field=name,
+                            eb=eb,
+                            bit_rate=8.0 * nbytes / n,
+                            ratio=itemsize * n / nbytes,
+                            quality=quality,
+                            spec=tag,
+                        )
+                    )
     finally:
         if owns_backend and exec_backend is not None:
             exec_backend.close()

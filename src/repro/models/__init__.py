@@ -34,7 +34,11 @@ from repro.models.halo_error import (
     halo_mass_error_budget,
 )
 from repro.models.rate_model import RateModel, fit_power_law, optimal_error_bounds
-from repro.models.calibration import CalibrationResult, calibrate_rate_model
+from repro.models.calibration import (
+    CalibrationResult,
+    RateModelBank,
+    calibrate_rate_model,
+)
 
 __all__ = [
     "UniformErrorModel",
@@ -53,5 +57,6 @@ __all__ = [
     "fit_power_law",
     "optimal_error_bounds",
     "CalibrationResult",
+    "RateModelBank",
     "calibrate_rate_model",
 ]

@@ -29,11 +29,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.sz import SZCompressor
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    capabilities_of,
+    resolve_compressor,
+    spec_of,
+)
 from repro.models.rate_model import RateModel, fit_power_law
 from repro.util.rng import default_rng
 
-__all__ = ["CalibrationResult", "calibrate_rate_model", "partition_feature"]
+__all__ = [
+    "CalibrationResult",
+    "RateModelBank",
+    "calibrate_rate_model",
+    "partition_feature",
+]
 
 
 def partition_feature(partition: np.ndarray) -> float:
@@ -65,7 +76,7 @@ class CalibrationResult:
 
 def calibrate_rate_model(
     partitions: Sequence[np.ndarray],
-    compressor: SZCompressor | None = None,
+    compressor: "Compressor | CompressorSpec | str | None" = None,
     probe_ebs: Sequence[float] | None = None,
     eb_scale: float = 1.0,
     max_partitions: int = 32,
@@ -80,7 +91,13 @@ def calibrate_rate_model(
         Partition arrays (one per rank); a random subset of at most
         ``max_partitions`` is probed.
     compressor:
-        Compressor to probe with (default: ``SZCompressor()``).
+        Compressor to probe with — an instance, a
+        :class:`~repro.compression.api.CompressorSpec` (or spec string)
+        resolved through the registry, or ``None`` for the registry
+        default (plain SZ).  Must declare the ``error_bounded``
+        capability: the rate model *is* bitrate as a function of the
+        bound, so probing a fixed-rate codec is meaningless and raises
+        :class:`~repro.compression.api.UnsupportedCapabilityError`.
     probe_ebs:
         Error bounds to probe; default spans ``eb_scale`` times
         ``[0.25, 0.5, 1, 2, 4]``, staying inside one rate-curve regime
@@ -102,7 +119,19 @@ def calibrate_rate_model(
         raise ValueError(
             f"probe_mode must be 'exact' or 'estimate', got {probe_mode!r}"
         )
-    comp = compressor or SZCompressor()
+    comp = resolve_compressor(compressor)
+    caps = capabilities_of(comp)
+    caps.require(
+        "error_bounded",
+        "rate-model calibration (bitrate as a function of the error bound)",
+        who=comp,
+    )
+    if probe_mode == "estimate":
+        caps.require(
+            "supports_estimate",
+            'probe_mode="estimate" (codec-free histogram rate prediction)',
+            who=comp,
+        )
     probe = (
         (lambda part, eb: comp.compress(part, eb).bit_rate)
         if probe_mode == "exact"
@@ -183,3 +212,102 @@ def calibrate_rate_model(
         fit_r2=np.array(r2s),
         coef_r2=coef_r2,
     )
+
+
+class RateModelBank:
+    """Per-``(field, compressor spec)`` calibration cache.
+
+    The pluggable backbone makes the rate model a function of *two*
+    coordinates — the field and the compressor configuration — so
+    anything that compares candidate specs (``select_compressor``, a
+    spec-fanning sweep) would otherwise refit the same power law over
+    and over.  The bank memoizes :func:`calibrate_rate_model` results
+    keyed on the field name and the compressor's canonical
+    :class:`~repro.compression.api.CompressorSpec`; instances without a
+    spec are probed fresh each time (there is no stable key).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> bank = RateModelBank(probe_mode="exact", max_partitions=4)
+    >>> parts = [np.random.default_rng(i).random((8, 8, 8)) for i in range(4)]
+    >>> a = bank.calibrate("density", parts, "sz", eb_scale=0.01)
+    >>> b = bank.calibrate("density", parts, "sz", eb_scale=0.01)
+    >>> a is b  # second call is a cache hit
+    True
+    """
+
+    def __init__(
+        self,
+        probe_mode: str = "exact",
+        max_partitions: int = 32,
+        seed: int = 0,
+    ) -> None:
+        self.probe_mode = probe_mode
+        self.max_partitions = int(max_partitions)
+        self.seed = int(seed)
+        self._cache: dict[tuple, CalibrationResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._cache
+
+    @staticmethod
+    def _key(
+        field: str,
+        spec: CompressorSpec,
+        eb_scale: float,
+        probe_ebs: Sequence[float] | None,
+    ) -> tuple:
+        probes = None if probe_ebs is None else tuple(float(e) for e in probe_ebs)
+        return (field, spec, float(eb_scale), probes)
+
+    def get(
+        self,
+        field: str,
+        spec: CompressorSpec,
+        eb_scale: float = 1.0,
+        probe_ebs: Sequence[float] | None = None,
+    ) -> CalibrationResult | None:
+        """The cached fit for ``(field, spec, probe config)``, if any."""
+        return self._cache.get(self._key(field, spec, eb_scale, probe_ebs))
+
+    def items(self) -> list[tuple[tuple, CalibrationResult]]:
+        return list(self._cache.items())
+
+    def invalidate(self, field: str | None = None) -> None:
+        """Drop cached fits — for one field, or all of them (drift)."""
+        if field is None:
+            self._cache.clear()
+        else:
+            self._cache = {k: v for k, v in self._cache.items() if k[0] != field}
+
+    def calibrate(
+        self,
+        field: str,
+        partitions: Sequence[np.ndarray],
+        compressor: "Compressor | CompressorSpec | str | None" = None,
+        eb_scale: float = 1.0,
+        probe_ebs: Sequence[float] | None = None,
+        refresh: bool = False,
+    ) -> CalibrationResult:
+        """Fit (or return the cached fit of) one ``(field, spec)`` cell."""
+        comp = resolve_compressor(compressor)
+        spec = spec_of(comp)
+        key = None if spec is None else self._key(field, spec, eb_scale, probe_ebs)
+        if not refresh and key is not None and key in self._cache:
+            return self._cache[key]
+        result = calibrate_rate_model(
+            partitions,
+            compressor=comp,
+            probe_ebs=probe_ebs,
+            eb_scale=eb_scale,
+            max_partitions=self.max_partitions,
+            seed=self.seed,
+            probe_mode=self.probe_mode,
+        )
+        if key is not None:
+            self._cache[key] = result
+        return result

@@ -43,7 +43,8 @@ from typing import Any, ClassVar
 
 import numpy as np
 
-from repro.compression.sz import CompressedBlock, SZCompressor
+from repro.compression.api import Compressor
+from repro.compression.sz import CompressedBlock
 from repro.compression.workspace import Workspace
 from repro.core.config import HaloQualitySpec, OptimizerSettings
 from repro.core.features import PartitionFeatures, extract_features
@@ -79,7 +80,9 @@ class SnapshotTask:
     decomposition: BlockDecomposition
     eb_avg: float
     rate_model: RateModel
-    compressor: SZCompressor
+    #: Any registry-resolvable error-bounded compressor; the backends
+    #: only rely on the uniform ``compress``/``compress_many`` shape.
+    compressor: Compressor
     settings: OptimizerSettings
     halo: HaloQualitySpec | None = None
 
@@ -305,7 +308,7 @@ class ThreadBackend(ExecutionBackend):
 #: instance itself (not a name-based config) preserves codec state such
 #: as compression levels, keeping worker output byte-identical to the
 #: serial path.
-_WORKER_COMPRESSORS: dict[bytes, SZCompressor] = {}
+_WORKER_COMPRESSORS: dict[bytes, Compressor] = {}
 
 #: One kernel scratch arena per worker process, shared across batches
 #: and compressor configurations (buffer slots are keyed by shape/dtype,
@@ -314,7 +317,7 @@ _WORKER_COMPRESSORS: dict[bytes, SZCompressor] = {}
 _WORKER_WORKSPACE = Workspace()
 
 
-def _pooled_compressor(blob: bytes) -> SZCompressor:
+def _pooled_compressor(blob: bytes) -> Compressor:
     comp = _WORKER_COMPRESSORS.get(blob)
     if comp is None:
         comp = pickle.loads(blob)
@@ -509,7 +512,7 @@ class ProcessBackend(ExecutionBackend):
         return [list(range(i, min(i + size, n))) for i in range(0, n, size)]
 
     @staticmethod
-    def _serialize_compressor(comp: SZCompressor) -> bytes:
+    def _serialize_compressor(comp: Compressor) -> bytes:
         """Pickle the compressor verbatim so workers reproduce its output
         byte for byte (codec levels and custom codecs included)."""
         try:

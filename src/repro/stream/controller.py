@@ -45,24 +45,40 @@ from typing import Any
 
 import numpy as np
 
-from repro.compression.sz import SZCompressor
+from repro.compression.api import (
+    Compressor,
+    CompressorSpec,
+    resolve_compressor,
+    spec_of,
+)
 from repro.core.config import FieldSpec, HaloQualitySpec, OptimizerSettings
 from repro.core.features import PartitionFeatures
 from repro.core.optimizer import optimize_combined, optimize_for_spectrum
 from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
+from repro.core.selection import (
+    SelectionResult,
+    derive_eb_budget,
+    derive_halo_params,
+    select_compressor,
+)
 from repro.foresight.evaluator import FieldReference, QualityEvaluator
 from repro.foresight.quality import QualityCriteria
-from repro.models.calibration import CalibrationResult, calibrate_rate_model
-from repro.models.fft_error import (
-    spectrum_ratio_tolerance_to_eb,
-    sub_threshold_power_estimate,
+from repro.models.calibration import (
+    CalibrationResult,
+    RateModelBank,
+    calibrate_rate_model,
 )
 from repro.models.rate_model import RateModel
 from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSnapshot
 from repro.stream.drift import DriftConfig, DriftDetector, DriftSignal
-from repro.stream.ledger import LedgerError, LedgerEvent, RunLedger
+from repro.stream.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    LedgerEvent,
+    RunLedger,
+)
 from repro.stream.source import SnapshotStream, as_stream
 from repro.util.tables import format_table
 
@@ -76,51 +92,6 @@ __all__ = [
     "ReplayedDecision",
     "replay_ledger",
 ]
-
-
-# -- per-field budget derivation (shared with the batch campaign) ------------
-
-
-def derive_eb_budget(spec: FieldSpec, ref: FieldReference) -> float:
-    """Invert the field's quality spec into an average error bound.
-
-    The §3.3/§3.5 model inversion: the P(k) acceptance band plus the
-    sub-threshold power estimate yield the admissible average bound.
-    All original-field analyses go through the shared
-    :class:`FieldReference` cache, so a budget inversion and a halo-spec
-    derivation on the same snapshot pay for one float64 cast and one
-    ``rfftn`` between them.
-    """
-    if spec.eb_override is not None:
-        return float(spec.eb_override)
-    f64 = ref.f64
-    ps = ref.spectrum()
-    return float(
-        spectrum_ratio_tolerance_to_eb(
-            ps,
-            f64.size,
-            tolerance=spec.spectrum_tolerance,
-            k_max=spec.spectrum_k_max,
-            confidence_z=spec.confidence_z,
-            sub_power_fn=lambda e: sub_threshold_power_estimate(f64, e, stride=2),
-            correlated_fraction=spec.correlated_fraction,
-        )
-    )
-
-
-def derive_halo_params(spec: FieldSpec, ref: FieldReference) -> tuple[float, float] | None:
-    """Halo-constraint inputs ``(t_boundary, mass_budget)`` for a field.
-
-    Returns ``None`` when the field has no halos above the percentile
-    threshold (the constraint is vacuous).  The reference-eb part of the
-    :class:`HaloQualitySpec` depends on the chosen average bound and is
-    attached at decision time.
-    """
-    t_boundary = float(np.percentile(ref.f64, spec.halo_percentile))
-    catalog = ref.halos(t_boundary)
-    if catalog.n_halos == 0:
-        return None
-    return t_boundary, float(spec.halo_mass_fraction * float(catalog.masses.sum()))
 
 
 # -- run-level storage budget governor ---------------------------------------
@@ -228,6 +199,9 @@ class StreamOutcome:
     residual: float | None
     quality_deviation: float | None = None
     drift_signal: DriftSignal | None = None
+    #: The compressor configuration behind this outcome (``None`` when a
+    #: caller-owned instance without a spec was used).
+    compressor_spec: CompressorSpec | None = None
 
     @property
     def ratio(self) -> float:
@@ -315,6 +289,11 @@ class StreamReport:
                         "predicted_bit_rate": o.predicted_bit_rate,
                         "achieved_bit_rate": o.achieved_bit_rate,
                         "drift": o.drift_signal is not None,
+                        "compressor": (
+                            None
+                            if o.compressor_spec is None
+                            else o.compressor_spec.to_dict()
+                        ),
                     }
                     for o in self.outcomes
                 ],
@@ -333,6 +312,10 @@ class _FieldState:
     eb_base: float
     halo_params: tuple[float, float] | None
     detector: DriftDetector
+    #: Serializable identity of the field's compressor (``None`` for
+    #: caller-owned instances that carry no spec); recorded with every
+    #: ledger decision so replays and audits know what compressed what.
+    compressor_spec: CompressorSpec | None = None
 
 
 # -- the controller ----------------------------------------------------------
@@ -350,8 +333,18 @@ class InSituController:
         without an entry use the default spec.
     compressor / settings / backend:
         As in :class:`~repro.core.campaign.CompressionCampaign`; the
-        backend (registry name or instance) executes every per-field
-        compression, default serial.
+        compressor is registry-resolvable (instance,
+        :class:`~repro.compression.api.CompressorSpec` or spec string,
+        ``None`` for the SZ default) and the backend (registry name or
+        instance) executes every per-field compression, default serial.
+    candidates:
+        Compressor candidate slate (specs or spec strings).  When given,
+        every field's compressor is *selected* at (re)calibration time
+        by :func:`~repro.core.selection.select_compressor` — candidates
+        that cannot honour the field's bound are rejected with the
+        violation quantified, the verdicts land in a ``selection``
+        ledger event, and drift therefore triggers *re-selection*, not
+        just recalibration.
     ledger:
         A :class:`~repro.stream.ledger.RunLedger`, a JSONL path, or
         ``None`` for an in-memory ledger.
@@ -401,10 +394,11 @@ class InSituController:
         self,
         decomposition: BlockDecomposition,
         field_specs: dict[str, FieldSpec] | None = None,
-        compressor: SZCompressor | None = None,
+        compressor: "Compressor | CompressorSpec | str | None" = None,
         settings: OptimizerSettings | None = None,
         backend: str | ExecutionBackend | None = None,
         *,
+        candidates: "list[CompressorSpec | str] | None" = None,
         ledger: RunLedger | str | os.PathLike | None = None,
         byte_budget: int | None = None,
         n_snapshots: int | None = None,
@@ -429,7 +423,15 @@ class InSituController:
         self.decomposition = decomposition
         self.field_specs = dict(field_specs or {})
         self.default_spec = default_spec or FieldSpec()
-        self.compressor = compressor or SZCompressor()
+        self.compressor = resolve_compressor(compressor)
+        self.candidates = (
+            None
+            if not candidates
+            else [
+                CompressorSpec.parse(c) if isinstance(c, str) else c
+                for c in candidates
+            ]
+        )
         self.settings = settings or OptimizerSettings()
         self.backend = SerialBackend() if backend is None else get_backend(backend)
         self.ledger = ledger if isinstance(ledger, RunLedger) else RunLedger(ledger)
@@ -450,6 +452,7 @@ class InSituController:
         if self.byte_budget is not None and n_snapshots is not None:
             self._make_governor(n_snapshots)
         self._states: dict[str, _FieldState] = {}
+        self._selections: dict[str, SelectionResult] = {}
         self._field_order: list[str] = []
         self._pending: set[str] = set()
         self._snapshot_index = 0
@@ -484,6 +487,11 @@ class InSituController:
         )
 
     @property
+    def selections(self) -> Mapping[str, SelectionResult]:
+        """Latest per-field compressor-selection outcomes (``candidates`` mode)."""
+        return MappingProxyType(dict(self._selections))
+
+    @property
     def governor(self) -> BudgetGovernor | None:
         return self._governor
 
@@ -511,11 +519,19 @@ class InSituController:
     def _ensure_started(self) -> None:
         if self._started:
             return
+        default_spec = spec_of(self.compressor)
         self.ledger.append(
             "run_start",
+            schema=LEDGER_SCHEMA_VERSION,
             shape=list(self.decomposition.shape),
             n_partitions=self.decomposition.n_partitions,
             byte_budget=self.byte_budget,
+            compressor=None if default_spec is None else default_spec.to_dict(),
+            candidates=(
+                None
+                if self.candidates is None
+                else [c.to_dict() for c in self.candidates]
+            ),
             settings={
                 "clamp_factor": self.settings.clamp_factor,
                 "normalization": self.settings.normalization,
@@ -560,19 +576,74 @@ class InSituController:
             ref = FieldReference(data)
             self._calibrate_field(name, data, ref, reason="initial")
 
+    def _field_compressor(
+        self,
+        name: str,
+        data: np.ndarray,
+        ref: FieldReference,
+        spec: FieldSpec,
+        eb_base: float,
+        reason: str,
+    ) -> tuple[Any, SelectionResult | None]:
+        """Resolve which compressor this field uses for this calibration.
+
+        Priority: candidate-slate selection (re-run on every
+        recalibration, so drift triggers *re-selection*) > the field
+        spec's pinned ``compressor`` > the controller default.
+        """
+        if self.candidates is not None:
+            selection = select_compressor(
+                data,
+                self.decomposition,
+                candidates=self.candidates,
+                field_spec=spec,
+                field=name,
+                eb_avg=eb_base,
+                reference=ref,
+                bank=RateModelBank(
+                    probe_mode=self.probe_mode,
+                    max_partitions=self.max_partitions,
+                    seed=self.seed,
+                ),
+                require_error_bounded=True,
+            )
+            self._selections[name] = selection
+            self.ledger.append(
+                "selection",
+                snapshot=self._snapshot_index,
+                field=name,
+                reason=reason,
+                eb_avg=selection.eb_avg,
+                chosen=selection.chosen.to_dict(),
+                verdicts=[v.to_dict() for v in selection.verdicts],
+            )
+            return selection.compressor, selection
+        if spec.compressor is not None:
+            return resolve_compressor(spec.compressor), None
+        return self.compressor, None
+
     def _calibrate_field(
         self, name: str, data: np.ndarray, ref: FieldReference, reason: str
     ) -> _FieldState:
         spec = self.spec_for(name)
         eb_base = derive_eb_budget(spec, ref)
-        calibration = calibrate_rate_model(
-            self.decomposition.partition_views(data),
-            compressor=self.compressor,
-            eb_scale=eb_base,
-            max_partitions=self.max_partitions,
-            seed=self.seed,
-            probe_mode=self.probe_mode,
+        compressor, selection = self._field_compressor(
+            name, data, ref, spec, eb_base, reason
         )
+        if selection is not None and selection.calibration is not None:
+            # The winning candidate was already calibrated at eb_base
+            # with the controller's probe settings during selection —
+            # reuse the fit instead of probing the field again.
+            calibration = selection.calibration
+        else:
+            calibration = calibrate_rate_model(
+                self.decomposition.partition_views(data),
+                compressor=compressor,
+                eb_scale=eb_base,
+                max_partitions=self.max_partitions,
+                seed=self.seed,
+                probe_mode=self.probe_mode,
+            )
         halo_params = derive_halo_params(spec, ref) if spec.halo_aware else None
         previous = self._states.get(name)
         if previous is not None:
@@ -585,13 +656,14 @@ class InSituController:
             calibration=calibration,
             pipeline=AdaptiveCompressionPipeline(
                 calibration.rate_model,
-                compressor=self.compressor,
+                compressor=compressor,
                 settings=self.settings,
                 backend=self.backend,
             ),
             eb_base=eb_base,
             halo_params=halo_params,
             detector=detector,
+            compressor_spec=spec_of(compressor),
         )
         self._states[name] = state
         if name not in self._field_order:
@@ -606,6 +678,11 @@ class InSituController:
             snapshot=self._snapshot_index,
             field=name,
             reason=reason,
+            spec=(
+                None
+                if state.compressor_spec is None
+                else state.compressor_spec.to_dict()
+            ),
             exponent=model.exponent,
             coef_alpha=model.coef_alpha,
             coef_beta=model.coef_beta,
@@ -727,6 +804,11 @@ class InSituController:
             snapshot=index,
             redshift=redshift,
             field=name,
+            spec=(
+                None
+                if state.compressor_spec is None
+                else state.compressor_spec.to_dict()
+            ),
             eb_base=state.eb_base,
             scale=scale,
             eb_avg=eb_avg,
@@ -813,6 +895,7 @@ class InSituController:
             eb_base=state.eb_base,
             scale=scale,
             eb_avg=eb_avg,
+            compressor_spec=state.compressor_spec,
             result=result if self.retain_results else None,
             predicted_bit_rate=predicted,
             achieved_bit_rate=achieved,
@@ -831,13 +914,18 @@ class InSituController:
 
 @dataclass(frozen=True)
 class ReplayedDecision:
-    """One re-derived per-(snapshot, field) decision."""
+    """One re-derived per-(snapshot, field) decision.
+
+    ``compressor`` is the recorded spec behind the decision — ``None``
+    for schema-v1 (PR 4-era) ledgers, which predate spec recording.
+    """
 
     snapshot_index: int
     redshift: float
     field: str
     eb_avg: float
     ebs: tuple[float, ...]
+    compressor: CompressorSpec | None = None
 
 
 def _replay_features(data: dict[str, Any]) -> list[PartitionFeatures]:
@@ -868,6 +956,11 @@ def replay_ledger(
     recorded decision and a :class:`~repro.stream.ledger.LedgerError`
     is raised on the first divergence (a tampered or corrupted ledger,
     or a non-deterministic controller, which would be a bug).
+
+    Schema compatibility: v2 ledgers additionally carry compressor specs
+    (surfaced on :attr:`ReplayedDecision.compressor`) and ``selection``
+    events (informational, skipped); v1 (PR 4-era) ledgers carry
+    neither and replay byte-for-byte unchanged.
     """
     if isinstance(source, RunLedger):
         events = source.events
@@ -955,6 +1048,15 @@ def replay_ledger(
                     field=name,
                     eb_avg=float(eb_avg),
                     ebs=ebs,
+                    # Schema v1 ledgers record no spec; v2 records one
+                    # (possibly null for spec-less instances).  Either
+                    # way it is informational — the bound arithmetic
+                    # above never touches it.
+                    compressor=(
+                        CompressorSpec.from_dict(d["spec"])
+                        if d.get("spec") is not None
+                        else None
+                    ),
                 )
             )
         elif event.kind == "outcome":

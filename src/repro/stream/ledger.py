@@ -41,22 +41,33 @@ import numpy as np
 
 __all__ = [
     "EVENT_KINDS",
+    "LEDGER_SCHEMA_VERSION",
     "LedgerError",
     "LedgerEvent",
     "RunLedger",
 ]
 
+#: Schema version a ``run_start`` event records as ``data["schema"]``.
+#: Version 1 (PR 4-era ledgers) predates the pluggable compressor
+#: backbone and carries no ``schema`` key; version 2 adds ``selection``
+#: events and the chosen compressor spec on calibration/decision events.
+#: Replay treats every spec field as informational, so version-1 ledgers
+#: still replay byte-for-byte.
+LEDGER_SCHEMA_VERSION = 2
+
 #: The event vocabulary, in the order a run emits them.  ``governor``
 #: arms the run-level byte-budget governor (recorded separately from
 #: ``run_start`` because the snapshot count may only become known when a
-#: sized stream is handed to ``run()``); ``calibration`` is the initial
-#: per-field model fit; ``recalibration`` a drift- or policy-triggered
-#: refit; ``decision`` the per-(snapshot, field) error bounds;
-#: ``outcome`` the achieved rate/quality; ``budget`` the governor's
-#: per-snapshot accounting.
+#: sized stream is handed to ``run()``); ``selection`` records a
+#: per-field compressor-selection outcome (candidate verdicts included;
+#: schema v2); ``calibration`` is the initial per-field model fit;
+#: ``recalibration`` a drift- or policy-triggered refit; ``decision``
+#: the per-(snapshot, field) error bounds; ``outcome`` the achieved
+#: rate/quality; ``budget`` the governor's per-snapshot accounting.
 EVENT_KINDS = (
     "run_start",
     "governor",
+    "selection",
     "calibration",
     "recalibration",
     "decision",

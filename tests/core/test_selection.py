@@ -1,0 +1,139 @@
+"""Per-field compressor selection: §2.2 reproduced as a runtime decision."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.api import CompressorSpec
+from repro.core.config import FieldSpec
+from repro.core.selection import (
+    CandidateVerdict,
+    SelectionResult,
+    default_candidates,
+    select_compressor,
+)
+from repro.models.calibration import RateModelBank
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSimulator
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    sim = NyxSimulator(shape=(16, 16, 16), box_size=16.0, seed=7, sigma_delta0=2.5)
+    return sim.snapshot(z=1.0)
+
+
+@pytest.fixture(scope="module")
+def dec():
+    return BlockDecomposition((16, 16, 16), blocks=2)
+
+
+class TestPaperArgument:
+    def test_sz_chosen_zfp_rejected_for_every_field(self, snapshot, dec):
+        """The acceptance criterion: at paper quality targets, SZ wins every
+        field and the fixed-rate comparator is rejected *quantified*."""
+        bank = RateModelBank(max_partitions=8)
+        for name, data in snapshot.fields.items():
+            result = select_compressor(
+                data, dec, field=name, bank=bank, max_partitions=8
+            )
+            assert result.chosen.family == "sz", name
+            zfp = result.verdict_for(CompressorSpec.zfp_like())
+            assert not zfp.eligible
+            # The violation is quantified, not just asserted.
+            assert zfp.max_abs_error is not None and zfp.max_abs_error > result.eb_avg
+            assert zfp.eb_violation == pytest.approx(
+                zfp.max_abs_error / result.eb_avg
+            )
+            assert zfp.eb_violation > 1.0
+            assert "cannot enforce" in zfp.reason
+
+    def test_chosen_verdict_has_calibration_and_prediction(self, snapshot, dec):
+        result = select_compressor(
+            snapshot["temperature"], dec, field="temperature", max_partitions=8
+        )
+        verdict = result.chosen_verdict
+        assert verdict.eligible
+        assert verdict.predicted_bit_rate > 0
+        assert verdict.calibration is not None
+        assert result.calibration is verdict.calibration
+
+
+class TestMechanics:
+    def test_bank_reused_across_fields(self, snapshot, dec):
+        bank = RateModelBank(max_partitions=8)
+        data = snapshot["temperature"]
+        first = select_compressor(data, dec, field="t", bank=bank, max_partitions=8)
+        again = select_compressor(data, dec, field="t", bank=bank, max_partitions=8)
+        # Same bank, same field, same spec -> the calibration is a cache hit.
+        assert again.calibration is first.calibration
+
+    def test_explicit_eb_avg_skips_budget_inversion(self, snapshot, dec):
+        result = select_compressor(
+            snapshot["temperature"], dec, eb_avg=123.0, max_partitions=8
+        )
+        assert result.eb_avg == 123.0
+
+    def test_high_rate_fixed_candidate_can_be_eligible(self, dec):
+        """A generous fixed rate that stays inside a loose bound is an
+        honest candidate — unless an error-bound guarantee is required."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(0, 1.0, (16, 16, 16))
+        loose = select_compressor(
+            data,
+            dec,
+            candidates=[CompressorSpec.sz(), CompressorSpec.zfp_like(rate=24.0)],
+            eb_avg=0.5,
+            max_partitions=8,
+        )
+        zfp = loose.verdict_for(
+            CompressorSpec.make("zfp_like", rate=24.0)
+        )
+        assert zfp.eligible
+        assert zfp.eb_violation is not None and zfp.eb_violation <= 1.0
+        strict = select_compressor(
+            data,
+            dec,
+            candidates=[CompressorSpec.sz(), CompressorSpec.zfp_like(rate=24.0)],
+            eb_avg=0.5,
+            max_partitions=8,
+            require_error_bounded=True,
+        )
+        assert not strict.verdict_for(
+            CompressorSpec.make("zfp_like", rate=24.0)
+        ).eligible
+        assert strict.chosen.family == "sz"
+
+    def test_no_eligible_candidate_raises_with_verdicts(self, snapshot, dec):
+        with pytest.raises(ValueError, match="no candidate"):
+            select_compressor(
+                snapshot["temperature"],
+                dec,
+                candidates=[CompressorSpec.zfp_like(rate=2.0)],
+                max_partitions=8,
+            )
+
+    def test_default_candidates_are_paper_comparison(self):
+        cands = default_candidates()
+        assert [c.family for c in cands] == ["sz", "zfp_like"]
+
+    def test_result_to_dict_is_json_ready(self, snapshot, dec):
+        import json
+
+        result = select_compressor(
+            snapshot["temperature"], dec, field="temperature", max_partitions=8
+        )
+        blob = json.dumps(result.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["chosen"]["family"] == "sz"
+        assert len(parsed["verdicts"]) == 2
+
+    def test_verdict_lookup_missing_spec(self, snapshot, dec):
+        result = select_compressor(
+            snapshot["temperature"], dec, max_partitions=8
+        )
+        assert isinstance(result, SelectionResult)
+        assert all(isinstance(v, CandidateVerdict) for v in result.verdicts)
+        with pytest.raises(KeyError):
+            result.verdict_for(CompressorSpec("sz_adaptive"))

@@ -88,6 +88,48 @@ class TestDriftGating:
         assert len(ctl.ledger.select("recalibration")) == 1
         assert len(ctl.ledger.select("calibration")) == 1
 
+    def test_drift_triggers_reselection_with_candidates(
+        self, stream_dec, base_snapshot
+    ):
+        """With a candidate slate, a drift-triggered refit re-runs the
+        compressor selection, not just the rate-model fit."""
+        name = "velocity_x"
+        data = base_snapshot[name]
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(data.ravel()).reshape(data.shape).copy()
+        base = _single_field(base_snapshot, name)
+        shifted = _single_field(base_snapshot, name, shuffled)
+
+        ctl = InSituController(
+            stream_dec,
+            max_partitions=8,
+            candidates=["sz", "zfp_like:rate=8"],
+            drift=DriftConfig(z_threshold=3.0, window=2, min_points=2, rate_sigma=0.1),
+        )
+        report = ctl.run(SnapshotSequence([base, base, shifted, shifted, shifted]))
+        assert report.n_recalibrations == 1
+        selections = ctl.ledger.select("selection")
+        # One selection at the initial calibration, one at the drift refit.
+        assert [e.data["reason"] for e in selections] == ["initial", "drift"]
+        assert all(e.data["chosen"]["family"] == "sz" for e in selections)
+        zfp_verdicts = [
+            v
+            for e in selections
+            for v in e.data["verdicts"]
+            if v["spec"]["family"] == "zfp_like"
+        ]
+        assert all(not v["eligible"] for v in zfp_verdicts)
+        assert all(v["eb_violation"] > 1.0 for v in zfp_verdicts)
+        # The decision events carry the selected spec throughout.
+        assert all(
+            e.data["spec"]["family"] == "sz"
+            for e in ctl.ledger.select("decision")
+        )
+        # Replay stays byte-for-byte with selections in the ledger.
+        from repro.stream.controller import replay_ledger as _replay
+
+        assert len(_replay(ctl.ledger.events)) == 5
+
     def test_always_policy_recalibrates_every_snapshot(
         self, stream_dec, base_snapshot
     ):

@@ -1,0 +1,155 @@
+"""Ledger schema compatibility across the compressor-backbone refactor.
+
+PR 4 ledgers predate compressor specs (schema v1: no ``schema`` key on
+``run_start``, no ``spec`` on calibration/decision events, no
+``selection`` events).  The frozen fixture in ``fixtures/pr4_ledger.jsonl``
+was written in exactly that format; it must keep replaying byte-for-byte
+forever.  Schema v2 ledgers — with specs recorded and mixed compressor
+configurations across fields — must round-trip through
+:func:`~repro.stream.controller.replay_ledger` with tamper detection
+intact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compression.api import CompressorSpec
+from repro.core.config import FieldSpec
+from repro.stream.controller import replay_ledger
+from repro.stream.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerError,
+    RunLedger,
+)
+from repro.stream.source import SimulatorStream
+
+FIXTURE = Path(__file__).parent / "fixtures" / "pr4_ledger.jsonl"
+
+
+class TestPR4Fixture:
+    def test_fixture_is_schema_v1(self):
+        events = RunLedger.load(FIXTURE).events
+        start = events[0]
+        assert start.kind == "run_start"
+        assert "schema" not in start.data
+        assert "compressor" not in start.data
+        assert all(e.kind != "selection" for e in events)
+        assert all(
+            "spec" not in e.data
+            for e in events
+            if e.kind in ("calibration", "recalibration", "decision")
+        )
+
+    def test_replays_byte_for_byte(self):
+        """verify=True re-runs the optimizer + governor and compares every
+        recomputed bound against the recorded one for exact equality —
+        the fixture replaying cleanly IS the byte-for-byte guarantee."""
+        decisions = replay_ledger(FIXTURE, verify=True)
+        recorded = [
+            e for e in RunLedger.load(FIXTURE).events if e.kind == "decision"
+        ]
+        assert len(decisions) == len(recorded) == 6
+        for dec, event in zip(decisions, recorded):
+            assert dec.ebs == tuple(float(x) for x in event.data["ebs"])
+            assert dec.eb_avg == float(event.data["eb_avg"])
+            # Spec-less ledgers surface no compressor identity.
+            assert dec.compressor is None
+
+    def test_fixture_tamper_detected(self, tmp_path):
+        lines = FIXTURE.read_text().splitlines()
+        tampered = []
+        for line in lines:
+            ev = json.loads(line)
+            if ev["kind"] == "decision" and not tampered:
+                ev["data"]["ebs"][0] *= 1.01
+                tampered.append(ev["seq"])
+            lines[ev["seq"]] = json.dumps(ev)
+        bad = tmp_path / "tampered.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(LedgerError, match="replay diverged"):
+            replay_ledger(bad, verify=True)
+
+
+@pytest.fixture(scope="module")
+def mixed_ledger_path(tmp_path_factory, stream_sim, stream_dec):
+    """A schema-v2 run with a different compressor pinned per field."""
+    from repro.stream.controller import InSituController
+
+    path = tmp_path_factory.mktemp("ledgers") / "mixed.jsonl"
+    ctl = InSituController(
+        stream_dec,
+        field_specs={
+            "baryon_density": FieldSpec(compressor="sz:codec=huffman"),
+            "temperature": FieldSpec(compressor="sz_adaptive"),
+        },
+        ledger=path,
+        max_partitions=8,
+    )
+    ctl.run(
+        SimulatorStream(
+            stream_sim, [2.0, 1.0], fields=["baryon_density", "temperature"]
+        )
+    )
+    ctl.close()
+    return path
+
+
+class TestMixedCompressorLedger:
+    def test_schema_v2_recorded(self, mixed_ledger_path):
+        events = RunLedger.load(mixed_ledger_path).events
+        assert events[0].data["schema"] == LEDGER_SCHEMA_VERSION
+        specs = {
+            e.data["field"]: e.data["spec"]["family"]
+            for e in events
+            if e.kind == "decision"
+        }
+        assert specs == {"baryon_density": "sz", "temperature": "sz_adaptive"}
+
+    def test_mixed_ledger_replays_with_specs(self, mixed_ledger_path):
+        decisions = replay_ledger(mixed_ledger_path, verify=True)
+        by_field = {d.field: d.compressor for d in decisions}
+        assert by_field["baryon_density"] == CompressorSpec.sz(codec="huffman")
+        assert by_field["temperature"].family == "sz_adaptive"
+
+    def test_mixed_ledger_tamper_detected(self, mixed_ledger_path, tmp_path):
+        lines = mixed_ledger_path.read_text().splitlines()
+        out = []
+        done = False
+        for line in lines:
+            ev = json.loads(line)
+            if ev["kind"] == "decision" and not done:
+                ev["data"]["eb_avg"] *= 2.0
+                done = True
+            out.append(json.dumps(ev))
+        bad = tmp_path / "tampered_mixed.jsonl"
+        bad.write_text("\n".join(out) + "\n")
+        with pytest.raises(LedgerError, match="replay diverged"):
+            replay_ledger(bad, verify=True)
+
+    def test_selection_events_replay_clean(self, stream_sim, stream_dec, tmp_path):
+        """A candidate-slate run writes ``selection`` events; replay skips
+        them and still verifies every decision."""
+        from repro.stream.controller import InSituController
+
+        path = tmp_path / "selected.jsonl"
+        ctl = InSituController(
+            stream_dec,
+            candidates=["sz", "zfp_like:rate=8"],
+            ledger=path,
+            max_partitions=8,
+        )
+        ctl.run(SimulatorStream(stream_sim, [2.0], fields=["temperature"]))
+        ctl.close()
+        events = RunLedger.load(path).events
+        assert any(e.kind == "selection" for e in events)
+        sel = next(e for e in events if e.kind == "selection")
+        assert sel.data["chosen"]["family"] == "sz"
+        verdicts = {v["spec"]["family"]: v for v in sel.data["verdicts"]}
+        assert not verdicts["zfp_like"]["eligible"]
+        assert verdicts["zfp_like"]["eb_violation"] > 1.0
+        decisions = replay_ledger(path, verify=True)
+        assert decisions and decisions[0].compressor.family == "sz"
