@@ -16,6 +16,7 @@ A small operational layer over the library for shell-driven workflows::
     python -m repro.cli list-compressors
     python -m repro.cli sweep --snapshot snap.npz --field temperature \
         --ebs 100,200 --compressor sz --compressor zfp_like:rate=8
+    python -m repro.cli lint src --format json
 
 Compressors are named by registry specs ``family[:key=value,...]``
 (``list-compressors`` shows the families).  The legacy ``--codec`` flag
@@ -398,6 +399,22 @@ def _cmd_list_compressors(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint engine is pure stdlib-AST and must stay
+    # usable even while the rest of the package is being refactored.
+    from repro.lint.cli import run as lint_run
+
+    return lint_run(
+        paths=args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        output=args.output,
+        list_rules=args.list_rules,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Adaptive in situ lossy compression toolkit"
@@ -575,6 +592,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered compressor families, capabilities and defaults",
     )
     lc.set_defaults(fn=_cmd_list_compressors)
+
+    ln = sub.add_parser(
+        "lint",
+        help="determinism & contract static analysis (see docs/lint-rules.md)",
+    )
+    ln.add_argument("paths", nargs="*", default=["src"])
+    ln.add_argument("--format", choices=("text", "json"), default="text")
+    ln.add_argument("--select", action="append", metavar="RULE")
+    ln.add_argument("--baseline", metavar="FILE")
+    ln.add_argument("--write-baseline", action="store_true")
+    ln.add_argument("--output", metavar="FILE")
+    ln.add_argument("--list-rules", action="store_true")
+    ln.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -29,6 +29,12 @@ __all__ = ["ZFPLikeCompressor", "ZFPBlockStream"]
 
 _BLOCK = 4
 _PRECISION = 28  # fixed-point fractional bits inside a block
+#: Stored magnitude width.  Fixed-point values are bounded by 2**_PRECISION,
+#: and each of the three lifting axes can double the high-band magnitude
+#: (|a - b| <= 2|a|max), so transform coefficients reach 2**(_PRECISION + 3).
+#: A narrower field silently clamps rare large coefficients, which is
+#: unbounded reconstruction error, not graceful truncation.
+_WIDTH = _PRECISION + 3
 
 
 def _s_transform_pairs(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -94,7 +100,7 @@ def _bit_allocation(rate: float) -> np.ndarray:
     bits = np.zeros(_BLOCK**3, dtype=np.int64)
     # Greedy rounds: sweep coefficients from low to high frequency, giving
     # each one bit per sweep, with low levels joining earlier sweeps.
-    max_bits = _PRECISION + 2
+    max_bits = _WIDTH
     done = False
     for sweep in range(max_bits):
         if done:
@@ -230,12 +236,12 @@ def _pack_coeffs(coeffs: np.ndarray, bits: np.ndarray) -> bytes:
 
     Layout per block: for every coefficient with ``b > 0`` bits, one sign
     bit followed by the ``b`` most significant of its magnitude's
-    ``_PRECISION + 2`` bits.
+    ``_WIDTH`` bits.
     """
     kept = bits > 0
     signs = (coeffs[:, kept] < 0).astype(np.uint8)
     mags = np.abs(coeffs[:, kept]).astype(np.uint64)
-    width = _PRECISION + 2
+    width = _WIDTH
     mags = np.minimum(mags, (1 << width) - 1)
 
     chunks: list[np.ndarray] = []
@@ -258,7 +264,7 @@ def _unpack_coeffs(payload: bytes, nblocks: int, bits: np.ndarray) -> np.ndarray
     per_block = int((kept_bits + 1).sum())
     raw = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=nblocks * per_block)
     mat = raw.reshape(nblocks, per_block)
-    width = _PRECISION + 2
+    width = _WIDTH
     coeffs = np.zeros((nblocks, len(bits)), dtype=np.int64)
     pos = 0
     kept_idx = np.flatnonzero(kept)

@@ -130,6 +130,7 @@ class CampaignReport:
                 ],
             },
             indent=indent,
+            sort_keys=True,
         )
 
     @property

@@ -8,7 +8,6 @@ module measures those same ratios on the local machine.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -16,6 +15,7 @@ import numpy as np
 from repro.compression.api import Compressor, CompressorSpec, resolve_compressor
 from repro.core.features import extract_features
 from repro.parallel.decomposition import BlockDecomposition
+from repro.util.timer import Timer
 
 __all__ = ["OverheadReport", "measure_overhead"]
 
@@ -68,10 +68,11 @@ def measure_overhead(
 
     def _time(fn) -> float:
         best = float("inf")
+        timer = Timer()
         for _ in range(repeats):
-            start = time.perf_counter()
-            fn()
-            best = min(best, time.perf_counter() - start)
+            with timer:
+                fn()
+            best = min(best, timer.elapsed)
         return best
 
     feature_time = _time(

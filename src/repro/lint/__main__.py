@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.lint``."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,139 @@
+"""Committed lint baseline for incremental adoption.
+
+A baseline file records the violations a repo has *agreed to carry* so
+the CI gate can fail on new ones only.  Entries key on
+``(rule, path, stripped line content)`` — stable under pure line-number
+drift, but the moment the flagged line is edited or deleted the entry
+stops matching and **expires loudly**: a stale entry fails the run until
+it is removed (``--write-baseline`` regenerates the file).  Baselines
+therefore only ever shrink; the end state is the empty baseline this
+repo ships.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.engine import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "BaselineError"]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file."""
+
+
+@dataclass(frozen=True, order=True)
+class BaselineEntry:
+    """One accepted violation: rule + file + the flagged line's content."""
+
+    rule: str
+    path: str
+    content: str
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.content)
+
+
+class Baseline:
+    """A set of accepted findings, loadable from / savable to JSON."""
+
+    def __init__(self, entries: "list[BaselineEntry] | None" = None) -> None:
+        self.entries: list[BaselineEntry] = sorted(entries or [])
+
+    def __len__(self) -> int:
+        return sum(e.count for e in self.entries)
+
+    # -- persistence -----------------------------------------------------
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            obj = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict) or not isinstance(obj.get("entries"), list):
+            raise BaselineError(f"{path}: expected an object with an 'entries' list")
+        entries = []
+        for raw in obj["entries"]:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        content=str(raw["content"]),
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(f"{path}: malformed entry {raw!r}") from exc
+        return cls(entries)
+
+    def save(self, path: "str | Path") -> None:
+        """Write the baseline canonically (sorted entries, sorted keys)."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "content": e.content,
+                    "count": e.count,
+                }
+                for e in sorted(self.entries)
+            ],
+        }
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        Path(path).write_text(text, encoding="utf-8")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        counts = Counter((f.rule, f.path, f.content) for f in findings)
+        return cls(
+            [
+                BaselineEntry(rule=rule, path=path, content=content, count=n)
+                for (rule, path, content), n in counts.items()
+            ]
+        )
+
+    # -- application -----------------------------------------------------
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], int, list[BaselineEntry]]:
+        """Split findings into (new, n_baselined, stale entries).
+
+        Each entry absorbs up to ``count`` matching findings; findings
+        beyond the budget are new.  Entries with leftover budget are
+        stale — their flagged lines no longer exist — and returned with
+        the unmatched remainder as their ``count``.
+        """
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key()] = budget.get(entry.key(), 0) + entry.count
+        new: list[Finding] = []
+        baselined = 0
+        for finding in sorted(findings):
+            key = (finding.rule, finding.path, finding.content)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = [
+            BaselineEntry(rule=rule, path=path, content=content, count=left)
+            for (rule, path, content), left in sorted(budget.items())
+            if left > 0
+        ]
+        return new, baselined, stale

@@ -1,0 +1,140 @@
+"""``python -m repro.lint`` — the determinism lint front end.
+
+Stable exit codes (the CI gate keys on them):
+
+- ``0`` — clean: no findings, no stale baseline entries,
+- ``1`` — violations found, or baseline entries whose flagged lines no
+  longer exist (remove them; baselines only shrink),
+- ``2`` — usage error (unknown rule, missing path, bad flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import iter_rules, run_lint
+from repro.lint.reporters import render_json, render_text
+
+__all__ = ["build_parser", "main", "run"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="determinism & contract static analysis for this repo",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is canonical: sorted keys, compact)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate --baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report here instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in iter_rules():
+        lines.append(f"{rule.code}  {rule.name:<20} {rule.summary}")
+    return "\n".join(lines)
+
+
+def run(
+    paths: "list[str] | None" = None,
+    fmt: str = "text",
+    select: "list[str] | None" = None,
+    baseline: "str | None" = None,
+    write_baseline: bool = False,
+    output: "str | None" = None,
+    list_rules: bool = False,
+) -> int:
+    """Programmatic entry point shared by ``repro lint`` and ``-m``."""
+    if list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+    paths = paths or ["src"]
+    if write_baseline and not baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        loaded = Baseline.load(baseline) if baseline else None
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        if write_baseline:
+            result = run_lint(paths, select=select, baseline=None)
+            Baseline.from_findings(result.findings).save(baseline)
+            print(
+                f"wrote {baseline}: {len(result.findings)} accepted finding(s) "
+                f"from {result.files_checked} files"
+            )
+            return EXIT_CLEAN
+        result = run_lint(paths, select=select, baseline=loaded)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = render_json(result) if fmt == "json" else render_text(result)
+    if output:
+        Path(output).write_text(report + "\n", encoding="utf-8")
+        summary = "ok" if result.ok else f"{len(result.findings)} finding(s)"
+        print(f"{summary}; report written to {output}")
+    else:
+        print(report)
+    return EXIT_CLEAN if result.ok else EXIT_FINDINGS
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(
+        paths=args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+        output=args.output,
+        list_rules=args.list_rules,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

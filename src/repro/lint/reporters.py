@@ -1,0 +1,72 @@
+"""Lint reporters: human text and canonical machine JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+#: Version of the JSON report schema (CI artifacts key on it).
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """``path:line:col: CODE message`` lines plus a one-line summary."""
+    lines = [
+        f"{f.location()}: {f.rule} {f.message}" for f in result.findings
+    ]
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry {entry.rule} "
+            f"(x{entry.count}) — flagged line {entry.content!r} no longer "
+            "exists; remove it from the baseline (or --write-baseline)"
+        )
+    noise = []
+    if result.suppressed:
+        noise.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        noise.append(f"{result.baselined} baselined")
+    tail = f" ({', '.join(noise)})" if noise else ""
+    if result.ok:
+        lines.append(f"ok: {result.files_checked} files clean{tail}")
+    else:
+        lines.append(
+            f"FAILED: {len(result.findings)} finding(s), "
+            f"{len(result.stale_baseline)} stale baseline entr(y/ies) "
+            f"in {result.files_checked} files{tail}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Canonical JSON report (sorted keys — the linter lints itself)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "content": f.content,
+            }
+            for f in result.findings
+        ],
+        "stale_baseline": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "content": e.content,
+                "count": e.count,
+            }
+            for e in result.stale_baseline
+        ],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

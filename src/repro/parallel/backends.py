@@ -32,7 +32,6 @@ import math
 import multiprocessing as mp
 import os
 import pickle
-import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -57,7 +56,7 @@ from repro.core.optimizer import (
 from repro.models.rate_model import RateModel
 from repro.parallel.decomposition import BlockDecomposition
 from repro.parallel.executor import run_spmd
-from repro.util.timer import TimingBreakdown
+from repro.util.timer import Timer, TimingBreakdown
 
 __all__ = [
     "SnapshotTask",
@@ -341,7 +340,7 @@ def _attach_shm(name: str, shape: tuple[int, ...], dtype: str):
             # inherited from the parent (fork); a dead one means our
             # register below will lazily start a tracker we own.
             _TRACKER_OWNED = getattr(_resource_tracker, "_fd", None) is None
-        except Exception:  # pragma: no cover - tracker layout differs
+        except (ImportError, AttributeError):  # pragma: no cover - tracker layout differs
             _TRACKER_OWNED = False
     shm = shared_memory.SharedMemory(name=name)
     return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
@@ -367,7 +366,7 @@ def _release_shm(shm: shared_memory.SharedMemory) -> None:
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
-        except Exception:  # pragma: no cover - tracker layout differs
+        except (ImportError, AttributeError, OSError):  # pragma: no cover - tracker layout differs
             pass
 
 
@@ -382,15 +381,15 @@ def _features_task(
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
         t_boundary, reference_eb = halo_args if halo_args else (None, 1.0)
-        start = time.perf_counter()
-        feats = [
-            extract_features(
-                arr[slices], rank=rank, t_boundary=t_boundary,
-                reference_eb=reference_eb,
-            )
-            for rank, slices in items
-        ]
-        return feats, time.perf_counter() - start
+        with Timer() as timer:
+            feats = [
+                extract_features(
+                    arr[slices], rank=rank, t_boundary=t_boundary,
+                    reference_eb=reference_eb,
+                )
+                for rank, slices in items
+            ]
+        return feats, timer.elapsed
     finally:
         del arr
         _release_shm(shm)
@@ -406,13 +405,13 @@ def _compress_task(
     """Pool worker: compress a batch of partitions (slices, eb)."""
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
-        start = time.perf_counter()
-        blocks = _pooled_compressor(compressor_blob).compress_many(
-            [arr[slices] for slices, _ in items],
-            [eb for _, eb in items],
-            workspace=_WORKER_WORKSPACE,
-        )
-        return blocks, time.perf_counter() - start
+        with Timer() as timer:
+            blocks = _pooled_compressor(compressor_blob).compress_many(
+                [arr[slices] for slices, _ in items],
+                [eb for _, eb in items],
+                workspace=_WORKER_WORKSPACE,
+            )
+        return blocks, timer.elapsed
     finally:
         del arr
         _release_shm(shm)
@@ -517,7 +516,7 @@ class ProcessBackend(ExecutionBackend):
         byte for byte (codec levels and custom codecs included)."""
         try:
             return pickle.dumps(comp)
-        except Exception as exc:
+        except (pickle.PicklingError, TypeError, AttributeError, ValueError) as exc:
             raise ValueError(
                 f"ProcessBackend requires a picklable compressor; "
                 f"{comp!r} cannot be serialized for the worker pool"

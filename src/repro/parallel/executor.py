@@ -46,7 +46,7 @@ def run_spmd(
         comm = ThreadComm(group, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - propagate to caller
+        except BaseException as exc:  # noqa: BLE001  # repro-lint: disable=RL007 - cross-thread propagation: recorded and re-raised by the caller after join()
             errors.append((rank, exc))
             group.barrier.abort()
 

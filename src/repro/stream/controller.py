@@ -299,6 +299,7 @@ class StreamReport:
                 ],
             },
             indent=2,
+            sort_keys=True,
         )
 
 
@@ -699,7 +700,11 @@ class InSituController:
 
     def _exponent_mean(self) -> float:
         exps = [self._states[f].calibration.rate_model.exponent for f in self._field_order]
-        return sum(exps) / len(exps)
+        # This left-fold is FROZEN: ledgers record governor decisions
+        # derived from it, and replay (which repeats the identical
+        # expression below) must reproduce them bitwise.  Switching to
+        # math.fsum would orphan every ledger written before the change.
+        return sum(exps) / len(exps)  # repro-lint: disable=RL006
 
     # -- streaming -------------------------------------------------------
 
@@ -1065,7 +1070,8 @@ def replay_ledger(
             if governor is None:
                 raise LedgerError("budget event without a governed run_start")
             exps = [models[f].exponent for f in field_order]
-            exponent_mean = sum(exps) / len(exps)
+            # Must repeat _exponent_mean's exact (frozen) arithmetic.
+            exponent_mean = sum(exps) / len(exps)  # repro-lint: disable=RL006
             if verify and pending_bytes != int(d["snapshot_bytes"]):
                 raise _mismatch(
                     event, "snapshot bytes", pending_bytes, d["snapshot_bytes"]

@@ -119,7 +119,7 @@ class DriftDetector:
         n = len(self._residuals)
         if n == 0:
             return 0.0
-        mean = sum(self._residuals) / n
+        mean = math.fsum(self._residuals) / n
         return mean * math.sqrt(n) / self.config.rate_sigma
 
     def update_rate(self, predicted_bitrate: float, achieved_bitrate: float) -> DriftSignal | None:

@@ -27,6 +27,11 @@ Design rules:
   ``repr``-precision), which is what makes bitwise replay possible.
 - **Dependency-free format.**  Plain JSON lines; numpy scalars/arrays
   are converted to Python numbers/lists on append.
+- **Canonical bytes.**  Lines are written with sorted keys and compact
+  separators so the serialized form of an event is a pure function of
+  its content — the precondition for the planned hash-chained ledger.
+  Reading tolerates any key order/whitespace, so ledgers written before
+  canonicalization still load and replay byte-for-byte.
 """
 
 from __future__ import annotations
@@ -105,7 +110,20 @@ class LedgerEvent:
     data: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps({"seq": self.seq, "kind": self.kind, "data": self.data})
+        """Canonical serialization: sorted keys, compact separators.
+
+        The byte layout is part of the ledger contract — the ROADMAP's
+        hash-chain upgrade hashes these exact bytes, so a pure refactor
+        must not be able to reorder them.  Reading is key-order
+        agnostic (``json.loads``), which keeps pre-canonical ledgers
+        (PR 4/5 era, ``{"seq": ..., "kind": ..., "data": ...}`` order
+        with spaces) loading and replaying unchanged.
+        """
+        return json.dumps(
+            {"seq": self.seq, "kind": self.kind, "data": self.data},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
 
     @classmethod
     def from_json(cls, line: str) -> "LedgerEvent":

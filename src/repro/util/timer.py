@@ -8,6 +8,7 @@ pipeline can report exactly that ratio.
 
 from __future__ import annotations
 
+import math
 import time
 from collections import defaultdict
 from collections.abc import Iterator
@@ -73,7 +74,9 @@ class TimingBreakdown:
 
     @property
     def total(self) -> float:
-        return sum(self.totals.values())
+        # fsum: exactly rounded, so the total is independent of the
+        # order ranks/phases merged in — sum() would drift by an ulp.
+        return math.fsum(self.totals.values())
 
     def fraction(self, name: str) -> float:
         """Share of total time spent in ``name`` (0 if nothing recorded)."""

@@ -1,0 +1,103 @@
+"""Baseline semantics: absorb known findings, expire loudly, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, BaselineError, run_lint
+
+BAD = "import json\ns = json.dumps({'a': 1})\n"
+CLEAN = "import json\ns = json.dumps({'a': 1}, sort_keys=True)\n"
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestApply:
+    def test_baselined_finding_is_absorbed(self, tmp_path):
+        _write(tmp_path, "m.py", BAD)
+        first = run_lint([tmp_path])
+        baseline = Baseline.from_findings(first.findings)
+        result = run_lint([tmp_path], baseline=baseline)
+        assert result.ok
+        assert result.baselined == 1
+        assert result.findings == []
+
+    def test_new_finding_still_fails(self, tmp_path):
+        module = _write(tmp_path, "m.py", BAD)
+        baseline = Baseline.from_findings(run_lint([tmp_path]).findings)
+        module.write_text(BAD + "t = json.dumps({'b': 2})\n")
+        result = run_lint([tmp_path], baseline=baseline)
+        assert not result.ok
+        assert result.baselined == 1
+        assert len(result.findings) == 1
+        assert result.findings[0].content == "t = json.dumps({'b': 2})"
+
+    def test_entry_expires_loudly_when_line_disappears(self, tmp_path):
+        module = _write(tmp_path, "m.py", BAD)
+        baseline = Baseline.from_findings(run_lint([tmp_path]).findings)
+        module.write_text(CLEAN)
+        result = run_lint([tmp_path], baseline=baseline)
+        assert result.findings == []  # the violation is genuinely gone
+        assert len(result.stale_baseline) == 1  # ...but the debt record remains
+        assert not result.ok  # and that fails the run
+        stale = result.stale_baseline[0]
+        assert stale.rule == "RL004"
+        assert "json.dumps" in stale.content
+
+    def test_entry_survives_pure_line_drift(self, tmp_path):
+        module = _write(tmp_path, "m.py", BAD)
+        baseline = Baseline.from_findings(run_lint([tmp_path]).findings)
+        module.write_text("# a new leading comment\n" + BAD)
+        result = run_lint([tmp_path], baseline=baseline)
+        assert result.ok and result.baselined == 1
+
+    def test_count_budget(self, tmp_path):
+        _write(tmp_path, "m.py", "import json\n" + "s = json.dumps({'a': 1})\n" * 2)
+        findings = run_lint([tmp_path]).findings
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings[:1])  # budget of one
+        result = run_lint([tmp_path], baseline=baseline)
+        assert result.baselined == 1
+        assert len(result.findings) == 1
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        _write(tmp_path, "m.py", BAD)
+        baseline = Baseline.from_findings(run_lint([tmp_path]).findings)
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == baseline.entries
+        assert len(loaded) == 1
+
+    def test_save_is_canonical(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline(
+            [
+                BaselineEntry(rule="RL004", path="b.py", content="x"),
+                BaselineEntry(rule="RL001", path="a.py", content="y"),
+            ]
+        ).save(path)
+        payload = json.loads(path.read_text())
+        assert [e["rule"] for e in payload["entries"]] == ["RL001", "RL004"]
+        assert payload["version"] == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+        bad.write_text('{"entries": [{"rule": "RL004"}]}')
+        with pytest.raises(BaselineError, match="malformed entry"):
+            Baseline.load(bad)

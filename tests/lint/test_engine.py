@@ -1,0 +1,147 @@
+"""Engine behaviour: suppressions, alias resolution, parse errors, walking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    PARSE_ERROR,
+    Finding,
+    iter_python_files,
+    lint_source,
+    run_lint,
+)
+from repro.lint.engine import ModuleContext, suppressed_rules
+import ast
+
+
+class TestSuppressions:
+    PREFIX = "import json, time\n"
+    LINE = "s = json.dumps({'t': time.time()})"
+
+    def test_without_pragma_both_rules_fire(self):
+        src = self.PREFIX + self.LINE + "\n"
+        assert sorted(f.rule for f in lint_source(src)) == ["RL004", "RL005"]
+
+    def test_disable_silences_exactly_one_rule(self):
+        src = self.PREFIX + self.LINE + "  # repro-lint: disable=RL005\n"
+        assert [f.rule for f in lint_source(src)] == ["RL004"]
+
+    def test_disable_list_silences_both(self):
+        src = self.PREFIX + self.LINE + "  # repro-lint: disable=RL004, RL005\n"
+        assert lint_source(src) == []
+
+    def test_disable_on_other_line_does_not_apply(self):
+        src = (
+            "import json\n"
+            "# repro-lint: disable=RL004\n"
+            "s = json.dumps({'a': 1})\n"
+        )
+        assert [f.rule for f in lint_source(src)] == ["RL004"]
+
+    def test_disable_other_rule_does_not_apply(self):
+        src = "import json\ns = json.dumps({})  # repro-lint: disable=RL001\n"
+        assert [f.rule for f in lint_source(src)] == ["RL004"]
+
+    def test_parser(self):
+        assert suppressed_rules("x = 1  # repro-lint: disable=RL001,RL002") == {
+            "RL001",
+            "RL002",
+        }
+        assert suppressed_rules("x = 1  # just a comment") == frozenset()
+
+
+class TestAliasResolution:
+    def _ctx(self, src: str) -> ModuleContext:
+        return ModuleContext("m.py", ast.parse(src), src)
+
+    def _resolve_last_call(self, src: str) -> "str | None":
+        ctx = self._ctx(src)
+        calls = [n for n in ast.walk(ctx.tree) if isinstance(n, ast.Call)]
+        return ctx.resolve(calls[-1].func)
+
+    def test_import_as(self):
+        assert (
+            self._resolve_last_call("import numpy as np\nnp.random.rand()\n")
+            == "numpy.random.rand"
+        )
+
+    def test_from_import_as(self):
+        assert (
+            self._resolve_last_call("from numpy import random as nr\nnr.rand()\n")
+            == "numpy.random.rand"
+        )
+
+    def test_submodule_import_binds_root(self):
+        assert (
+            self._resolve_last_call("import os.path\nos.listdir('.')\n")
+            == "os.listdir"
+        )
+
+    def test_local_names_resolve_to_none(self):
+        assert self._resolve_last_call("def f(p):\n    p.glob('*')\n") is None
+
+    def test_relative_import_never_matches_absolute(self):
+        src = "from .sz import SZCompressor\nSZCompressor()\n"
+        resolved = self._resolve_last_call(src)
+        assert resolved == ".sz.SZCompressor"  # leading dot keeps it distinct
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule == PARSE_ERROR
+        assert findings[0].path == "bad.py"
+
+    def test_parse_error_cannot_be_suppressed(self):
+        findings = lint_source("def broken(:  # repro-lint: disable=E001\n")
+        assert [f.rule for f in findings] == [PARSE_ERROR]
+
+
+class TestFileWalking:
+    def test_sorted_dedup_and_skips(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        hidden = tmp_path / ".hidden"
+        hidden.mkdir()
+        (hidden / "h.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "c.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path, tmp_path / "a.py"])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "nope"])
+
+    def test_run_lint_counts_and_sorts(self, tmp_path):
+        (tmp_path / "z.py").write_text("import json\njson.dumps({})\n")
+        (tmp_path / "a.py").write_text(
+            "import json\njson.dumps({})  # repro-lint: disable=RL004\n"
+        )
+        result = run_lint([tmp_path])
+        assert result.files_checked == 2
+        assert result.suppressed == 1
+        assert [f.rule for f in result.findings] == ["RL004"]
+        assert result.findings[0].path.endswith("z.py")
+        assert not result.ok
+
+
+def test_unknown_select_code_raises():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint_source("x = 1\n", select=["RL999"])
+
+
+def test_select_restricts_rules():
+    src = "import json, time\njson.dumps({})\nt = time.time()\n"
+    assert [f.rule for f in lint_source(src, select=["RL005"])] == ["RL005"]
+
+
+def test_findings_are_ordered_and_located():
+    src = "import json\ns = json.dumps({})\n"
+    (finding,) = lint_source(src, path="p.py")
+    assert isinstance(finding, Finding)
+    assert finding.location() == "p.py:2:5"
+    assert finding.content == "s = json.dumps({})"

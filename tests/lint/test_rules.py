@@ -1,0 +1,205 @@
+"""Per-rule true-positive / false-positive coverage.
+
+Every shipped rule has at least one snippet it must flag and one
+closely-related snippet it must not; the seeded regression snippets at
+the bottom pin the known hazard classes to exactly the intended rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import iter_rules, lint_source
+
+
+def codes(source: str, path: str = "src/repro/fake/mod.py") -> list[str]:
+    return [f.rule for f in lint_source(source, path=path)]
+
+
+# Each case: (rule code, flagged snippet, clean sibling snippet).
+CASES = [
+    (
+        "RL001",
+        "import pathlib\nfiles = list(pathlib.Path('.').glob('*.npz'))\n",
+        "import pathlib\nfiles = sorted(pathlib.Path('.').glob('*.npz'))\n",
+    ),
+    (
+        "RL001",
+        "import os\nfor name in os.listdir('.'):\n    print(name)\n",
+        "import os\nfor name in sorted(os.listdir('.')):\n    print(name)\n",
+    ),
+    (
+        "RL002",
+        "fields = list({'temperature', 'baryon_density'})\n",
+        "fields = sorted({'temperature', 'baryon_density'})\n",
+    ),
+    (
+        "RL002",
+        "for f in {'a', 'b'}:\n    print(f)\n",
+        "ok = 'a' in {'a', 'b'}\n",  # membership is order-insensitive
+    ),
+    (
+        "RL003",
+        "import numpy as np\nnoise = np.random.normal(size=4)\n",
+        "from repro.util.rng import default_rng\n"
+        "noise = default_rng(0).normal(size=4)\n",
+    ),
+    (
+        "RL003",
+        "import random\nx = random.random()\n",
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    ok = isinstance(seed, np.random.Generator)\n",  # type check, no call
+    ),
+    (
+        "RL004",
+        "import json\ns = json.dumps({'seq': 1})\n",
+        "import json\ns = json.dumps({'seq': 1}, sort_keys=True)\n",
+    ),
+    (
+        "RL005",
+        "import time\nstamp = time.perf_counter()\n",
+        "from repro.util.timer import Timer\nwith Timer() as t:\n    pass\n",
+    ),
+    (
+        "RL006",
+        "def mean(xs):\n    return sum(xs) / len(xs)\n",
+        "import math\ndef mean(xs):\n    return math.fsum(xs) / len(xs)\n",
+    ),
+    (
+        "RL006",
+        "def total(d):\n    return sum(d.values())\n",
+        "def total(blocks):\n    return sum(b.nbytes for b in blocks)\n",  # int sum
+    ),
+    (
+        "RL007",
+        "try:\n    pass\nexcept Exception:\n    pass\n",
+        "try:\n    pass\nexcept (ImportError, OSError):\n    pass\n",
+    ),
+    (
+        "RL007",
+        "try:\n    pass\nexcept:\n    pass\n",
+        # Broad but transparently re-raised: allowed.
+        "try:\n    pass\nexcept Exception:\n    raise\n",
+    ),
+    (
+        "RL008",
+        "def run(fields=[]):\n    return fields\n",
+        "def run(fields=None):\n    return [] if fields is None else fields\n",
+    ),
+    (
+        "RL009",
+        "from repro.compression.sz import SZCompressor\n"
+        "comp = SZCompressor(codec='zlib')\n",
+        "from repro.compression.api import resolve_compressor\n"
+        "comp = resolve_compressor('sz:codec=zlib')\n",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "code,bad,good",
+    CASES,
+    ids=[f"{code}-{i}" for i, (code, _, _) in enumerate(CASES)],
+)
+def test_true_positive_and_false_positive(code, bad, good):
+    assert code in codes(bad), f"{code} missed its true positive"
+    assert code not in codes(good), f"{code} flagged its clean sibling"
+
+
+class TestSeededHazardClasses:
+    """The known hazard classes hit exactly the intended rule."""
+
+    def test_unsorted_glob_is_rl001_only(self):
+        snippet = (
+            "from pathlib import Path\n"
+            "paths = [p.name for p in Path('run').glob('snapshot_*.npz')]\n"
+        )
+        assert codes(snippet) == ["RL001"]
+
+    def test_global_rng_is_rl003_only(self):
+        snippet = "import numpy as np\nfield = np.random.rand(16, 16, 16)\n"
+        assert codes(snippet) == ["RL003"]
+
+    def test_noncanonical_json_is_rl004_only(self):
+        snippet = (
+            "import json\n"
+            "def to_json(event):\n"
+            "    return json.dumps({'seq': event.seq, 'data': event.data})\n"
+        )
+        assert codes(snippet) == ["RL004"]
+
+
+class TestRuleEdges:
+    def test_rl001_aliased_glob_module(self):
+        assert "RL001" in codes("import glob as g\nnames = list(g.glob('*.py'))\n")
+
+    def test_rl001_order_insensitive_consumers_ok(self):
+        src = "import os\nn = len(os.listdir('.'))\nall_py = set(os.listdir('.'))\n"
+        assert codes(src) == []
+
+    def test_rl002_join_and_starred(self):
+        assert "RL002" in codes("s = ','.join({'a', 'b'})\n")
+        assert "RL002" in codes("def f(*a):\n    pass\nf(*{'a', 'b'})\n")
+
+    def test_rl002_listcomp_over_set(self):
+        assert "RL002" in codes("xs = [x for x in {'a', 'b'}]\n")
+
+    def test_rl003_from_import_alias(self):
+        assert "RL003" in codes("from numpy import random as nr\nx = nr.rand(3)\n")
+        assert "RL003" in codes("from random import shuffle\nshuffle([1, 2])\n")
+
+    def test_rl003_exempt_in_util_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert codes(src, path="src/repro/util/rng.py") == []
+        assert codes(src) == ["RL003"]
+
+    def test_rl004_sort_keys_must_be_literal_true(self):
+        assert "RL004" in codes("import json\njson.dumps({}, sort_keys=False)\n")
+        flagged = codes("import json\njson.dumps({}, sort_keys=flag)\n")
+        assert "RL004" in flagged  # non-literal: cannot prove canonical
+
+    def test_rl004_dynamic_kwargs_skipped(self):
+        assert codes("import json\njson.dumps({}, **kw)\n") == []
+
+    def test_rl005_exempt_in_util_timer(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert codes(src, path="src/repro/util/timer.py") == []
+
+    def test_rl006_mean_over_attribute(self):
+        src = "class A:\n    def m(self):\n        return sum(self._r) / 3\n"
+        assert "RL006" in codes(src)
+
+    def test_rl006_float_elements_in_genexp(self):
+        assert "RL006" in codes("t = sum(x / 2 for x in xs)\n")
+        assert codes("t = sum(len(x) for x in xs)\n") == []
+
+    def test_rl007_tuple_containing_exception(self):
+        assert "RL007" in codes(
+            "try:\n    pass\nexcept (ValueError, Exception):\n    pass\n"
+        )
+
+    def test_rl008_kwonly_and_call_defaults(self):
+        assert "RL008" in codes("def f(*, xs=list()):\n    pass\n")
+        assert "RL008" in codes("g = lambda xs={}: xs\n")
+        assert codes("def f(xs=()):\n    pass\n") == []  # tuple is immutable
+
+    def test_rl009_exempt_inside_compression_package(self):
+        src = (
+            "from repro.compression.sz import SZCompressor\n"
+            "comp = SZCompressor()\n"
+        )
+        assert codes(src, path="src/repro/compression/api.py") == []
+        assert codes(src, path="src/repro/core/selection.py") == ["RL009"]
+
+    def test_rl009_local_class_of_same_name_ok(self):
+        src = "class SZCompressor:\n    pass\ncomp = SZCompressor()\n"
+        assert codes(src) == []
+
+
+def test_every_rule_has_metadata_and_examples():
+    rules = iter_rules()
+    assert len(rules) >= 8
+    for rule in rules:
+        assert rule.code and rule.name and rule.summary and rule.rationale
+        assert rule.__doc__ and "Bad::" in rule.__doc__ and "Good::" in rule.__doc__
