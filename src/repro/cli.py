@@ -275,16 +275,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.config import FieldSpec
+    from repro.resilience import RetryPolicy
     from repro.stream import (
         DirectoryStream,
         DriftConfig,
         InSituController,
+        RunLedger,
         SimulatorStream,
         replay_ledger,
     )
 
     if args.replay is not None:
-        decisions = replay_ledger(args.replay)
+        # recover=True tolerates (and reports) a torn final line without
+        # modifying the file — replaying a crashed run's ledger works.
+        source = RunLedger.load(args.replay, recover=True)
+        if source.recovered_tail is not None:
+            tail = source.recovered_tail
+            print(
+                f"torn final line ignored: {tail['truncated_bytes']} bytes "
+                f"after byte offset {tail['valid_bytes']} "
+                f"({tail['valid_events']} valid events kept)"
+            )
+        decisions = replay_ledger(source)
         rows = [
             [d.snapshot_index, d.redshift, d.field, d.eb_avg, min(d.ebs), max(d.ebs)]
             for d in decisions
@@ -302,6 +314,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
         return 0
 
+    retry = (
+        None
+        if args.max_retries is None
+        else RetryPolicy(max_attempts=args.max_retries)
+    )
     fields = args.fields.split(",") if args.fields else None
     if args.simulate:
         sim = NyxSimulator(
@@ -311,30 +328,53 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         stream = SimulatorStream(sim, schedule, fields=fields)
         shape = sim.shape
     elif args.dir is not None:
-        stream = DirectoryStream(args.dir, fields=fields)
+        stream = DirectoryStream(args.dir, fields=fields, retry=retry)
         shape = stream.shape
     else:
         print("stream: need a source (--dir or --simulate) or --replay", file=sys.stderr)
         return 2
 
-    specs = [CompressorSpec.parse(c) for c in (args.compressor or [])]
-    controller = InSituController(
-        BlockDecomposition(shape, blocks=args.blocks),
-        backend=args.backend,
-        compressor=specs[0] if len(specs) == 1 else None,
-        candidates=specs if len(specs) > 1 else None,
-        ledger=args.ledger,
-        byte_budget=args.budget_bytes,
-        drift=DriftConfig(
-            z_threshold=args.z_threshold,
-            window=args.drift_window,
-            min_points=args.drift_min_points,
-        ),
-        recalibrate=args.recalibrate,
-        probe_mode=args.probe_mode,
-        default_spec=FieldSpec(spectrum_tolerance=args.tolerance),
-        retain_results=False,  # stream accounting only: O(1) memory
-    )
+    if args.resume:
+        if not args.ledger:
+            print("stream: --resume requires --ledger", file=sys.stderr)
+            return 2
+        # Run settings (drift, budget, compressor, candidates, ...) come
+        # from the ledger's run_start event, not from the flags above;
+        # only process-local choices are taken from the command line.
+        controller = InSituController.resume(
+            args.ledger,
+            backend=args.backend,
+            default_spec=FieldSpec(spectrum_tolerance=args.tolerance),
+            retry=retry,
+            fallback_compressor=args.fallback_compressor,
+            fsync_ledger=args.fsync_ledger,
+            seed=args.seed,
+            retain_results=False,
+        )
+        done = controller.report.n_snapshots
+        print(f"resuming at snapshot {done}/{len(stream)} (ledger: {args.ledger})")
+    else:
+        specs = [CompressorSpec.parse(c) for c in (args.compressor or [])]
+        controller = InSituController(
+            BlockDecomposition(shape, blocks=args.blocks),
+            backend=args.backend,
+            compressor=specs[0] if len(specs) == 1 else None,
+            candidates=specs if len(specs) > 1 else None,
+            ledger=args.ledger,
+            byte_budget=args.budget_bytes,
+            drift=DriftConfig(
+                z_threshold=args.z_threshold,
+                window=args.drift_window,
+                min_points=args.drift_min_points,
+            ),
+            recalibrate=args.recalibrate,
+            probe_mode=args.probe_mode,
+            default_spec=FieldSpec(spectrum_tolerance=args.tolerance),
+            retain_results=False,  # stream accounting only: O(1) memory
+            retry=retry,
+            fallback_compressor=args.fallback_compressor,
+            fsync_ledger=args.fsync_ledger,
+        )
     try:
         report = controller.run(stream)
     except (UnsupportedCapabilityError, ValueError) as exc:
@@ -361,6 +401,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(
             f"budget {report.byte_budget} bytes: "
             f"{100.0 * report.budget_utilization:.1f}% used"
+        )
+    if report.n_retries or report.n_recoveries or report.n_degradations:
+        degraded = (
+            f" (degraded: {','.join(report.degraded_fields)})"
+            if report.degraded_fields
+            else ""
+        )
+        print(
+            f"resilience: {report.n_retries} retrie(s), "
+            f"{report.n_recoveries} ledger recover(ies), "
+            f"{report.n_degradations} degradation(s){degraded}"
         )
     if args.ledger:
         print(f"ledger: {args.ledger} ({len(controller.ledger)} events)")
@@ -583,7 +634,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay",
         default=None,
         help="replay+verify an existing ledger instead of streaming "
-        "(reads no field data)",
+        "(reads no field data; tolerates and reports a torn final line)",
+    )
+    st.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from --ledger: a torn final line "
+        "is truncated, completed snapshots are skipped, and the rest of "
+        "the stream produces decisions identical to an uninterrupted run",
+    )
+    st.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry transient failures (worker crashes, snapshot-load "
+        "errors, ledger-append errors) up to N attempts per site with "
+        "exponential backoff; default is fail-fast",
+    )
+    st.add_argument(
+        "--fallback-compressor",
+        default=None,
+        help="compressor spec a field degrades to when its retries are "
+        "exhausted (the field is quarantined onto it and the stream "
+        "continues); default is to abort the run",
+    )
+    st.add_argument(
+        "--fsync-ledger",
+        action="store_true",
+        help="fsync every ledger append (crash-safety against power loss, "
+        "one disk sync per event)",
     )
     st.set_defaults(fn=_cmd_stream)
 

@@ -25,6 +25,7 @@ __all__ = [
     "BroadExceptRule",
     "MutableDefaultRule",
     "CompressorContractRule",
+    "HandRolledRetryRule",
 ]
 
 #: Builtins that consume an iterable without depending on its order;
@@ -532,4 +533,81 @@ class CompressorContractRule(Rule):
             leaf = target.rsplit(".", 1)[-1]
             if leaf in self._CLASSES:
                 self.flag(node, f"{leaf}() constructed directly; {self.summary}")
+        self.generic_visit(node)
+
+
+@register_rule
+class HandRolledRetryRule(Rule):
+    """RL010 — retries and sleeps live in ``repro.resilience``, nowhere else.
+
+    A hand-rolled retry loop — ``time.sleep`` between attempts, or a
+    ``while True`` that swallows broad exceptions — has none of the
+    properties the stream path's fault-tolerance guarantees rest on: no
+    seeded (deterministic) jitter, no attempt budget, no typed
+    retryable/fatal classification, and no ``RetryExhaustedError`` for
+    the degradation path to catch.  PR 7 centralized all of that in
+    :class:`repro.resilience.retry.RetryPolicy`; everything else calls
+    it.
+
+    Bad::
+
+        while True:
+            try:
+                return load_snapshot(path)
+            except Exception:
+                time.sleep(0.1)
+
+    Good::
+
+        policy = RetryPolicy(max_attempts=3)
+        return policy.execute(lambda: load_snapshot(path), site="source.load")
+    """
+
+    code = "RL010"
+    name = "hand-rolled-retry"
+    summary = (
+        "time.sleep / hand-rolled retry loop outside repro.resilience; "
+        "use RetryPolicy.execute"
+    )
+    rationale = (
+        "ad-hoc retries have unseeded timing, no attempt budget and no typed "
+        "classification, so their behaviour (and any timing that leaks into "
+        "outputs) is irreproducible; RetryPolicy centralizes all of it."
+    )
+    exempt = ("repro/resilience/",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.ctx.resolve(node.func) == "time.sleep":
+            self.flag(node, f"time.sleep() call; {self.summary}")
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        # `while True:` whose body catches Exception/BaseException (or
+        # everything) without re-raising is the retry-loop shape: keep
+        # going no matter what went wrong.
+        forever = isinstance(node.test, ast.Constant) and node.test.value is True
+        if forever:
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.ExceptHandler):
+                    continue
+                types = (
+                    [sub.type]
+                    if not isinstance(sub.type, ast.Tuple)
+                    else list(sub.type.elts)
+                )
+                broad = sub.type is None or any(
+                    isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+                    for t in types
+                )
+                reraises = any(
+                    isinstance(s, ast.Raise) and s.exc is None
+                    for stmt in sub.body
+                    for s in ast.walk(stmt)
+                )
+                if broad and not reraises:
+                    self.flag(
+                        sub,
+                        "while True with a broad except is a hand-rolled "
+                        f"retry loop; {self.summary}",
+                    )
         self.generic_visit(node)

@@ -36,7 +36,8 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from typing import Any, ClassVar
 
@@ -56,6 +57,8 @@ from repro.core.optimizer import (
 from repro.models.rate_model import RateModel
 from repro.parallel.decomposition import BlockDecomposition
 from repro.parallel.executor import run_spmd
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.util.timer import Timer, TimingBreakdown
 
 __all__ = [
@@ -205,11 +208,13 @@ class SerialBackend(ExecutionBackend):
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
         timings = TimingBreakdown()
         with timings.phase("features"):
+            fault_point("backend.features")
             features = [task.extract(rank) for rank in range(task.n_ranks)]
         with timings.phase("optimize"):
             opt = task.optimize(features)
         views = task.decomposition.partition_views(task.data)
         with timings.phase("compress"):
+            fault_point("backend.compress")
             blocks = task.compressor.compress_many(views, opt.ebs)
         return BackendOutcome(
             features=features, ebs=opt.ebs, blocks=blocks, optimization=opt,
@@ -280,6 +285,7 @@ class ThreadBackend(ExecutionBackend):
                 eb = float(opt.ebs[rank])
             view = task.decomposition[rank].view(task.data)
             with tb.phase("compress"):
+                fault_point("backend.compress")
                 block = task.compressor.compress(view, eb)
             return feat, eb, block, opt, tb
 
@@ -343,7 +349,14 @@ def _attach_shm(name: str, shape: tuple[int, ...], dtype: str):
         except (ImportError, AttributeError):  # pragma: no cover - tracker layout differs
             _TRACKER_OWNED = False
     shm = shared_memory.SharedMemory(name=name)
-    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    try:
+        return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    except BaseException:
+        # The ndarray view is what pins the attachment for the caller's
+        # try/finally; if constructing it fails the segment would leak
+        # with no handle left to release it.
+        _release_shm(shm)
+        raise
 
 
 def _release_shm(shm: shared_memory.SharedMemory) -> None:
@@ -380,6 +393,7 @@ def _features_task(
     """Pool worker: features for a batch of partitions (rank, slices)."""
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
+        fault_point("backend.features")
         t_boundary, reference_eb = halo_args if halo_args else (None, 1.0)
         with Timer() as timer:
             feats = [
@@ -405,6 +419,7 @@ def _compress_task(
     """Pool worker: compress a batch of partitions (slices, eb)."""
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
+        fault_point("backend.compress")
         with Timer() as timer:
             blocks = _pooled_compressor(compressor_blob).compress_many(
                 [arr[slices] for slices, _ in items],
@@ -440,6 +455,21 @@ class ProcessBackend(ExecutionBackend):
         available (cheap startup), else the platform default.  ``spawn``
         workers re-import :mod:`repro`, so the package must be on the
         workers' ``PYTHONPATH``.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` governing
+        batch re-execution.  With a policy, a failed batch whose error
+        the policy classifies as retryable is re-submitted under the
+        policy's attempt budget; a ``BrokenProcessPool`` (worker killed
+        by a signal or the OOM killer) additionally discards and
+        rebuilds the pool first.  Only the failed batches re-run — the
+        snapshot's shared-memory segment lives in the parent and
+        survives the pool, so completed batches are never recomputed.
+        ``None`` (default) preserves fail-fast semantics.
+    on_retry:
+        Optional ``(site, attempt, exc, delay)`` callback invoked for
+        every batch retry — how the stream controller accounts backend
+        retries in its report.  :attr:`n_retries` counts them either
+        way.
 
     The worker pool is created lazily and reused across snapshots and
     fields; call :meth:`close` (or use the backend as a context manager)
@@ -453,6 +483,8 @@ class ProcessBackend(ExecutionBackend):
         max_workers: int | None = None,
         batch_size: int | None = None,
         start_method: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        on_retry: Callable[[str, int, BaseException, float], Any] | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -461,6 +493,10 @@ class ProcessBackend(ExecutionBackend):
         self.max_workers = max_workers or min(os.cpu_count() or 1, 8)
         self.batch_size = batch_size
         self.start_method = start_method
+        self.retry_policy = retry_policy
+        self.on_retry = on_retry
+        self.n_retries = 0
+        self.n_pool_rebuilds = 0
         self._pool: ProcessPoolExecutor | None = None
 
     # -- pool management -------------------------------------------------
@@ -479,9 +515,19 @@ class ProcessBackend(ExecutionBackend):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        # Clear the reference before shutdown: if shutdown raises (e.g.
+        # on an already-broken pool), a second close() must still be a
+        # no-op rather than re-raising forever.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next batch gets a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self.n_pool_rebuilds += 1
+            pool.shutdown(wait=False, cancel_futures=True)
 
     @property
     def parallelism(self) -> int:
@@ -522,6 +568,79 @@ class ProcessBackend(ExecutionBackend):
                 f"{comp!r} cannot be serialized for the worker pool"
             ) from exc
 
+    # -- batch retry -----------------------------------------------------
+
+    def _note_retry(
+        self, site: str, attempt: int, exc: BaseException, delay: float
+    ) -> None:
+        self.n_retries += 1
+        if self.on_retry is not None:
+            self.on_retry(site, attempt, exc, delay)
+
+    def _run_batch(self, task_fn: Callable[..., Any], args: tuple) -> Any:
+        """Re-execute one batch on a (possibly rebuilt) pool."""
+        pool = self._ensure_pool()
+        try:
+            return pool.submit(task_fn, *args).result()
+        except BrokenProcessPool:
+            self._discard_pool()
+            raise
+
+    def _submit_all(
+        self,
+        task_fn: Callable[..., Any],
+        args_list: list[tuple],
+        pending: list[Future],
+    ) -> list[Future]:
+        """Submit one task per batch, tolerating a pool that breaks
+        mid-loop: a failed ``submit`` becomes a pre-failed future (so
+        :meth:`_collect` retries that batch like any other failure) and
+        the remaining batches go to a rebuilt pool.
+        """
+        futures: list[Future] = []
+        for args in args_list:
+            try:
+                fut = self._ensure_pool().submit(task_fn, *args)
+            except BrokenProcessPool as exc:
+                self._discard_pool()
+                fut = Future()
+                fut.set_exception(exc)
+            futures.append(fut)
+            pending.append(fut)
+        return futures
+
+    def _collect(
+        self, fut: Future, site: str, task_fn: Callable[..., Any], args: tuple
+    ) -> Any:
+        """Await one batch future; on retryable failure, re-run the batch
+        under the retry policy (rebuilding the pool if it broke).
+
+        The initial submission already spent attempt 1, so the retry
+        budget handed to :meth:`RetryPolicy.execute` is ``max_attempts -
+        1`` — total executions never exceed the policy's budget.  A
+        ``BrokenProcessPool`` fails every in-flight batch at once; each
+        is collected here in turn and only those batches re-run — the
+        shared-memory segment is owned by the parent, so completed work
+        survives the pool.
+        """
+        try:
+            return fut.result()
+        except BaseException as exc:
+            policy = self.retry_policy
+            if policy is None or not policy.is_retryable(exc):
+                raise
+            if isinstance(exc, BrokenProcessPool):
+                self._discard_pool()
+            if policy.max_attempts <= 1:
+                raise
+            self._note_retry(site, 1, exc, 0.0)
+            budget = replace(policy, max_attempts=policy.max_attempts - 1)
+            return budget.execute(
+                lambda: self._run_batch(task_fn, args),
+                site=site,
+                on_retry=self._note_retry,
+            )
+
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
         dec = task.decomposition
         n = task.n_ranks
@@ -530,7 +649,7 @@ class ProcessBackend(ExecutionBackend):
         halo_args = (
             (task.halo.t_boundary, task.halo.reference_eb) if task.halo else None
         )
-        pool = self._ensure_pool()
+        self._ensure_pool()
         batches = self._batches(n)
         data = np.asarray(task.data)
 
@@ -544,19 +663,16 @@ class ProcessBackend(ExecutionBackend):
                 np.copyto(shared, data)
             meta = (shm.name, tuple(data.shape), data.dtype.str)
 
-            futures = [
-                pool.submit(
-                    _features_task,
-                    *meta,
-                    [(r, dec[r].slices) for r in ranks],
-                    halo_args,
-                )
+            feat_args = [
+                (*meta, [(r, dec[r].slices) for r in ranks], halo_args)
                 for ranks in batches
             ]
-            pending.extend(futures)
+            futures = self._submit_all(_features_task, feat_args, pending)
             features: list[PartitionFeatures] = [None] * n  # type: ignore[list-item]
-            for ranks, fut in zip(batches, futures):
-                feats, seconds = fut.result()
+            for ranks, fut, args in zip(batches, futures, feat_args):
+                feats, seconds = self._collect(
+                    fut, "backend.features", _features_task, args
+                )
                 timings.add("features", seconds)
                 for rank, feat in zip(ranks, feats):
                     features[rank] = feat
@@ -564,19 +680,20 @@ class ProcessBackend(ExecutionBackend):
             with timings.phase("optimize"):
                 opt = task.optimize(features)
 
-            futures = [
-                pool.submit(
-                    _compress_task,
+            comp_args = [
+                (
                     *meta,
                     [(dec[r].slices, float(opt.ebs[r])) for r in ranks],
                     compressor_blob,
                 )
                 for ranks in batches
             ]
-            pending.extend(futures)
+            futures = self._submit_all(_compress_task, comp_args, pending)
             blocks: list[CompressedBlock] = [None] * n  # type: ignore[list-item]
-            for ranks, fut in zip(batches, futures):
-                blks, seconds = fut.result()
+            for ranks, fut, args in zip(batches, futures, comp_args):
+                blks, seconds = self._collect(
+                    fut, "backend.compress", _compress_task, args
+                )
                 timings.add("compress", seconds)
                 for rank, block in zip(ranks, blks):
                     blocks[rank] = block
@@ -594,8 +711,12 @@ class ProcessBackend(ExecutionBackend):
                     fut.exception()
             if shm is not None:
                 del shared
-                shm.close()
-                shm.unlink()
+                try:
+                    shm.close()
+                finally:
+                    # unlink even when close() raises (a pinned view):
+                    # the name must not leak a segment past the run.
+                    shm.unlink()
 
         return BackendOutcome(
             features=features, ebs=opt.ebs, blocks=blocks, optimization=opt,

@@ -56,6 +56,7 @@ from repro.core.features import PartitionFeatures
 from repro.core.optimizer import optimize_combined, optimize_for_spectrum
 from repro.core.pipeline import AdaptiveCompressionPipeline, SnapshotResult
 from repro.core.selection import (
+    CandidateVerdict,
     SelectionResult,
     derive_eb_budget,
     derive_halo_params,
@@ -69,8 +70,14 @@ from repro.models.calibration import (
     calibrate_rate_model,
 )
 from repro.models.rate_model import RateModel
-from repro.parallel.backends import ExecutionBackend, SerialBackend, get_backend
+from repro.parallel.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    get_backend,
+)
 from repro.parallel.decomposition import BlockDecomposition
+from repro.resilience.retry import RetryExhaustedError, RetryPolicy
 from repro.sim.nyx import NyxSnapshot
 from repro.stream.drift import DriftConfig, DriftDetector, DriftSignal
 from repro.stream.ledger import (
@@ -217,6 +224,14 @@ class StreamReport:
     n_recalibrations: int = 0
     recalibrations: list[tuple[int, str, str]] = dataclass_field(default_factory=list)
     byte_budget: int | None = None
+    #: Resilience accounting: transient failures retried (across the
+    #: controller, the ledger append path and a retry-aware backend),
+    #: torn ledger tails truncated on (re)open, and fields that fell
+    #: back to the conservative compressor after exhausting retries.
+    n_retries: int = 0
+    n_recoveries: int = 0
+    n_degradations: int = 0
+    degraded_fields: list[str] = dataclass_field(default_factory=list)
 
     @property
     def raw_bytes(self) -> int:
@@ -272,6 +287,10 @@ class StreamReport:
                 "n_snapshots": self.n_snapshots,
                 "n_recalibrations": self.n_recalibrations,
                 "recalibrations": [list(r) for r in self.recalibrations],
+                "n_retries": self.n_retries,
+                "n_recoveries": self.n_recoveries,
+                "n_degradations": self.n_degradations,
+                "degraded_fields": list(self.degraded_fields),
                 "raw_bytes": self.raw_bytes,
                 "compressed_bytes": self.compressed_bytes,
                 "overall_ratio": self.overall_ratio if self.outcomes else None,
@@ -378,6 +397,23 @@ class InSituController:
         analysis, but memory then grows with the stream.  ``False``
         drops the payloads after accounting (the CLI's choice), keeping
         a 200-dump run at one-snapshot memory.
+    retry:
+        A :class:`~repro.resilience.retry.RetryPolicy` (or a plain int,
+        shorthand for ``RetryPolicy(max_attempts=n)``) applied to
+        per-field execution and ledger appends; a
+        :class:`~repro.parallel.backends.ProcessBackend` without its own
+        policy additionally inherits it for batch-level re-execution.
+        ``None`` (default) keeps fail-fast semantics.
+    fallback_compressor:
+        Conservative :class:`~repro.compression.api.CompressorSpec` (or
+        spec string) a field degrades to when its retries are
+        exhausted: the field is quarantined onto the fallback, a
+        ``degradation`` ledger event is recorded, and the stream
+        continues.  ``None`` (default) re-raises instead.
+    fsync_ledger:
+        ``os.fsync`` every ledger append (crash-safety against power
+        loss, not just process death); only meaningful for path-backed
+        ledgers constructed by the controller.
 
     Examples
     --------
@@ -414,6 +450,9 @@ class InSituController:
         governor_gain: float = 1.0,
         governor_max_scale: float = 4.0,
         retain_results: bool = True,
+        retry: "RetryPolicy | int | None" = None,
+        fallback_compressor: "CompressorSpec | str | None" = None,
+        fsync_ledger: bool = False,
     ) -> None:
         if recalibrate not in ("drift", "always", "never"):
             raise ValueError(
@@ -435,7 +474,29 @@ class InSituController:
         )
         self.settings = settings or OptimizerSettings()
         self.backend = SerialBackend() if backend is None else get_backend(backend)
-        self.ledger = ledger if isinstance(ledger, RunLedger) else RunLedger(ledger)
+        self.retry = (
+            RetryPolicy(max_attempts=int(retry)) if isinstance(retry, int) else retry
+        )
+        self.fallback_compressor = (
+            CompressorSpec.parse(fallback_compressor)
+            if isinstance(fallback_compressor, str)
+            else fallback_compressor
+        )
+        if (
+            self.retry is not None
+            and isinstance(self.backend, ProcessBackend)
+            and self.backend.retry_policy is None
+        ):
+            # A backend without its own policy inherits the stream's, so
+            # a BrokenProcessPool rebuilds the pool and re-runs only the
+            # failed batches instead of failing the whole field.
+            self.backend.retry_policy = self.retry
+            self.backend.on_retry = self._note_retry
+        self.ledger = (
+            ledger
+            if isinstance(ledger, RunLedger)
+            else RunLedger(ledger, fsync=fsync_ledger)
+        )
         self.byte_budget = None if byte_budget is None else int(byte_budget)
         self.drift = drift or DriftConfig()
         self.recalibrate = recalibrate
@@ -449,16 +510,44 @@ class InSituController:
         self.retain_results = bool(retain_results)
 
         self.report = StreamReport(byte_budget=self.byte_budget)
-        self._governor: BudgetGovernor | None = None
-        if self.byte_budget is not None and n_snapshots is not None:
-            self._make_governor(n_snapshots)
+        if getattr(self.ledger, "recovered_tail", None) is not None:
+            self.report.n_recoveries += 1
         self._states: dict[str, _FieldState] = {}
         self._selections: dict[str, SelectionResult] = {}
         self._field_order: list[str] = []
         self._pending: set[str] = set()
+        self._quarantined: set[str] = set()
         self._snapshot_index = 0
         self._started = False
         self._ended = False
+        self._governor: BudgetGovernor | None = None
+        if self.byte_budget is not None and n_snapshots is not None:
+            self._make_governor(n_snapshots)
+
+    # -- resilience plumbing ---------------------------------------------
+
+    def _note_retry(
+        self, site: str, attempt: int, exc: BaseException, delay: float
+    ) -> None:
+        """Retry-accounting hook shared with the backend's batch retries."""
+        self.report.n_retries += 1
+
+    def _append(self, kind: str, **data: Any) -> LedgerEvent:
+        """Ledger append under the retry policy.
+
+        The ledger commits an event to memory only after it is safely on
+        disk, so a transient append failure retried here reuses the same
+        sequence id.  A :class:`~repro.resilience.faults.TornWrite` is
+        *not* retryable — retrying would duplicate the event — and
+        propagates for crash-recovery tests.
+        """
+        if self.retry is None:
+            return self.ledger.append(kind, **data)
+        return self.retry.execute(
+            lambda: self.ledger.append(kind, **data),
+            site="ledger.append",
+            on_retry=self._note_retry,
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -509,7 +598,7 @@ class InSituController:
     def _append_governor_event(self) -> None:
         gov = self._governor
         assert gov is not None
-        self.ledger.append(
+        self._append(
             "governor",
             total_bytes=gov.total_bytes,
             n_snapshots=gov.n_snapshots,
@@ -521,10 +610,13 @@ class InSituController:
         if self._started:
             return
         default_spec = spec_of(self.compressor)
-        self.ledger.append(
+        self._append(
             "run_start",
             schema=LEDGER_SCHEMA_VERSION,
             shape=list(self.decomposition.shape),
+            # Schema v3: the block layout, so resume() can rebuild the
+            # decomposition without re-specifying it.
+            blocks=list(self.decomposition.blocks),
             n_partitions=self.decomposition.n_partitions,
             byte_budget=self.byte_budget,
             compressor=None if default_spec is None else default_spec.to_dict(),
@@ -588,10 +680,14 @@ class InSituController:
     ) -> tuple[Any, SelectionResult | None]:
         """Resolve which compressor this field uses for this calibration.
 
-        Priority: candidate-slate selection (re-run on every
-        recalibration, so drift triggers *re-selection*) > the field
-        spec's pinned ``compressor`` > the controller default.
+        Priority: quarantine (a degraded field stays pinned to the
+        conservative fallback — re-selection could hand it back the very
+        compressor that failed) > candidate-slate selection (re-run on
+        every recalibration, so drift triggers *re-selection*) > the
+        field spec's pinned ``compressor`` > the controller default.
         """
+        if name in self._quarantined and self.fallback_compressor is not None:
+            return resolve_compressor(self.fallback_compressor), None
         if self.candidates is not None:
             selection = select_compressor(
                 data,
@@ -609,7 +705,7 @@ class InSituController:
                 require_error_bounded=True,
             )
             self._selections[name] = selection
-            self.ledger.append(
+            self._append(
                 "selection",
                 snapshot=self._snapshot_index,
                 field=name,
@@ -674,7 +770,7 @@ class InSituController:
             self.report.n_recalibrations += 1
             self.report.recalibrations.append((self._snapshot_index, name, reason))
         model = calibration.rate_model
-        self.ledger.append(
+        self._append(
             kind,
             snapshot=self._snapshot_index,
             field=name,
@@ -713,11 +809,23 @@ class InSituController:
 
         Accepts any :class:`SnapshotStream` or a plain snapshot list
         (coerced via :func:`~repro.stream.source.as_stream`).
+
+        On a resumed controller (:meth:`resume`) the first
+        ``self._snapshot_index`` dumps are already accounted in the
+        ledger and are skipped — without loading or generating them when
+        the stream supports ``iter_from``.
         """
         stream = as_stream(stream)
         if self.byte_budget is not None and self._governor is None:
             self._make_governor(len(stream))
-        for snapshot in stream:
+        start = self._snapshot_index
+        if start == 0:
+            iterator = iter(stream)
+        elif hasattr(stream, "iter_from"):
+            iterator = stream.iter_from(start)
+        else:
+            iterator = (s for i, s in enumerate(stream) if i >= start)
+        for snapshot in iterator:
             self.process_snapshot(snapshot)
         self.finish()
         return self.report
@@ -725,7 +833,7 @@ class InSituController:
     def finish(self) -> StreamReport:
         """Seal the run with a ``run_end`` ledger event (idempotent)."""
         if self._started and not self._ended:
-            self.ledger.append(
+            self._append(
                 "run_end",
                 n_snapshots=self.report.n_snapshots,
                 compressed_bytes=self.report.compressed_bytes,
@@ -735,6 +843,352 @@ class InSituController:
             )
             self._ended = True
         return self.report
+
+    # -- crash recovery --------------------------------------------------
+
+    #: Event kinds whose effects are superseded when a later ``resume``
+    #: event re-records the same snapshot (a crash mid-snapshot leaves a
+    #: partial set of events; the authoritative copies follow the
+    #: resume).
+    _PER_SNAPSHOT_KINDS = (
+        "selection",
+        "calibration",
+        "recalibration",
+        "decision",
+        "outcome",
+        "degradation",
+    )
+
+    @staticmethod
+    def _effective_events(run_events: list[LedgerEvent]) -> list[LedgerEvent]:
+        """The run's events with resume-superseded partial segments dropped.
+
+        Each ``resume`` event at snapshot ``s`` declares that everything
+        recorded for snapshots ``>= s`` before it belongs to an
+        interrupted attempt that is about to be re-executed; the copies
+        appended after the resume are the ones a restored controller
+        (and replay) must trust.
+        """
+        effective: list[LedgerEvent] = []
+        for event in run_events:
+            if event.kind == "resume":
+                cut = int(event.data["snapshot"])
+                effective = [
+                    e
+                    for e in effective
+                    if not (
+                        e.kind in InSituController._PER_SNAPSHOT_KINDS
+                        and int(e.data.get("snapshot", -1)) >= cut
+                    )
+                ]
+                continue
+            effective.append(event)
+        return effective
+
+    @classmethod
+    def resume(
+        cls,
+        ledger: "RunLedger | str | os.PathLike",
+        *,
+        decomposition: BlockDecomposition | None = None,
+        backend: "str | ExecutionBackend | None" = None,
+        field_specs: dict[str, FieldSpec] | None = None,
+        default_spec: FieldSpec | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        fallback_compressor: "CompressorSpec | str | None" = None,
+        fsync_ledger: bool = False,
+        max_partitions: int = 24,
+        seed: int = 0,
+        check_quality: bool = False,
+        retain_results: bool = True,
+    ) -> "InSituController":
+        """Rebuild a controller from an interrupted run's ledger.
+
+        Opens ``ledger`` with ``recover=True`` (a torn final line — the
+        footprint of a crash mid-append — is truncated and recorded as a
+        ``recovery`` event), restores every per-field rate model,
+        compressor selection, drift-detector trajectory, quarantine set
+        and the :class:`BudgetGovernor`'s byte accounting from the
+        events, and positions the controller at the first snapshot
+        without a complete record.  Calling :meth:`run` with the
+        original stream then skips the completed dumps and produces
+        decisions bitwise identical to a run that was never
+        interrupted.
+
+        Settings recorded in the ``run_start`` event (optimizer
+        settings, drift thresholds, compressor, candidates, byte
+        budget, recalibration policy, ...) are restored from the ledger;
+        process-local choices the ledger does not record — the execution
+        backend, field specs, retry policy, calibration
+        ``max_partitions``/``seed`` — are taken from the keyword
+        arguments and must match the original run for recalibrations
+        after the resume point to reproduce exactly.
+
+        Ledgers older than schema v3 do not record the block layout, so
+        ``decomposition`` is required for them.
+        """
+        run_ledger = (
+            ledger
+            if isinstance(ledger, RunLedger)
+            else RunLedger(ledger, recover=True, fsync=fsync_ledger)
+        )
+        starts = [i for i, e in enumerate(run_ledger.events) if e.kind == "run_start"]
+        if not starts:
+            raise LedgerError("cannot resume: ledger has no run_start event")
+        run_events = run_ledger.events[starts[-1] :]
+        rs = run_events[0].data
+
+        if decomposition is None:
+            if rs.get("blocks") is None:
+                raise LedgerError(
+                    "cannot resume: ledger predates schema v3 and records no "
+                    "block layout; pass decomposition= explicitly"
+                )
+            decomposition = BlockDecomposition(
+                tuple(rs["shape"]), blocks=tuple(rs["blocks"])
+            )
+
+        effective = cls._effective_events(run_events)
+        governor_events = [e for e in effective if e.kind == "governor"]
+        gov = governor_events[-1].data if governor_events else None
+
+        ctl = cls(
+            decomposition,
+            field_specs=field_specs,
+            compressor=(
+                CompressorSpec.from_dict(rs["compressor"])
+                if rs.get("compressor") is not None
+                else None
+            ),
+            settings=OptimizerSettings(**rs["settings"]),
+            backend=backend,
+            candidates=(
+                [CompressorSpec.from_dict(c) for c in rs["candidates"]]
+                if rs.get("candidates")
+                else None
+            ),
+            ledger=run_ledger,
+            byte_budget=rs.get("byte_budget"),
+            drift=DriftConfig(**rs["drift"]),
+            recalibrate=rs["recalibrate"],
+            warm_start=rs["warm_start"],
+            default_spec=default_spec,
+            probe_mode=rs["probe_mode"],
+            max_partitions=max_partitions,
+            seed=seed,
+            check_quality=check_quality,
+            governor_gain=gov["gain"] if gov else 1.0,
+            governor_max_scale=gov["max_scale"] if gov else 4.0,
+            retain_results=retain_results,
+            retry=retry,
+            fallback_compressor=fallback_compressor,
+        )
+
+        run_end = next((e for e in effective if e.kind == "run_end"), None)
+        budget_events = [e for e in effective if e.kind == "budget"]
+        if run_end is not None:
+            # A sealed run: everything is complete; run() on the same
+            # stream would skip every snapshot and finish() is a no-op.
+            resume_index = int(run_end.data["n_snapshots"])
+        elif budget_events:
+            # Governed run: each budget event seals exactly one
+            # completed snapshot, so their count is the resume point.
+            resume_index = len(budget_events)
+        else:
+            # Ungoverned run: nothing in the ledger distinguishes "last
+            # snapshot complete" from "crashed between its last outcome
+            # and the next snapshot", so the last referenced snapshot is
+            # conservatively re-executed.  Re-recorded events are
+            # superseded via the resume event, so replay and reports
+            # stay identical either way.
+            refs = [
+                int(e.data["snapshot"])
+                for e in effective
+                if e.kind in ("decision", "outcome")
+            ]
+            resume_index = max(refs) if refs else 0
+
+        ctl._restore(effective, resume_index)
+        ctl._snapshot_index = resume_index
+        ctl.report.n_snapshots = resume_index
+        ctl.report.n_recoveries = sum(1 for e in run_events if e.kind == "recovery")
+        ctl._started = True
+        ctl._ended = run_end is not None
+        if not ctl._ended:
+            tail = getattr(run_ledger, "recovered_tail", None)
+            ctl._append(
+                "resume",
+                snapshot=resume_index,
+                restored_fields=sorted(ctl._states),
+                truncated_bytes=0 if tail is None else tail["truncated_bytes"],
+            )
+        return ctl
+
+    def _restore(self, effective: list[LedgerEvent], resume_index: int) -> None:
+        """Apply the recorded events up to ``resume_index`` to this
+        (freshly constructed, empty) controller.
+
+        Only completed snapshots' per-field events are applied; the
+        partial snapshot ``resume_index`` (if any) will be re-executed
+        and re-recorded by :meth:`run`.
+        """
+        decisions: dict[tuple[int, str], dict[str, Any]] = {}
+        for event in effective:
+            d = event.data
+            snap = int(d.get("snapshot", -1))
+            if event.kind == "governor":
+                self._make_governor(int(d["n_snapshots"]))
+            elif event.kind == "budget":
+                assert self._governor is not None
+                # Replaying the recorded inputs reproduces the scale and
+                # spent trajectory exactly (observe is deterministic).
+                self._governor.observe(
+                    int(d["snapshot_bytes"]), float(d["exponent_mean"])
+                )
+            elif snap >= resume_index:
+                continue
+            elif event.kind in ("calibration", "recalibration"):
+                self._restore_calibration(d, event.kind)
+            elif event.kind == "selection":
+                self._restore_selection(d)
+            elif event.kind == "decision":
+                decisions[(snap, d["field"])] = d
+            elif event.kind == "outcome":
+                self._restore_outcome(d, decisions.get((snap, d["field"])))
+            elif event.kind == "degradation":
+                name = d["field"]
+                self._quarantined.add(name)
+                self.report.n_degradations += 1
+                if name not in self.report.degraded_fields:
+                    self.report.degraded_fields.append(name)
+
+    def _restore_calibration(self, d: dict[str, Any], kind: str) -> None:
+        name = d["field"]
+        model = RateModel(
+            exponent=d["exponent"],
+            coef_alpha=d["coef_alpha"],
+            coef_beta=d["coef_beta"],
+            feature_floor=d["feature_floor"],
+        )
+        spec_dict = d.get("spec")
+        if spec_dict is not None:
+            compressor_spec = CompressorSpec.from_dict(spec_dict)
+            compressor = resolve_compressor(compressor_spec)
+        else:
+            compressor = self.compressor
+            compressor_spec = spec_of(compressor)
+        empty = np.array([])
+        previous = self._states.get(name)
+        if previous is not None:
+            detector = previous.detector
+            detector.reset()
+        else:
+            detector = DriftDetector(name, self.drift)
+        halo = d.get("halo_params")
+        self._states[name] = _FieldState(
+            spec=self.spec_for(name),
+            # Probe diagnostics are not recorded (they do not feed any
+            # decision); the restored fit carries the model and coef_r2.
+            calibration=CalibrationResult(
+                model, empty, empty, empty, empty, float(d["coef_r2"])
+            ),
+            pipeline=AdaptiveCompressionPipeline(
+                model,
+                compressor=compressor,
+                settings=self.settings,
+                backend=self.backend,
+            ),
+            eb_base=float(d["eb_base"]),
+            halo_params=(
+                None if halo is None else (halo["t_boundary"], halo["mass_budget"])
+            ),
+            detector=detector,
+            compressor_spec=compressor_spec,
+        )
+        if name not in self._field_order:
+            self._field_order.append(name)
+        if kind == "recalibration":
+            self.report.n_recalibrations += 1
+            self.report.recalibrations.append(
+                (int(d["snapshot"]), name, d["reason"])
+            )
+            self._pending.discard(name)
+
+    def _restore_selection(self, d: dict[str, Any]) -> None:
+        chosen = CompressorSpec.from_dict(d["chosen"])
+        self._selections[d["field"]] = SelectionResult(
+            field=d["field"],
+            eb_avg=float(d["eb_avg"]),
+            chosen=chosen,
+            compressor=resolve_compressor(chosen),
+            verdicts=[
+                CandidateVerdict(
+                    spec=CompressorSpec.from_dict(v["spec"]),
+                    eligible=v["eligible"],
+                    reason=v["reason"],
+                    predicted_bit_rate=v["predicted_bit_rate"],
+                    measured_bit_rate=v["measured_bit_rate"],
+                    max_abs_error=v["max_abs_error"],
+                    eb_violation=v["eb_violation"],
+                )
+                for v in d["verdicts"]
+            ],
+        )
+
+    def _restore_outcome(
+        self, d: dict[str, Any], decision: dict[str, Any] | None
+    ) -> None:
+        """Re-feed one recorded outcome into detector/pending/report state.
+
+        Mirrors the live :meth:`_process_field` accounting: the detector
+        consumes the same (predicted, achieved, deviation) numbers it
+        saw live, so its residual window — and therefore every future
+        drift verdict — continues exactly where the interrupted run left
+        it.
+        """
+        name = d["field"]
+        state = self._states.get(name)
+        if state is not None and self.recalibrate == "drift":
+            signal = None
+            if d.get("residual") is not None:
+                signal = state.detector.update_rate(
+                    float(d["predicted_bit_rate"]), float(d["achieved_bit_rate"])
+                )
+            if signal is None and d.get("quality_deviation") is not None:
+                state.detector.update_quality(
+                    float(d["quality_deviation"]), state.spec.spectrum_tolerance
+                )
+        # The recorded flag is authoritative for what the next snapshot
+        # must recalibrate (it folds in both drift channels).
+        if d.get("recalibrate_next"):
+            self._pending.add(name)
+        else:
+            self._pending.discard(name)
+        dd = decision or {}
+        spec_dict = dd.get("spec")
+        self.report.outcomes.append(
+            StreamOutcome(
+                field=name,
+                redshift=float(dd.get("redshift", float("nan"))),
+                snapshot_index=int(d["snapshot"]),
+                eb_base=float(dd.get("eb_base", float("nan"))),
+                scale=float(dd.get("scale", 1.0)),
+                eb_avg=float(dd.get("eb_avg", float("nan"))),
+                compressor_spec=(
+                    None if spec_dict is None else CompressorSpec.from_dict(spec_dict)
+                ),
+                # Payloads are gone with the crashed process; the scalar
+                # accounting (and the on-disk artifacts) remain.
+                result=None,
+                predicted_bit_rate=float(d["predicted_bit_rate"]),
+                achieved_bit_rate=float(d["achieved_bit_rate"]),
+                raw_bytes=int(d["raw_bytes"]),
+                compressed_bytes=int(d["compressed_bytes"]),
+                residual=d.get("residual"),
+                quality_deviation=d.get("quality_deviation"),
+                drift_signal=None,
+            )
+        )
 
     def process_snapshot(self, snapshot: NyxSnapshot) -> list[StreamOutcome]:
         """Decide, compress and account every field of one snapshot."""
@@ -753,7 +1207,7 @@ class InSituController:
             snapshot_bytes = sum(o.compressed_bytes for o in outcomes)
             exponent_mean = self._exponent_mean()
             scale_next = self._governor.observe(snapshot_bytes, exponent_mean)
-            self.ledger.append(
+            self._append(
                 "budget",
                 snapshot=index,
                 snapshot_bytes=snapshot_bytes,
@@ -765,6 +1219,77 @@ class InSituController:
         self._snapshot_index += 1
         self.report.n_snapshots += 1
         return outcomes
+
+    def _halo_for(
+        self, state: _FieldState, eb_avg: float
+    ) -> HaloQualitySpec | None:
+        if state.halo_params is None:
+            return None
+        t_boundary, mass_budget = state.halo_params
+        return HaloQualitySpec(
+            t_boundary=t_boundary,
+            mass_budget=mass_budget,
+            reference_eb=min(1.0, eb_avg),
+        )
+
+    def _run_field(
+        self,
+        name: str,
+        state: _FieldState,
+        data: np.ndarray,
+        eb_avg: float,
+        halo: HaloQualitySpec | None,
+    ) -> SnapshotResult:
+        """Execute one field's compression under the retry policy.
+
+        A transient failure (injected crash, timeout, OSError, ...) is
+        retried with the same inputs — the pipeline is a pure function
+        of them, so a successful retry is bitwise identical to a run
+        that never failed.  A retry-aware :class:`~repro.parallel.
+        backends.ProcessBackend` retries at batch granularity first;
+        only what escapes it (e.g. its own
+        :class:`~repro.resilience.retry.RetryExhaustedError`, which is
+        not retryable) reaches this per-field site.
+        """
+
+        def attempt() -> SnapshotResult:
+            return state.pipeline.run_insitu_spmd(
+                data, self.decomposition, eb_avg=eb_avg, halo=halo
+            )
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.execute(
+            attempt, site=f"stream.field:{name}", on_retry=self._note_retry
+        )
+
+    def _degrade_field(
+        self, index: int, name: str, data: np.ndarray, exc: RetryExhaustedError
+    ) -> _FieldState:
+        """Quarantine ``name`` onto the fallback compressor after retries.
+
+        Records a ``degradation`` ledger event, then recalibrates the
+        field on the fallback (reason ``"degradation"``) so its rate
+        model matches what will actually compress it from here on.
+        """
+        assert self.fallback_compressor is not None
+        self._quarantined.add(name)
+        self.report.n_degradations += 1
+        if name not in self.report.degraded_fields:
+            self.report.degraded_fields.append(name)
+        self._append(
+            "degradation",
+            snapshot=index,
+            field=name,
+            site=exc.site,
+            attempts=exc.attempts,
+            error=f"{type(exc.last).__name__}: {exc.last}",
+            fallback=self.fallback_compressor.to_dict(),
+        )
+        self._pending.discard(name)
+        return self._calibrate_field(
+            name, data, FieldReference(data), reason="degradation"
+        )
 
     def _process_field(
         self, index: int, redshift: float, name: str, data: np.ndarray
@@ -791,20 +1316,26 @@ class InSituController:
 
         scale = self._governor.scale if self._governor is not None else 1.0
         eb_avg = state.eb_base * scale
-        halo = None
-        if state.halo_params is not None:
-            t_boundary, mass_budget = state.halo_params
-            halo = HaloQualitySpec(
-                t_boundary=t_boundary,
-                mass_budget=mass_budget,
-                reference_eb=min(1.0, eb_avg),
-            )
-        result = state.pipeline.run_insitu_spmd(
-            data, self.decomposition, eb_avg=eb_avg, halo=halo
-        )
+        halo = self._halo_for(state, eb_avg)
+        try:
+            result = self._run_field(name, state, data, eb_avg, halo)
+        except RetryExhaustedError as exc:
+            if self.fallback_compressor is None:
+                raise
+            # Graceful degradation: quarantine the field onto the
+            # conservative fallback compressor, recalibrate it there
+            # (the recalibration ledger event carries the new model, so
+            # replay stays bitwise), and compress this snapshot with it.
+            # No decision/outcome events were appended for the failed
+            # attempts — the ledger sees only what actually happened.
+            state = self._degrade_field(index, name, data, exc)
+            spec = state.spec
+            eb_avg = state.eb_base * scale
+            halo = self._halo_for(state, eb_avg)
+            result = self._run_field(name, state, data, eb_avg, halo)
 
         feats = result.features
-        self.ledger.append(
+        self._append(
             "decision",
             snapshot=index,
             redshift=redshift,
@@ -880,7 +1411,7 @@ class InSituController:
             if signal is not None:
                 self._pending.add(name)
 
-        self.ledger.append(
+        self._append(
             "outcome",
             snapshot=index,
             field=name,
@@ -965,7 +1496,12 @@ def replay_ledger(
     Schema compatibility: v2 ledgers additionally carry compressor specs
     (surfaced on :attr:`ReplayedDecision.compressor`) and ``selection``
     events (informational, skipped); v1 (PR 4-era) ledgers carry
-    neither and replay byte-for-byte unchanged.
+    neither and replay byte-for-byte unchanged.  v3 ledgers add the
+    resilience events: ``recovery`` and ``degradation`` are
+    informational, while ``resume`` supersedes the partial snapshot
+    recorded before an interruption (its authoritative copies follow),
+    so a crashed-and-resumed run replays to the same decision list as
+    an uninterrupted one.
     """
     if isinstance(source, RunLedger):
         events = source.events
@@ -980,6 +1516,7 @@ def replay_ledger(
     field_order: list[str] = []
     pending_bytes = 0
     decisions: list[ReplayedDecision] = []
+    run_first_decision = 0
 
     def _mismatch(event: LedgerEvent, what: str, got: object, recorded: object) -> LedgerError:
         return LedgerError(
@@ -998,6 +1535,7 @@ def replay_ledger(
             models = {}
             field_order = []
             pending_bytes = 0
+            run_first_decision = len(decisions)
         elif event.kind == "governor":
             governor = BudgetGovernor(
                 d["total_bytes"],
@@ -1066,6 +1604,19 @@ def replay_ledger(
             )
         elif event.kind == "outcome":
             pending_bytes += int(d["compressed_bytes"])
+        elif event.kind == "resume":
+            # Schema v3: a restarted run re-executes the snapshot it was
+            # interrupted in.  Decisions recorded for it before the
+            # interruption are superseded by the copies that follow (the
+            # re-run is deterministic, so where both exist they agree),
+            # and the partial snapshot's byte accounting starts over.
+            cut = int(d["snapshot"])
+            decisions = decisions[:run_first_decision] + [
+                dec
+                for dec in decisions[run_first_decision:]
+                if dec.snapshot_index < cut
+            ]
+            pending_bytes = 0
         elif event.kind == "budget":
             if governor is None:
                 raise LedgerError("budget event without a governed run_start")

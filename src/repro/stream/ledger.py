@@ -32,6 +32,15 @@ Design rules:
   its content — the precondition for the planned hash-chained ledger.
   Reading tolerates any key order/whitespace, so ledgers written before
   canonicalization still load and replay byte-for-byte.
+- **Crash-safe.**  Each append is flushed (and optionally ``fsync``-ed)
+  as one line, so the only damage an interruption can cause is a torn
+  *final* line.  ``RunLedger(path, recover=True)`` truncates such a
+  tail back to the last valid prefix and records a ``recovery`` event;
+  ``RunLedger.load(path, recover=True)`` is the read-only equivalent
+  (reports the torn tail via ``recovered_tail`` without touching the
+  file).  Damage anywhere else — a malformed or out-of-order line with
+  valid lines after it — is corruption, not a crash artifact, and
+  always raises.
 """
 
 from __future__ import annotations
@@ -44,6 +53,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.resilience.faults import TornWrite, fault_point
+
 __all__ = [
     "EVENT_KINDS",
     "LEDGER_SCHEMA_VERSION",
@@ -55,10 +66,14 @@ __all__ = [
 #: Schema version a ``run_start`` event records as ``data["schema"]``.
 #: Version 1 (PR 4-era ledgers) predates the pluggable compressor
 #: backbone and carries no ``schema`` key; version 2 adds ``selection``
-#: events and the chosen compressor spec on calibration/decision events.
-#: Replay treats every spec field as informational, so version-1 ledgers
-#: still replay byte-for-byte.
-LEDGER_SCHEMA_VERSION = 2
+#: events and the chosen compressor spec on calibration/decision events;
+#: version 3 adds the resilience vocabulary (``recovery``, ``resume``,
+#: ``degradation`` events) and records the block decomposition on
+#: ``run_start`` so :meth:`~repro.stream.controller.InSituController.
+#: resume` can rebuild it.  Replay treats every addition as
+#: informational or state-resetting, so version-1/2 ledgers still
+#: replay byte-for-byte.
+LEDGER_SCHEMA_VERSION = 3
 
 #: The event vocabulary, in the order a run emits them.  ``governor``
 #: arms the run-level byte-budget governor (recorded separately from
@@ -69,6 +84,12 @@ LEDGER_SCHEMA_VERSION = 2
 #: ``recalibration`` a drift- or policy-triggered refit; ``decision``
 #: the per-(snapshot, field) error bounds; ``outcome`` the achieved
 #: rate/quality; ``budget`` the governor's per-snapshot accounting.
+#: The resilience events (schema v3) can appear anywhere: ``recovery``
+#: marks a torn tail truncated on re-open, ``resume`` marks a restarted
+#: run picking up after an interruption (replay resets its
+#: partial-snapshot byte accounting there), and ``degradation`` records
+#: a field falling back to its conservative compressor after retries
+#: were exhausted.
 EVENT_KINDS = (
     "run_start",
     "governor",
@@ -79,6 +100,9 @@ EVENT_KINDS = (
     "outcome",
     "budget",
     "run_end",
+    "recovery",
+    "resume",
+    "degradation",
 )
 
 
@@ -148,6 +172,18 @@ class RunLedger:
         only (useful for tests and ephemeral runs).  If the file already
         holds events, they are loaded and the sequence continues after
         them — the append-only contract spans process restarts.
+    recover:
+        Tolerate a torn final line (the on-disk state an interrupted
+        append leaves behind): truncate the file back to the last valid
+        prefix, record what was dropped in ``recovered_tail``, and
+        append a ``recovery`` event.  An undamaged file opens
+        unchanged, so ``recover=True`` is idempotent.  Damage *before*
+        the final line still raises — that is corruption a crash cannot
+        produce.
+    fsync:
+        ``os.fsync`` after every appended line, extending the
+        crash-safety guarantee from "process death" to "OS/power
+        failure" at the cost of one disk sync per event.
 
     Examples
     --------
@@ -160,14 +196,50 @@ class RunLedger:
     ['decision']
     """
 
-    def __init__(self, path: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        recover: bool = False,
+        fsync: bool = False,
+    ) -> None:
         self.path = Path(path) if path is not None else None
         self.events: list[LedgerEvent] = []
+        self.fsync = bool(fsync)
+        #: Set when ``recover=True`` truncated a torn tail: a dict with
+        #: ``valid_events``, ``valid_bytes`` (the kept prefix length),
+        #: ``truncated_bytes`` and a ``torn_line`` preview.
+        self.recovered_tail: dict[str, Any] | None = None
         self._fh = None
-        if self.path is not None:
-            if self.path.exists() and self.path.stat().st_size > 0:
+        if self.path is None:
+            return
+        needs_newline = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            if recover:
+                size = self.path.stat().st_size
+                self.events, valid_bytes, tail = self._scan(self.path)
+                if tail is not None:
+                    with open(self.path, "r+b") as raw:
+                        raw.truncate(valid_bytes)
+                        raw.flush()
+                        os.fsync(raw.fileno())
+                    self.recovered_tail = {
+                        "valid_events": len(self.events),
+                        "valid_bytes": valid_bytes,
+                        "truncated_bytes": size - valid_bytes,
+                        "torn_line": tail[:120],
+                    }
+            else:
                 self.events = self._read_events(self.path)
-            self._fh = open(self.path, "a", encoding="utf-8")
+            needs_newline = self._missing_final_newline(self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        if needs_newline:
+            # A valid final line with the trailing "\n" lost: repair it
+            # so the next append starts a fresh line instead of gluing.
+            self._fh.write("\n")
+            self._fh.flush()
+        if self.recovered_tail is not None:
+            self.append("recovery", **self.recovered_tail)
 
     # -- append side -----------------------------------------------------
 
@@ -176,7 +248,16 @@ class RunLedger:
         return self.events[-1].seq + 1 if self.events else 0
 
     def append(self, kind: str, **data: Any) -> LedgerEvent:
-        """Record one event; assigns the next sequence id and flushes."""
+        """Record one event; assigns the next sequence id and flushes.
+
+        The ``ledger.append`` fault point fires *before* the event is
+        committed to memory or disk, so an injected crash/timeout leaves
+        the ledger unchanged and a retried append reuses the same
+        sequence id.  An injected :class:`~repro.resilience.faults.
+        TornWrite` instead writes a deliberate partial line — the exact
+        on-disk state a power cut mid-``write`` produces — and
+        re-raises, for recovery tests.
+        """
         if kind not in EVENT_KINDS:
             raise LedgerError(
                 f"unknown event kind {kind!r}; expected one of {EVENT_KINDS}"
@@ -191,11 +272,26 @@ class RunLedger:
                 "RunLedger(path) to continue appending"
             )
         event = LedgerEvent(seq=self.next_seq, kind=kind, data=_jsonable(data))
+        line = event.to_json() + "\n"
+        try:
+            fault_point("ledger.append")
+        except TornWrite as torn:
+            if self._fh is not None:
+                cut = max(0, min(len(line) - 1, int(len(line) * torn.fraction)))
+                self._fh.write(line[:cut])
+                self._flush()
+            raise
         self.events.append(event)
         if self._fh is not None:
-            self._fh.write(event.to_json() + "\n")
-            self._fh.flush()
+            self._fh.write(line)
+            self._flush()
         return event
+
+    def _flush(self) -> None:
+        assert self._fh is not None
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
@@ -224,27 +320,91 @@ class RunLedger:
         return [e for e in self.events if e.kind == kind]
 
     @staticmethod
-    def _read_events(path: Path) -> list[LedgerEvent]:
+    def _scan(path: Path) -> tuple[list[LedgerEvent], int, str | None]:
+        """Parse ``path`` into ``(events, valid_bytes, torn_tail)``.
+
+        ``valid_bytes`` is the length of the longest prefix of the file
+        holding only complete, in-order events — the truncation target
+        for recovery.  ``torn_tail`` is the unparseable final line (or
+        ``None`` for an undamaged file).  A malformed or out-of-order
+        line with valid lines *after* it is not a crash artifact — the
+        append path writes and flushes one line at a time — so that
+        still raises :class:`LedgerError`.
+        """
+        raw = path.read_bytes()
         events: list[LedgerEvent] = []
-        with open(path, encoding="utf-8") as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                event = LedgerEvent.from_json(line)
+        valid_bytes = 0
+        offset = 0
+        lineno = 0
+        n = len(raw)
+        while offset < n:
+            lineno += 1
+            newline = raw.find(b"\n", offset)
+            end = n if newline == -1 else newline + 1
+            text = raw[offset:end].decode("utf-8", errors="replace").strip()
+            if text:
+                try:
+                    event = LedgerEvent.from_json(text)
+                except LedgerError:
+                    if end != n:
+                        raise
+                    return events, valid_bytes, text
                 if event.seq != len(events):
                     raise LedgerError(
                         f"{path}:{lineno}: sequence id {event.seq} breaks the "
                         f"monotonic order (expected {len(events)})"
                     )
                 events.append(event)
+            valid_bytes = end
+            offset = end
+        return events, valid_bytes, None
+
+    @staticmethod
+    def _read_events(path: Path) -> list[LedgerEvent]:
+        events, _, tail = RunLedger._scan(path)
+        if tail is not None:
+            raise LedgerError(
+                f"{path}: torn final line {tail[:80]!r}; open with "
+                "RunLedger(path, recover=True) to truncate it back to the "
+                "last valid prefix"
+            )
         return events
 
+    @staticmethod
+    def _missing_final_newline(path: Path) -> bool:
+        with open(path, "rb") as raw:
+            raw.seek(0, os.SEEK_END)
+            if raw.tell() == 0:
+                return False
+            raw.seek(-1, os.SEEK_END)
+            return raw.read(1) != b"\n"
+
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "RunLedger":
-        """Read a ledger file without opening it for appending."""
+    def load(
+        cls, path: str | os.PathLike, *, recover: bool = False
+    ) -> "RunLedger":
+        """Read a ledger file without opening it for appending.
+
+        With ``recover=True`` a torn final line is tolerated *without
+        modifying the file*: the valid prefix is loaded and the damage
+        reported via ``recovered_tail`` — how ``repro.cli stream
+        --replay`` reports the truncation point of a recovered ledger.
+        """
         ledger = cls.__new__(cls)
         ledger.path = Path(path)
         ledger._fh = None
-        ledger.events = cls._read_events(ledger.path)
+        ledger.fsync = False
+        ledger.recovered_tail = None
+        if recover:
+            size = ledger.path.stat().st_size
+            ledger.events, valid_bytes, tail = cls._scan(ledger.path)
+            if tail is not None:
+                ledger.recovered_tail = {
+                    "valid_events": len(ledger.events),
+                    "valid_bytes": valid_bytes,
+                    "truncated_bytes": size - valid_bytes,
+                    "torn_line": tail[:120],
+                }
+        else:
+            ledger.events = cls._read_events(ledger.path)
         return ledger

@@ -24,6 +24,8 @@ from collections.abc import Iterator, Sequence
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.sim.io import load_snapshot, peek_snapshot_shape
 from repro.sim.nyx import NyxSimulator, NyxSnapshot
 
@@ -107,7 +109,13 @@ class SimulatorStream:
         return len(self.redshifts)
 
     def __iter__(self) -> Iterator[NyxSnapshot]:
-        for z in self.redshifts:
+        yield from self.iter_from(0)
+
+    def iter_from(self, start: int) -> Iterator[NyxSnapshot]:
+        """Iterate from dump index ``start`` without generating the
+        skipped snapshots (each dump is a pure function of the seed and
+        its redshift, so a resumed stream sees identical data)."""
+        for z in self.redshifts[start:]:
             yield _restrict(self.simulator.snapshot(z=z), self.fields)
 
     def __repr__(self) -> str:
@@ -124,6 +132,11 @@ class DirectoryStream:
     fixed at construction) but *loaded* lazily, one snapshot per
     iteration step — a 200-dump campaign never holds two snapshots in
     memory at once.
+
+    Loads pass through the ``source.load`` fault point and, when a
+    ``retry`` policy is given, are retried under it — a snapshot file
+    observed mid-copy (``OSError``) resolves on a later attempt instead
+    of killing the stream.
     """
 
     def __init__(
@@ -131,6 +144,7 @@ class DirectoryStream:
         directory: str | os.PathLike,
         pattern: str = "*.npz",
         fields: Sequence[str] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.directory = Path(directory)
         if not self.directory.is_dir():
@@ -141,6 +155,7 @@ class DirectoryStream:
                 f"no snapshots matching {pattern!r} in {self.directory}"
             )
         self.fields = _field_tuple(fields)
+        self.retry = retry
         self._shape: tuple[int, int, int] | None = None
 
     @property
@@ -154,9 +169,23 @@ class DirectoryStream:
     def __len__(self) -> int:
         return len(self.paths)
 
+    def _load(self, path: Path) -> NyxSnapshot:
+        def attempt() -> NyxSnapshot:
+            fault_point("source.load")
+            return load_snapshot(path)
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.execute(attempt, site="source.load")
+
     def __iter__(self) -> Iterator[NyxSnapshot]:
-        for path in self.paths:
-            yield _restrict(load_snapshot(path), self.fields)
+        yield from self.iter_from(0)
+
+    def iter_from(self, start: int) -> Iterator[NyxSnapshot]:
+        """Iterate from dump index ``start`` without reading the skipped
+        files — how a resumed run fast-forwards a long directory."""
+        for path in self.paths[start:]:
+            yield _restrict(self._load(path), self.fields)
 
     def __repr__(self) -> str:
         return f"DirectoryStream({str(self.directory)!r}, n={len(self.paths)})"
@@ -183,7 +212,10 @@ class SnapshotSequence:
         return len(self.snapshots)
 
     def __iter__(self) -> Iterator[NyxSnapshot]:
-        for snap in self.snapshots:
+        yield from self.iter_from(0)
+
+    def iter_from(self, start: int) -> Iterator[NyxSnapshot]:
+        for snap in self.snapshots[start:]:
             yield _restrict(snap, self.fields)
 
     def __repr__(self) -> str:

@@ -94,6 +94,32 @@ CASES = [
         "from repro.compression.api import resolve_compressor\n"
         "comp = resolve_compressor('sz:codec=zlib')\n",
     ),
+    (
+        "RL010",
+        "import time\n\ndef backoff():\n    time.sleep(0.1)\n",
+        "from repro.resilience import RetryPolicy\n"
+        "def f(op):\n"
+        "    return RetryPolicy(max_attempts=3).execute(op, site='source.load')\n",
+    ),
+    (
+        "RL010",
+        "def f(op):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except Exception:\n"
+        "            pass\n",
+        # Typed handler with a budget that re-raises: not the
+        # keep-going-no-matter-what shape.
+        "def f(op, n):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return op()\n"
+        "        except OSError:\n"
+        "            n -= 1\n"
+        "            if n == 0:\n"
+        "                raise\n",
+    ),
 ]
 
 
@@ -195,6 +221,36 @@ class TestRuleEdges:
     def test_rl009_local_class_of_same_name_ok(self):
         src = "class SZCompressor:\n    pass\ncomp = SZCompressor()\n"
         assert codes(src) == []
+
+    def test_rl010_exempt_inside_resilience_package(self):
+        src = "import time\n\ndef backoff(d):\n    time.sleep(d)\n"
+        assert codes(src, path="src/repro/resilience/retry.py") == []
+        assert codes(src, path="src/repro/stream/source.py") == ["RL010"]
+
+    def test_rl010_aliased_sleep_and_bare_except_loop(self):
+        assert "RL010" in codes("from time import sleep\nsleep(1)\n")
+        loop = (
+            "def f(op):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return op()\n"
+            "        except:\n"
+            "            continue\n"
+        )
+        assert "RL010" in codes(loop)
+
+    def test_rl010_bounded_while_not_flagged(self):
+        # The loop condition itself bounds the attempts — not `while True`.
+        src = (
+            "def f(op, n):\n"
+            "    while n:\n"
+            "        n -= 1\n"
+            "        try:\n"
+            "            return op()\n"
+            "        except Exception:\n"
+            "            raise\n"
+        )
+        assert "RL010" not in codes(src)
 
 
 def test_every_rule_has_metadata_and_examples():

@@ -1,0 +1,36 @@
+"""Shared fixtures for the chaos / recovery suite.
+
+A tiny simulator keeps full stream runs cheap enough that every chaos
+scenario can afford a clean reference run to compare against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.decomposition import BlockDecomposition
+from repro.sim.nyx import NyxSimulator
+from repro.stream import SimulatorStream
+
+FIELDS = ("baryon_density", "temperature")
+REDSHIFTS = [5.0, 4.0, 3.0, 2.4, 1.8, 1.2, 0.8, 0.5]
+
+
+@pytest.fixture(scope="module")
+def chaos_sim() -> NyxSimulator:
+    return NyxSimulator(shape=(16, 16, 16), box_size=16.0, seed=11, sigma_delta0=2.5)
+
+
+@pytest.fixture(scope="module")
+def chaos_dec() -> BlockDecomposition:
+    return BlockDecomposition((16, 16, 16), blocks=2)
+
+
+@pytest.fixture(scope="module")
+def chaos_stream(chaos_sim):
+    """Factory for an n-snapshot two-field stream over the tiny box."""
+
+    def factory(n: int = 8) -> SimulatorStream:
+        return SimulatorStream(chaos_sim, REDSHIFTS[:n], fields=FIELDS)
+
+    return factory

@@ -1,0 +1,174 @@
+"""Crash-safety properties of the run ledger.
+
+The central property (hypothesis-driven): *cut a valid ledger file at
+any byte offset* — the on-disk state any interruption can leave behind
+— and ``RunLedger(path, recover=True)`` yields a replayable prefix of
+the original run, bitwise identical up to the cut.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.resilience import FaultPlan, TornWrite
+from repro.stream import InSituController, RunLedger, replay_ledger
+from repro.stream.ledger import LedgerError
+
+
+@pytest.fixture(scope="module")
+def baseline(chaos_stream, chaos_dec, tmp_path_factory):
+    """One clean governed run: (raw ledger bytes, events, replay)."""
+    path = tmp_path_factory.mktemp("baseline") / "run.jsonl"
+    ctl = InSituController(
+        chaos_dec, ledger=path, byte_budget=600_000, retain_results=False
+    )
+    ctl.run(chaos_stream(4))
+    raw = path.read_bytes()
+    events = RunLedger.load(path).events
+    return raw, events, replay_ledger(path)
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_any_byte_truncation_recovers_to_replayable_prefix(
+    baseline, tmp_path_factory, data
+):
+    raw, events, full_replay = baseline
+    cut = data.draw(st.integers(min_value=0, max_value=len(raw)), label="cut")
+    path = tmp_path_factory.mktemp("trunc") / "cut.jsonl"
+    path.write_bytes(raw[:cut])
+
+    ledger = RunLedger(path, recover=True)
+    ledger.close()
+
+    # Line spans in the original file: [start, end) with end past the
+    # "\n".  A line survives the cut iff its *content* is intact (a cut
+    # that only loses the trailing newline keeps a parseable event);
+    # a cut strictly inside the content is a torn tail.
+    spans = []
+    pos = 0
+    for line in raw.splitlines(keepends=True):
+        spans.append((pos, pos + len(line)))
+        pos += len(line)
+    expected_kept = sum(1 for s, e in spans if cut >= e - 1)
+    torn = any(s < cut < e - 1 for s, e in spans)
+
+    kept = [e for e in ledger.events if e.kind != "recovery"]
+    # 1. The recovered events are exactly the surviving prefix of the
+    #    original run: nothing fully on disk is dropped, nothing partial
+    #    is kept.
+    assert kept == events[:expected_kept]
+    assert len(kept) == expected_kept
+    # 2. A mid-content cut is truncated and reported; a cut at a line
+    #    boundary (with or without its newline) is not.
+    if torn:
+        assert ledger.recovered_tail is not None
+        assert ledger.recovered_tail["truncated_bytes"] > 0
+        assert ledger.select("recovery"), "recovery must be recorded in the ledger"
+    else:
+        assert ledger.recovered_tail is None
+    # 3. The prefix replays (verified) to a prefix of the full replay.
+    replayed = replay_ledger(path, verify=True)
+    assert replayed == full_replay[: len(replayed)]
+
+
+def test_recovery_is_idempotent(baseline, tmp_path):
+    raw, _, _ = baseline
+    path = tmp_path / "cut.jsonl"
+    path.write_bytes(raw[: len(raw) - 7])  # tear the final line
+    first = RunLedger(path, recover=True)
+    first.close()
+    assert first.recovered_tail is not None
+    again = RunLedger(path, recover=True)
+    again.close()
+    # Second open finds an undamaged file (plus the recovery event).
+    assert again.recovered_tail is None
+    assert again.events[: len(first.events)] == first.events
+
+
+def test_load_readonly_reports_tail_without_touching_file(baseline, tmp_path):
+    raw, events, _ = baseline
+    path = tmp_path / "cut.jsonl"
+    damaged = raw[: len(raw) - 5]
+    path.write_bytes(damaged)
+    ledger = RunLedger.load(path, recover=True)
+    assert ledger.recovered_tail is not None
+    assert ledger.recovered_tail["valid_bytes"] + ledger.recovered_tail[
+        "truncated_bytes"
+    ] == len(damaged)
+    assert path.read_bytes() == damaged, "load() must never modify the file"
+    with pytest.raises(LedgerError, match="closed"):
+        ledger.append("run_end")
+
+
+def test_mid_file_damage_is_corruption_not_crash(baseline, tmp_path):
+    raw, _, _ = baseline
+    lines = raw.splitlines(keepends=True)
+    assert len(lines) > 3
+    mangled = lines[0] + b'{"broken\n' + b"".join(lines[1:])
+    path = tmp_path / "corrupt.jsonl"
+    path.write_bytes(mangled)
+    with pytest.raises(LedgerError):
+        RunLedger(path, recover=True)
+
+
+def test_torn_write_fault_leaves_recoverable_file(tmp_path):
+    """An injected TornWrite produces exactly the partial-line state
+    recovery is specified against."""
+    path = tmp_path / "torn.jsonl"
+    ledger = RunLedger(path)
+    ledger.append("run_start", schema=3)
+    plan = FaultPlan().arm("ledger.append", kind="torn", at=1, fraction=0.5)
+    with plan.activate():
+        ledger.append("decision", field="temperature", ebs=[0.5])
+        with pytest.raises(TornWrite):
+            ledger.append("outcome", compressed_bytes=123)
+    ledger.close()
+
+    recovered = RunLedger(path, recover=True)
+    recovered.close()
+    assert [e.kind for e in recovered.events] == [
+        "run_start",
+        "decision",
+        "recovery",
+    ]
+    tail = recovered.recovered_tail
+    assert tail is not None and 0 < tail["truncated_bytes"] < 60
+    # The file itself now ends with the recovery event — fully valid.
+    assert RunLedger.load(path).events == recovered.events
+
+
+def test_retried_append_reuses_sequence_id(tmp_path):
+    """The fault point fires before commit, so a retried append cannot
+    burn a sequence id (which would break monotonicity on replay)."""
+    from repro.resilience import RetryPolicy
+
+    path = tmp_path / "retry.jsonl"
+    ledger = RunLedger(path)
+    policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+    plan = FaultPlan().arm("ledger.append", kind="crash", at=0)
+    with plan.activate():
+        event = policy.execute(
+            lambda: ledger.append("run_start", schema=3),
+            site="ledger.append",
+            sleep=lambda _: None,
+        )
+    ledger.close()
+    assert event.seq == 0
+    assert plan.fired("ledger.append") == 1
+    assert [e.seq for e in RunLedger.load(path).events] == [0]
+
+
+def test_fsync_ledger_appends_and_recovers(tmp_path):
+    path = tmp_path / "sync.jsonl"
+    with RunLedger(path, fsync=True) as ledger:
+        ledger.append("run_start", schema=3)
+        ledger.append("run_end", n_snapshots=0)
+    assert [e.kind for e in RunLedger.load(path).events] == ["run_start", "run_end"]

@@ -1,0 +1,142 @@
+"""Unit coverage for RetryPolicy: seeded backoff, budgets, classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import (
+    InjectedCrash,
+    RetryExhaustedError,
+    RetryPolicy,
+    TransientError,
+)
+
+
+def failing_times(n: int, exc_factory=lambda k: TransientError(f"boom {k}")):
+    """An operation that fails its first ``n`` calls, then returns 'ok'."""
+    calls = []
+
+    def op():
+        calls.append(None)
+        if len(calls) <= n:
+            raise exc_factory(len(calls))
+        return "ok"
+
+    op.calls = calls
+    return op
+
+
+class TestDelays:
+    def test_schedule_length_is_budget_minus_one(self):
+        policy = RetryPolicy(max_attempts=4)
+        assert len(policy.delays("site")) == 3
+
+    def test_deterministic_per_seed_and_site(self):
+        a = RetryPolicy(max_attempts=5, seed=3).delays("stream.field:temperature")
+        b = RetryPolicy(max_attempts=5, seed=3).delays("stream.field:temperature")
+        assert a == b
+
+    def test_distinct_sites_get_distinct_jitter(self):
+        policy = RetryPolicy(max_attempts=5, jitter=0.5, seed=3)
+        assert policy.delays("source.load") != policy.delays("ledger.append")
+
+    def test_exponential_shape_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.1, backoff=2.0, jitter=0.0, max_delay=60.0
+        )
+        assert policy.delays("s") == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_max_delay_caps_the_tail(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, backoff=10.0, jitter=0.0, max_delay=5.0
+        )
+        assert policy.delays("s") == pytest.approx([1.0, 5.0, 5.0, 5.0, 5.0])
+
+    def test_jitter_only_stretches(self):
+        # Jitter multiplies by (1 + jitter * u), u in [0, 1): never shrinks
+        # a delay below its deterministic base value.
+        base = RetryPolicy(max_attempts=6, jitter=0.0, seed=7)
+        jittered = RetryPolicy(max_attempts=6, jitter=0.5, seed=7)
+        for lo, hi in zip(base.delays("s"), jittered.delays("s")):
+            assert lo <= hi <= lo * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestExecute:
+    def test_success_after_transient_failures(self):
+        sleeps = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.01, jitter=0.25, seed=1)
+        op = failing_times(2)
+        assert policy.execute(op, site="s", sleep=sleeps.append) == "ok"
+        assert len(op.calls) == 3
+        # The injected sleep saw exactly the precomputed schedule prefix.
+        assert sleeps == policy.delays("s")[:2]
+
+    def test_on_retry_hook_sees_site_attempt_exc_delay(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, base_delay=0.02, jitter=0.0)
+
+        def on_retry(site, attempt, exc, delay):
+            seen.append((site, attempt, type(exc).__name__, delay))
+
+        policy.execute(
+            failing_times(1), site="s", sleep=lambda _: None, on_retry=on_retry
+        )
+        assert seen == [("s", 1, "TransientError", pytest.approx(0.02))]
+
+    def test_non_retryable_propagates_immediately(self):
+        policy = RetryPolicy(max_attempts=5)
+        op = failing_times(5, exc_factory=lambda k: KeyError(k))
+        with pytest.raises(KeyError):
+            policy.execute(op, site="s", sleep=lambda _: None)
+        assert len(op.calls) == 1
+
+    def test_exhaustion_raises_typed_error_with_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        op = failing_times(99)
+        with pytest.raises(RetryExhaustedError) as err:
+            policy.execute(op, site="stream.field:vx", sleep=lambda _: None)
+        exc = err.value
+        assert exc.site == "stream.field:vx"
+        assert exc.attempts == 2
+        assert isinstance(exc.last, TransientError)
+        assert exc.__cause__ is exc.last
+        assert len(op.calls) == 2
+
+    def test_default_classification_covers_the_stream_failure_modes(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        for exc_factory in (
+            lambda k: InjectedCrash("w"),  # TransientError subclass
+            lambda k: TimeoutError("t"),
+            lambda k: OSError("disk"),
+        ):
+            op = failing_times(1, exc_factory=exc_factory)
+            assert policy.execute(op, site="s", sleep=lambda _: None) == "ok"
+
+    def test_custom_retryable_narrows_classification(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.0, jitter=0.0, retryable=(ValueError,)
+        )
+        assert policy.execute(
+            failing_times(1, lambda k: ValueError(k)), site="s", sleep=lambda _: None
+        ) == "ok"
+        with pytest.raises(OSError):
+            policy.execute(
+                failing_times(1, lambda k: OSError(k)), site="s", sleep=lambda _: None
+            )
+
+    def test_single_attempt_budget_never_sleeps(self):
+        policy = RetryPolicy(max_attempts=1)
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            policy.execute(failing_times(9), site="s", sleep=sleeps.append)
+        assert sleeps == []
