@@ -28,9 +28,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compression.codecs import get_codec
+from repro.compression.codecs import _minimal_uint_dtype, get_codec
+from repro.compression.kernels import available_kernels
 from repro.compression.quantizer import DEFAULT_RADIUS
-from repro.compression.sz import SZCompressor, _zigzag
+from repro.compression.sz import (
+    SZCompressor,
+    _deflate_channel,
+    _pack_outlier_pos,
+    _zigzag,
+)
 from repro.models.calibration import calibrate_rate_model
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSimulator
@@ -38,6 +44,15 @@ from repro.util.tables import format_table
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 SHAPE = (32, 32, 32) if SMOKE else (64, 64, 64)
+#: Field sizes for the batched compress_many comparison; each is cut
+#: into 32^3 blocks (the paper-scale partition the batch path targets).
+BATCH_GRIDS = ((32, 32, 32),) if SMOKE else ((64, 64, 64), (128, 128, 128))
+#: Wall-clock floors for the batched path, asserted only on real
+#: multi-core hardware (see the gate in test_batched_compress): the
+#: prange numba backend must win >= 5x end-to-end, the pure-NumPy
+#: batch >= 1.2x, both vs. a Python loop of single-block compresses.
+MIN_NUMBA_BATCH_SPEEDUP = 5.0
+MIN_NUMPY_BATCH_SPEEDUP = 1.2
 #: Partition counts per axis for the calibration comparison; the first
 #: entry is the primary grid the >= 3x acceptance is asserted on.
 CALIBRATION_BLOCKS = (2,) if SMOKE else (2, 4)
@@ -220,3 +235,158 @@ def test_hotpath(benchmark):
             f"fused kernel slower than seed ({kernel_speedup:.2f}x)"
         )
         assert compress_speedup > 0.9, "fused end-to-end compress regressed"
+
+
+# -- batched block-parallel compression (PR 8) -------------------------------
+
+_STAGES = ("map", "quantize", "lorenzo", "residual", "entropy", "side_channels")
+
+
+def _stage_times(comp: SZCompressor, views, eb: float) -> dict[str, float]:
+    """Best-of-ROUNDS per-stage breakdown of one batched compress pass.
+
+    Mirrors ``_quantize_encode_batch`` + ``_encode_payloads_batch`` stage
+    for stage over the compressor's selected kernel backend: eb-space
+    mapping (host NumPy by design), batched quantize, batched Lorenzo,
+    batched residual encode, per-block entropy coding, and the outlier
+    side channels.
+    """
+    kern = comp._kernels()
+    ws = comp.workspace
+    n_blocks = len(views)
+    shape = views[0].shape
+    n = int(np.prod(shape))
+    shape3 = tuple(shape) + (1,) * (3 - len(shape))
+    best = dict.fromkeys(_STAGES, float("inf"))
+    for _ in range(ROUNDS):
+        marks = [time.perf_counter()]
+        work = ws.request("bench_work", (n_blocks, n), np.float64)
+        for b, view in enumerate(views):
+            np.divide(
+                np.asarray(view, dtype=np.float64).reshape(-1),
+                2.0 * eb,
+                out=work[b],
+            )
+        marks.append(time.perf_counter())
+        lattice = ws.request("bench_lattice", (n_blocks, n), np.int64)
+        if not kern.quantize(work, lattice):
+            raise ValueError("benchmark data not quantizable")
+        marks.append(time.perf_counter())
+        kern.lorenzo(lattice.reshape((n_blocks,) + shape3))
+        marks.append(time.perf_counter())
+        counts, pos, val = kern.encode_residuals(lattice, comp.radius)
+        marks.append(time.perf_counter())
+        narrow = ws.request(
+            "bench_narrow", (n_blocks, n), _minimal_uint_dtype(int(lattice.max()))
+        )
+        kern.narrow(lattice, narrow)
+        for b in range(n_blocks):
+            comp.codec.encode_narrowed(narrow[b])
+        marks.append(time.perf_counter())
+        if pos.size:
+            pos_narrow = ws.request(
+                "bench_pos", pos.shape, _minimal_uint_dtype(n - 1)
+            )
+            kern.narrow(pos, pos_narrow)
+            zz = kern.zigzag(val)
+            lo = 0
+            for b in range(n_blocks):
+                hi = lo + int(counts[b])
+                _pack_outlier_pos(pos_narrow[lo:hi])
+                _deflate_channel(zz[lo:hi])
+                lo = hi
+        marks.append(time.perf_counter())
+        for stage, t0, t1 in zip(_STAGES, marks, marks[1:]):
+            best[stage] = min(best[stage], t1 - t0)
+    return best
+
+
+def test_batched_compress(benchmark):
+    """Loop-of-compress vs. batched compress_many per kernel backend.
+
+    Byte-identity between the two paths is asserted unconditionally;
+    the wall-clock floors only on real multi-core hardware (single-core
+    runners can't show a parallel win and shared CI timing is flaky).
+    """
+    cores = os.cpu_count() or 1
+    backends = list(available_kernels())
+    grids = {}
+    table_rows = []
+    for grid in BATCH_GRIDS:
+        sim = NyxSimulator(
+            shape=grid, box_size=float(grid[0]), seed=42, sigma_delta0=2.5
+        )
+        data = sim.snapshot(z=0.5)["temperature"]
+        eb = float(np.ptp(data.astype(np.float64))) * 3e-3
+        views = BlockDecomposition(data.shape, blocks=grid[0] // 32).partition_views(
+            data
+        )
+        ebs = [eb] * len(views)
+        grid_record = {"n_blocks": len(views), "block": 32, "backends": {}}
+        for backend in backends:
+            comp = SZCompressor(kernels=backend)
+            comp.compress_many(views[:2], ebs[:2])  # warm workspace + JIT
+            batched = comp.compress_many(views, ebs)
+            singles = [comp.compress(v, eb) for v in views]
+            assert [b.payloads for b in batched] == [s.payloads for s in singles]
+
+            def run_loop(c=comp, v=views, e=eb):
+                return [c.compress(x, e) for x in v]
+
+            t_loop = _best_of(run_loop)
+            t_batch = _best_of(lambda c=comp, v=views, e=ebs: c.compress_many(v, e))
+            speedup = t_loop / t_batch
+            grid_record["backends"][backend] = {
+                "loop_s": t_loop,
+                "batch_s": t_batch,
+                "speedup": speedup,
+                "stages_s": _stage_times(comp, views, eb),
+            }
+            table_rows.append(
+                [f"{grid[0]}^3 / {backend}", t_loop, t_batch, speedup]
+            )
+        grids[f"{grid[0]}^3"] = grid_record
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    record = {
+        "kind": "batched_compress",
+        "smoke": SMOKE,
+        "cpu_count": cores,
+        "numba_available": "numba" in backends,
+        "grids": grids,
+    }
+    trajectory = []
+    if TRAJECTORY.exists():
+        try:
+            trajectory = json.loads(TRAJECTORY.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(record)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    print()
+    print(
+        format_table(
+            ["grid / kernels", "loop (s)", "compress_many (s)", "speedup"],
+            table_rows,
+            title=f"Batched compress ({cores} core(s))"
+            + (" [smoke]" if SMOKE else ""),
+        )
+    )
+    largest = grids[f"{BATCH_GRIDS[-1][0]}^3"]["backends"]
+    for backend, stats in largest.items():
+        stages = stats["stages_s"]
+        total = sum(stages.values())
+        breakdown = ", ".join(
+            f"{s}={stages[s] * 1e3:.1f}ms" for s in _STAGES
+        )
+        print(f"stages[{backend}] ({total * 1e3:.1f}ms total): {breakdown}")
+
+    if not SMOKE and cores >= 4:
+        if "numba" in largest:
+            assert largest["numba"]["speedup"] >= MIN_NUMBA_BATCH_SPEEDUP, (
+                f"numba batch only {largest['numba']['speedup']:.2f}x"
+            )
+        assert largest["numpy"]["speedup"] >= MIN_NUMPY_BATCH_SPEEDUP, (
+            f"numpy batch only {largest['numpy']['speedup']:.2f}x"
+        )

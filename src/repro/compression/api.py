@@ -190,9 +190,21 @@ class CompressorSpec:
         codec: str = "zlib",
         radius: int = DEFAULT_RADIUS,
         engine: str = "dual",
+        kernels: str | None = None,
     ) -> "CompressorSpec":
-        """The SZ family; ``codec`` is the *entropy* stage (zlib/huffman/raw)."""
-        return cls.make("sz", mode=mode, codec=codec, radius=int(radius), engine=engine)
+        """The SZ family; ``codec`` is the *entropy* stage (zlib/huffman/raw).
+
+        ``kernels`` selects the batch kernel backend
+        (``numpy``/``numba``/``auto``); ``None`` omits the key so specs
+        parsed from pre-kernels ledgers compare equal (``canonical``
+        fills the ``auto`` default either way).
+        """
+        params: dict[str, Any] = dict(
+            mode=mode, codec=codec, radius=int(radius), engine=engine
+        )
+        if kernels is not None:
+            params["kernels"] = kernels
+        return cls.make("sz", **params)
 
     @classmethod
     def zfp_like(cls, rate: float = 8.0) -> "CompressorSpec":
@@ -305,8 +317,10 @@ class ZFPLikeAdapter:
         views: list[np.ndarray],
         ebs: Any,
         workspace: Any | None = None,
+        threads: int | None = None,
     ) -> list[ZFPBlockStream]:
-        return [self._inner.compress(v) for v in views]
+        # Fixed-rate transform coding has no batched kernel path yet.
+        return [self._inner.compress(v) for v in views]  # repro-lint: disable=RL011
 
     def decompress(self, block: ZFPBlockStream) -> np.ndarray:
         # Blocks are self-describing: reuse the owned instance when the
@@ -359,8 +373,13 @@ class AdaptiveSZAdapter:
         views: list[np.ndarray],
         ebs: Any,
         workspace: Any | None = None,
+        threads: int | None = None,
     ) -> list[AdaptiveBlockStream]:
-        return [self._inner.compress(v, float(eb)) for v, eb in zip(views, ebs)]
+        # Per-block predictor selection is inherently sequential.
+        return [
+            self._inner.compress(v, float(eb))  # repro-lint: disable=RL011
+            for v, eb in zip(views, ebs)
+        ]
 
     def decompress(self, block: AdaptiveBlockStream) -> np.ndarray:
         return self._inner.decompress(block)
@@ -532,6 +551,7 @@ def register_builtin_families(registry: CompressorRegistry | None = None) -> Non
             "codec": "zlib",
             "radius": DEFAULT_RADIUS,
             "engine": "dual",
+            "kernels": "auto",
         },
         description=(
             "error-bounded SZ-style compressor (quantize -> Lorenzo -> "

@@ -48,6 +48,17 @@ class Codec(ABC):
     def decode(self, blob: bytes, n: int) -> np.ndarray:
         """Recover exactly ``n`` codes from ``blob`` (dtype int64)."""
 
+    def encode_narrowed(self, codes: np.ndarray) -> bytes:
+        """Encode codes the caller has already narrowed to their minimal
+        unsigned dtype (non-negative, value-minimal width).
+
+        Byte-identical to :meth:`encode` — the batched hot path uses it
+        to skip the validation and min/max rescans encode would repeat
+        per block.  The default just delegates; codecs whose encode
+        starts with a narrowing pass override it.
+        """
+        return self.encode(codes)
+
     @staticmethod
     def _validate(codes: np.ndarray) -> np.ndarray:
         codes = np.asarray(codes)
@@ -69,6 +80,11 @@ class RawCodec(Codec):
             return b"\x01"
         dt = _minimal_uint_dtype(int(codes.max()))
         return bytes([dt.itemsize]) + codes.astype(dt, copy=False).tobytes()
+
+    def encode_narrowed(self, codes: np.ndarray) -> bytes:
+        if codes.size == 0:
+            return b"\x01"
+        return bytes([codes.dtype.itemsize]) + codes.tobytes()
 
     def decode(self, blob: bytes, n: int) -> np.ndarray:
         if n == 0:
@@ -98,6 +114,12 @@ class ZlibCodec(Codec):
         # full copy left on this path is DEFLATE's own output.
         payload = np.ascontiguousarray(codes.astype(dt, copy=False))
         return bytes([dt.itemsize]) + zlib.compress(payload, self.level)
+
+    def encode_narrowed(self, codes: np.ndarray) -> bytes:
+        if codes.size == 0:
+            return b"\x01"
+        payload = np.ascontiguousarray(codes)
+        return bytes([codes.dtype.itemsize]) + zlib.compress(payload, self.level)
 
     def decode(self, blob: bytes, n: int) -> np.ndarray:
         if n == 0:

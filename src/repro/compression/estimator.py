@@ -67,8 +67,10 @@ HEADER_BYTES = 32
 #: Adler-32) and deflate block framing.
 PAYLOAD_CONTAINER_BYTES = 12
 
-#: Stored bytes per outlier: an int64 flat position plus an int64
-#: (zigzag) exact lattice residual / float64 exact value.
+#: Legacy stored bytes per outlier (int64 position + int64 value).
+#: Kept exported for callers that budget conservatively; the estimator
+#: itself now charges the narrowed position width the compressor
+#: actually serializes (8 value bytes + minimal position itemsize).
 OUTLIER_BYTES = 16
 
 #: DEFLATE efficiency vs. byte-plane marginal entropy (bits/byte),
@@ -253,5 +255,8 @@ def estimate_nbytes(
     total = float(header_bytes)
     total += n_elements * bits / 8.0 + PAYLOAD_CONTAINER_BYTES
     if n_outliers:
-        total += n_outliers * OUTLIER_BYTES + 2 * PAYLOAD_CONTAINER_BYTES
+        # Positions are narrowed to the smallest uint covering the block
+        # (plus a 1-byte width tag on the channel); values stay 8 bytes.
+        pos_itemsize = _minimal_itemsize(max(n_elements - 1, 0))
+        total += n_outliers * (8 + pos_itemsize) + 1 + 2 * PAYLOAD_CONTAINER_BYTES
     return total, bits

@@ -24,9 +24,39 @@ import numpy as np
 __all__ = [
     "lorenzo_transform",
     "lorenzo_transform_inplace",
+    "lorenzo_transform_batch_inplace",
     "lorenzo_inverse",
     "classic_sz_quantize",
 ]
+
+
+def _mixed_difference_inplace(
+    arr: np.ndarray, axes: "tuple[int, ...] | range", scratch: np.ndarray
+) -> np.ndarray:
+    """First difference (zero boundary) along each of ``axes``, in place.
+
+    The shared core of the single-block and batched transforms: each
+    axis's ``hi - lo`` runs through one reusable ``scratch`` buffer
+    instead of ``np.diff``'s per-axis output allocations.  Length-1 axes
+    are skipped (their zero-boundary diff is the identity), which is
+    also what makes trailing singleton padding a no-op for the batched
+    3-D normalization.
+    """
+    flat_scratch = scratch.reshape(-1)
+    for axis in axes:
+        if arr.shape[axis] < 2:
+            continue
+        upper = tuple(
+            slice(1, None) if ax == axis else slice(None) for ax in range(arr.ndim)
+        )
+        lower = tuple(
+            slice(None, -1) if ax == axis else slice(None) for ax in range(arr.ndim)
+        )
+        hi = arr[upper]
+        tmp = flat_scratch[: hi.size].reshape(hi.shape)
+        np.subtract(hi, arr[lower], out=tmp)
+        hi[...] = tmp
+    return arr
 
 
 def lorenzo_transform(data: np.ndarray) -> np.ndarray:
@@ -58,21 +88,33 @@ def lorenzo_transform_inplace(arr: np.ndarray, scratch: np.ndarray | None = None
         raise ValueError(
             f"scratch must provide >= {arr.size} elements of dtype {arr.dtype}"
         )
-    flat_scratch = scratch.reshape(-1)
-    for axis in range(arr.ndim):
-        if arr.shape[axis] < 2:
-            continue  # the zero-boundary diff of a length-1 axis is the identity
-        upper = tuple(
-            slice(1, None) if ax == axis else slice(None) for ax in range(arr.ndim)
+    return _mixed_difference_inplace(arr, range(arr.ndim), scratch)
+
+
+def lorenzo_transform_batch_inplace(
+    batch: np.ndarray, scratch: np.ndarray | None = None
+) -> np.ndarray:
+    """Lorenzo-transform every block of a ``(B, ...)`` stack in place.
+
+    ``batch`` stacks same-shape blocks along a leading batch axis; the
+    transform runs over the trailing (block) axes only, so the result of
+    row ``b`` is element-for-element identical to
+    ``lorenzo_transform_inplace(batch[b])``.  This is the one-pass
+    multi-block kernel behind the batched compress path: each per-axis
+    difference is a single strided ufunc over the whole stack instead of
+    one Python-level call per block.
+    """
+    if batch.ndim < 2 or batch.ndim > 4:
+        raise ValueError(
+            f"batched lorenzo expects (B, 1-3 block dims), got {batch.ndim}-D"
         )
-        lower = tuple(
-            slice(None, -1) if ax == axis else slice(None) for ax in range(arr.ndim)
+    if scratch is None:
+        scratch = np.empty(batch.size, dtype=batch.dtype)
+    elif scratch.dtype != batch.dtype or scratch.size < batch.size:
+        raise ValueError(
+            f"scratch must provide >= {batch.size} elements of dtype {batch.dtype}"
         )
-        hi = arr[upper]
-        tmp = flat_scratch[: hi.size].reshape(hi.shape)
-        np.subtract(hi, arr[lower], out=tmp)
-        hi[...] = tmp
-    return arr
+    return _mixed_difference_inplace(batch, range(1, batch.ndim), scratch)
 
 
 def lorenzo_inverse(residuals: np.ndarray) -> np.ndarray:

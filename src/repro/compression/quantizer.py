@@ -31,10 +31,12 @@ __all__ = [
     "QuantizedResiduals",
     "quantize_abs",
     "quantize_abs_into",
+    "quantize_lattice_batch",
     "dequantize_abs",
     "pw_rel_to_log_abs",
     "encode_residuals",
     "encode_residuals_inplace",
+    "encode_residuals_batch",
     "decode_residuals",
 ]
 
@@ -82,6 +84,31 @@ def quantize_abs_into(work: np.ndarray, ws: Workspace) -> np.ndarray:
     q = ws.request("lattice_i64", work.shape, np.int64)
     np.copyto(q, work, casting="unsafe")  # values are integral: cast is exact
     return q
+
+
+def quantize_lattice_batch(
+    work: np.ndarray, lattice: np.ndarray, mask: np.ndarray | None = None
+) -> bool:
+    """Batched tail of :func:`quantize_abs_into` over caller-owned buffers.
+
+    ``work`` is a ``(B, n)`` float64 stack already holding each block's
+    ``data / (2*eb)``; it is rounded in place and exact-cast into the
+    int64 ``lattice`` of the same shape.  Returns ``False`` when any
+    value is non-finite or outside the int64-safe lattice range (the
+    caller raises — this function is also the NumPy reference kernel
+    behind the device-ready array API, so it reports instead of
+    raising).  ``mask`` is optional bool scratch of the same shape;
+    device backends ignore it.
+    """
+    np.rint(work, out=work)
+    if mask is None:
+        mask = np.isfinite(work)
+    else:
+        np.isfinite(work, out=mask)
+    if not mask.all() or max(float(work.max()), -float(work.min())) >= 2**62:
+        return False
+    np.copyto(lattice, work, casting="unsafe")  # values are integral: cast is exact
+    return True
 
 
 def dequantize_abs(q: np.ndarray, eb: float) -> np.ndarray:
@@ -174,6 +201,47 @@ def encode_residuals_inplace(
         outlier_values=out_val,
         radius=radius,
     )
+
+
+def encode_residuals_batch(
+    res: np.ndarray,
+    radius: int,
+    fits: np.ndarray | None = None,
+    misfit: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`encode_residuals_inplace` over a ``(B, n)`` stack.
+
+    ``res`` holds one flattened block of int64 Lorenzo residuals per row
+    and is overwritten with the bounded codes; the ufunc sequence is the
+    same as the single-block path so each row's codes are byte-identical
+    to ``encode_residuals_inplace(res[b], ...)``.  Returns
+    ``(counts, positions, values)`` where ``counts[b]`` is block ``b``'s
+    outlier count and ``positions``/``values`` concatenate the per-block
+    within-block flat indices and exact residuals in block order.
+    ``fits``/``misfit`` are optional bool scratch of ``res``'s shape;
+    device backends ignore them.
+    """
+    if radius < 2:
+        raise ValueError(f"radius must be >= 2, got {radius}")
+    n_blocks, block_len = res.shape
+    res += radius  # codes with offset, in place
+    if fits is None:
+        fits = np.empty(res.shape, dtype=np.bool_)
+    if misfit is None:
+        misfit = np.empty(res.shape, dtype=np.bool_)
+    np.greater_equal(res, 1, out=fits)
+    np.less_equal(res, 2 * radius - 1, out=misfit)
+    np.logical_and(fits, misfit, out=fits)
+    np.logical_not(fits, out=misfit)
+    flat = res.reshape(-1)
+    idx = np.flatnonzero(misfit.reshape(-1))
+    val = flat[idx]
+    val -= radius  # back to the original residuals
+    flat[idx] = 0
+    block_ids = idx // block_len
+    counts = np.bincount(block_ids, minlength=n_blocks).astype(np.int64, copy=False)
+    pos = idx - block_ids * block_len
+    return counts, pos.astype(np.int64, copy=False), val
 
 
 def decode_residuals(qr: QuantizedResiduals) -> np.ndarray:

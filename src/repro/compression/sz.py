@@ -23,6 +23,7 @@ the test suite.
 
 from __future__ import annotations
 
+import os
 import threading
 import zlib
 from dataclasses import dataclass, field
@@ -37,19 +38,20 @@ from repro.compression.estimator import (
     code_histogram,
     estimate_nbytes,
 )
-from repro.compression.lorenzo import (
-    classic_sz_quantize,
-    lorenzo_inverse,
-    lorenzo_transform_inplace,
+from repro.compression.kernels import (
+    KERNEL_CHOICES,
+    ArrayKernels,
+    get_kernels,
+    unzigzag,
+    zigzag,
 )
+from repro.compression.lorenzo import classic_sz_quantize, lorenzo_inverse
 from repro.compression.quantizer import (
     DEFAULT_RADIUS,
     QuantizedResiduals,
     decode_residuals,
     dequantize_abs,
-    encode_residuals_inplace,
     pw_rel_to_log_abs,
-    quantize_abs_into,
 )
 from repro.compression.workspace import Workspace
 from repro.util.validation import check_positive
@@ -58,6 +60,9 @@ __all__ = ["SZCompressor", "CompressedBlock", "decompress", "HEADER_BYTES"]
 
 _MODES = ("abs", "pw_rel")
 _ENGINES = ("dual", "classic")
+
+#: Shared empty channel — the hot path must not allocate per block.
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 def _deflate_channel(buf: "bytes | np.ndarray", level: int = 6) -> bytes:
@@ -75,15 +80,37 @@ def _inflate_channel(blob: bytes) -> bytes:
     return zlib.decompress(blob) if blob else b""
 
 
-def _zigzag(values: np.ndarray) -> np.ndarray:
-    """Map signed int64 to non-negative ints (0,-1,1,-2,... -> 0,1,2,3,...)."""
-    v = np.asarray(values, dtype=np.int64)
-    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+# Canonical zigzag now lives in the kernels module (it is one of the
+# array-API ops); these aliases keep the historical private names alive.
+_zigzag = zigzag
+_unzigzag = unzigzag
 
 
-def _unzigzag(values: np.ndarray) -> np.ndarray:
-    v = np.asarray(values, dtype=np.uint64)
-    return ((v >> 1).astype(np.int64)) ^ -(v & 1).astype(np.int64)
+def _pack_outlier_pos(arr: np.ndarray, level: int = 6) -> bytes:
+    """Serialize outlier positions: ``[1B itemsize][zlib(narrowed ints)]``.
+
+    The caller narrows ``arr`` to the smallest uint dtype covering the
+    block size, so a 64^3 block spends 4 bytes per outlier position
+    instead of int64's 8 before DEFLATE even starts.  Empty channels
+    store ``b""``.  The leading itemsize byte is in {1, 2, 4, 8} and a
+    bare legacy zlib stream starts with 0x78, so
+    :func:`_decode_outlier_pos` can keep reading old int64 blobs.
+    """
+    if not arr.size:
+        return b""
+    return bytes([arr.dtype.itemsize]) + zlib.compress(arr, level)
+
+
+def _decode_outlier_pos(blob: bytes) -> np.ndarray:
+    """Read an outlier-position channel, legacy int64 blobs included."""
+    if not blob:
+        return _EMPTY_I64
+    itemsize = blob[0]
+    if itemsize in (1, 2, 4, 8):
+        raw = zlib.decompress(blob[1:])
+        return np.frombuffer(raw, dtype=np.dtype(f"u{itemsize}")).astype(np.int64)
+    # Legacy format: the whole blob is a zlib stream of int64 positions.
+    return np.frombuffer(zlib.decompress(blob), dtype=np.int64)
 
 
 @dataclass
@@ -141,6 +168,12 @@ class SZCompressor:
     engine:
         ``"dual"`` (vectorized, cuSZ ordering) or ``"classic"``
         (sequential CPU-SZ ordering).
+    kernels:
+        Batch kernel backend for the dual engine's hot path:
+        ``"numpy"`` (reference), ``"numba"``
+        (``@njit(parallel=True)``; requires numba), or ``"auto"``
+        (default — numba when importable, else numpy).  Payload bytes
+        are identical across backends (property-tested).
 
     Examples
     --------
@@ -164,6 +197,7 @@ class SZCompressor:
         codec: str | Codec = "zlib",
         radius: int = DEFAULT_RADIUS,
         engine: str = "dual",
+        kernels: str = "auto",
     ) -> None:
         if mode not in _MODES:
             raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -171,10 +205,20 @@ class SZCompressor:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         if radius < 2:
             raise ValueError(f"radius must be >= 2, got {radius}")
+        if kernels not in KERNEL_CHOICES:
+            raise ValueError(
+                f"kernels must be one of {KERNEL_CHOICES}, got {kernels!r}"
+            )
         self.mode = mode
         self.codec = get_codec(codec)
         self.radius = int(radius)
         self.engine = engine
+        self.kernels = kernels
+        # An explicit numba request fails here, at construction, with an
+        # actionable message; "auto"/"numpy" resolve lazily on first use.
+        self._kernel_impl: ArrayKernels | None = (
+            get_kernels(kernels) if kernels == "numba" else None
+        )
         self._tls = threading.local()
 
     @property
@@ -186,8 +230,23 @@ class SZCompressor:
         ledger records this spec with every decision.
         """
         return CompressorSpec.sz(
-            mode=self.mode, codec=self.codec.name, radius=self.radius, engine=self.engine
+            mode=self.mode,
+            codec=self.codec.name,
+            radius=self.radius,
+            engine=self.engine,
+            kernels=self.kernels,
         )
+
+    def _kernels(self) -> ArrayKernels:
+        impl = self._kernel_impl
+        if impl is None:
+            impl = self._kernel_impl = get_kernels(self.kernels)
+        return impl
+
+    @property
+    def kernel_backend(self) -> str:
+        """The resolved kernel-backend name (``"auto"`` pinned to its pick)."""
+        return self._kernels().name
 
     # -- workspace management --------------------------------------------
 
@@ -209,10 +268,13 @@ class SZCompressor:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         state.pop("_tls", None)  # thread-locals are per-process scratch
+        state.pop("_kernel_impl", None)  # re-resolved per process
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("kernels", "auto")  # pre-kernels pickles
+        self._kernel_impl = None
         self._tls = threading.local()
 
     # -- public API ------------------------------------------------------
@@ -236,16 +298,26 @@ class SZCompressor:
         views: list[np.ndarray],
         ebs: np.ndarray | list[float],
         workspace: Workspace | None = None,
+        threads: int | None = None,
     ) -> list[CompressedBlock]:
         """Compress a batch of partitions under per-partition bounds.
 
-        The batched hot path used by the execution backends: one task can
-        carry many partitions, with argument validation and bound checks
-        amortized over the whole batch instead of paid per call, and one
-        :class:`Workspace` reused across the entire batch so scratch
-        buffers are allocated once per worker rather than once per block.
+        The batched hot path used by the execution backends.  Blocks are
+        grouped by shape and each group runs the *whole* front of the
+        pipeline — quantize, Lorenzo, residual encode, code narrowing,
+        outlier side channels — as one multi-block kernel pass over
+        ``(B, n)`` workspace arenas (see
+        :mod:`repro.compression.kernels`), instead of one interpreter
+        round-trip per block.  The per-block entropy stage then fans out
+        over a thread pool (zlib releases the GIL), saturating cores
+        without any shared-memory round-trips for intermediates.
+
+        ``threads`` caps the entropy-stage fan-out: ``None`` (default)
+        uses the CPU count, ``1`` keeps everything in the calling thread
+        (what process-pool workers pass to avoid oversubscription).
         Output blocks are byte-identical to per-partition
-        :meth:`compress` calls.
+        :meth:`compress` calls regardless of grouping, backend, or
+        thread count (property-tested).
         """
         arrs = [self._check_array(np.asarray(v)) for v in views]
         eb_arr = np.asarray(ebs, dtype=np.float64)
@@ -257,9 +329,26 @@ class SZCompressor:
         if not np.isfinite(eb_arr).all() or (eb_arr <= 0).any():
             raise ValueError("all error bounds must be positive and finite")
         ws = workspace or self.workspace
-        return [
-            self._compress_checked(arr, float(eb), ws) for arr, eb in zip(arrs, eb_arr)
-        ]
+        if self.engine != "dual":
+            # The classic engine is a sequential reference path with no
+            # batched kernels; keep the historical per-block loop.
+            return [
+                self._compress_checked(arr, float(eb), ws)  # repro-lint: disable=RL011
+                for arr, eb in zip(arrs, eb_arr)
+            ]
+        if threads is None:
+            threads = os.cpu_count() or 1
+        blocks: list[CompressedBlock | None] = [None] * len(arrs)
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for i, arr in enumerate(arrs):
+            groups.setdefault(arr.shape, []).append(i)
+        for idxs in groups.values():
+            group = self._compress_batch(
+                [arrs[i] for i in idxs], eb_arr[idxs], ws, threads
+            )
+            for i, blk in zip(idxs, group):
+                blocks[i] = blk
+        return blocks
 
     def estimate(
         self, data: np.ndarray, eb: float, workspace: Workspace | None = None
@@ -323,27 +412,25 @@ class SZCompressor:
     def _compress_checked(
         self, arr: np.ndarray, eb: float, ws: Workspace
     ) -> CompressedBlock:
-        source_itemsize = arr.dtype.itemsize if arr.dtype.kind == "f" else 8
-
         if self.engine == "dual":
-            qr = self._quantize_encode(arr, eb, ws)
-            payloads = self._encode_payloads(qr, ws)
-        else:
-            work, abs_eb = self._to_workspace(arr, eb)
-            codes3d, _recon = classic_sz_quantize(
-                np.atleast_3d(work), abs_eb, self.radius
-            )
-            codes = codes3d.ravel()
-            out_pos = np.flatnonzero(codes == 0)
-            out_val_float = np.atleast_3d(work).ravel()[out_pos]
-            payloads = {
-                "codes": self.codec.encode(codes),
-                "outlier_pos": _deflate_channel(out_pos.astype(np.int64, copy=False)),
-                "outlier_val": _deflate_channel(
-                    out_val_float.astype(np.float64, copy=False)
-                ),
-            }
-            qr = QuantizedResiduals(codes, out_pos, np.empty(0, np.int64), self.radius)
+            # One production path: a single block is a batch of one.
+            eb_arr = np.asarray([eb], dtype=np.float64)
+            return self._compress_batch([arr], eb_arr, ws, threads=1)[0]
+
+        source_itemsize = arr.dtype.itemsize if arr.dtype.kind == "f" else 8
+        work, abs_eb = self._to_workspace(arr, eb)
+        codes3d, _recon = classic_sz_quantize(np.atleast_3d(work), abs_eb, self.radius)
+        codes = codes3d.ravel()
+        out_pos = np.flatnonzero(codes == 0)
+        out_val_float = np.atleast_3d(work).ravel()[out_pos]
+        pos_dt = _minimal_uint_dtype(max(int(codes.size) - 1, 0))
+        payloads = {
+            "codes": self.codec.encode(codes),
+            "outlier_pos": _pack_outlier_pos(out_pos.astype(pos_dt, copy=False)),
+            "outlier_val": _deflate_channel(
+                out_val_float.astype(np.float64, copy=False)
+            ),
+        }
 
         return CompressedBlock(
             shape=tuple(arr.shape),
@@ -353,7 +440,7 @@ class SZCompressor:
             engine=self.engine,
             codec_name=self.codec.name,
             radius=self.radius,
-            n_outliers=int(qr.outlier_positions.size),
+            n_outliers=int(out_pos.size),
             payloads=payloads,
         )
 
@@ -371,42 +458,179 @@ class SZCompressor:
 
     # -- internals --------------------------------------------------------
 
-    def _quantize_encode(
-        self, arr: np.ndarray, eb: float, ws: Workspace
-    ) -> QuantizedResiduals:
-        """The fused dual-engine front: quantize -> Lorenzo -> residual codes.
+    def _compress_batch(
+        self,
+        arrs: list[np.ndarray],
+        eb_arr: np.ndarray,
+        ws: Workspace,
+        threads: int,
+    ) -> list[CompressedBlock]:
+        """Compress a group of *same-shape* blocks in one kernel pass."""
+        codes, counts, pos, val = self._quantize_encode_batch(arrs, eb_arr, ws)
+        payloads = self._encode_payloads_batch(codes, counts, pos, val, ws, threads)
+        blocks = []
+        for b, arr in enumerate(arrs):
+            source_itemsize = arr.dtype.itemsize if arr.dtype.kind == "f" else 8
+            blocks.append(
+                CompressedBlock(
+                    shape=tuple(arr.shape),
+                    source_itemsize=source_itemsize,
+                    eb=float(eb_arr[b]),
+                    mode=self.mode,
+                    engine=self.engine,
+                    codec_name=self.codec.name,
+                    radius=self.radius,
+                    n_outliers=int(counts[b]),
+                    payloads=payloads[b],
+                )
+            )
+        return blocks
 
-        One pass over reusable workspace buffers: the error-bound space
-        mapping, lattice quantization, in-place Lorenzo transform and
-        bounded-code encoding all run inside the arena — the only fresh
-        allocations are the (normally tiny) outlier channel.  The
-        returned codes are a workspace view, valid until the arena's
-        ``lattice_i64`` slot is requested again.
+    def _quantize_encode_batch(
+        self, arrs: list[np.ndarray], eb_arr: np.ndarray, ws: Workspace
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched dual-engine front: quantize -> Lorenzo -> residual codes.
+
+        All blocks (same shape, one per row of the ``(B, n)`` workspace
+        arenas) run through the kernel backend in one multi-block pass.
+        The *error-bound space mapping* (divide / log) stays in NumPy on
+        every backend — transcendentals are not bit-stable across math
+        libraries, and payload byte-identity is contract; see
+        :mod:`repro.compression.kernels`.  Returns
+        ``(codes (B, n) view, outlier counts, positions, values)``; the
+        codes view is valid until the arena's ``batch_lattice_i64`` slot
+        is requested again.
         """
-        work = ws.request("work_f64", arr.shape, np.float64)
-        mask = ws.request("quant_mask", arr.shape, np.bool_)
+        kern = self._kernels()
+        n_blocks = len(arrs)
+        shape = arrs[0].shape
+        n = int(arrs[0].size)
+        work = ws.request("batch_work_f64", (n_blocks, n), np.float64)
+        mask = ws.request("batch_quant_mask", (n_blocks, n), np.bool_)
         if self.mode == "abs":
-            abs_eb = eb
-            np.isfinite(arr, out=mask)
+            for b, arr in enumerate(arrs):
+                np.isfinite(arr, out=mask[b].reshape(shape))
             if not mask.all():
                 raise ValueError("data contains non-finite values (NaN or Inf)")
             with np.errstate(over="ignore"):
-                np.divide(arr, 2.0 * abs_eb, out=work, dtype=np.float64)
+                for b, arr in enumerate(arrs):
+                    np.divide(
+                        arr,
+                        2.0 * float(eb_arr[b]),
+                        out=work[b].reshape(shape),
+                        dtype=np.float64,
+                    )
         else:
-            np.less_equal(arr, 0, out=mask)
+            for b, arr in enumerate(arrs):
+                np.less_equal(arr, 0, out=mask[b].reshape(shape))
             if mask.any():
                 raise ValueError("pw_rel mode requires strictly positive data")
-            abs_eb = pw_rel_to_log_abs(eb)
-            np.log(arr, out=work, dtype=np.float64)
+            for b, arr in enumerate(arrs):
+                np.log(arr, out=work[b].reshape(shape), dtype=np.float64)
             np.isfinite(work, out=mask)
             if not mask.all():
                 raise ValueError("data contains non-finite values (NaN or Inf)")
             with np.errstate(over="ignore"):
-                np.divide(work, 2.0 * abs_eb, out=work)
-        q = quantize_abs_into(work, ws)
-        scratch = ws.request("lorenzo_scratch", (arr.size,), np.int64)
-        lorenzo_transform_inplace(q, scratch)
-        return encode_residuals_inplace(q.reshape(-1), self.radius, ws)
+                for b in range(n_blocks):
+                    np.divide(
+                        work[b], 2.0 * pw_rel_to_log_abs(float(eb_arr[b])), out=work[b]
+                    )
+        lattice = ws.request("batch_lattice_i64", (n_blocks, n), np.int64)
+        if not kern.quantize(work, lattice, mask):
+            raise ValueError(
+                "error bound too small relative to data magnitude: quantization "
+                "lattice exceeds int64 range"
+            )
+        # Normalize to (B, nx, ny, nz); length-1 axes are the identity
+        # under the zero-boundary difference, so padding is free.
+        shape3d = shape + (1,) * (3 - len(shape))
+        scratch = ws.request("batch_lorenzo_scratch", (n_blocks * n,), np.int64)
+        kern.lorenzo(lattice.reshape((n_blocks,) + shape3d), scratch)
+        fits = ws.request("batch_fits_mask", (n_blocks, n), np.bool_)
+        misfit = ws.request("batch_misfit_mask", (n_blocks, n), np.bool_)
+        counts, pos, val = kern.encode_residuals(lattice, self.radius, fits, misfit)
+        return lattice, counts, pos, val
+
+    def _encode_payloads_batch(
+        self,
+        codes: np.ndarray,
+        counts: np.ndarray,
+        pos: np.ndarray,
+        val: np.ndarray,
+        ws: Workspace,
+        threads: int,
+    ) -> list[dict[str, bytes]]:
+        """Vectorized side channels + thread-parallel entropy stage.
+
+        Code narrowing, outlier-position narrowing and the zigzag map
+        each run once over the whole group; only the per-block entropy
+        encodes remain, and those fan out over a transient thread pool
+        (zlib/DEFLATE releases the GIL) when ``threads > 1``.
+        """
+        kern = self._kernels()
+        n_blocks, n = codes.shape
+        maxes = codes.max(axis=1)
+        dts = [_minimal_uint_dtype(int(m)) for m in maxes]
+        rows: list[np.ndarray] = [codes[0]] * n_blocks
+        distinct = list(dict.fromkeys(dts))
+        if len(distinct) == 1:
+            # The common case — one exact-cast pass over the whole group.
+            buf = ws.request("batch_codes_narrow", (n_blocks, n), distinct[0])
+            kern.narrow(codes, buf)
+            rows = [buf[b] for b in range(n_blocks)]
+        else:
+            # Mixed widths: one arena slot per width (slots are keyed by
+            # dtype), each block narrowed into its width's stack.
+            cursor = dict.fromkeys(distinct, 0)
+            bufs = {
+                dt: ws.request("batch_codes_narrow", (dts.count(dt), n), dt)
+                for dt in distinct
+            }
+            for b, dt in enumerate(dts):
+                r = cursor[dt]
+                cursor[dt] = r + 1
+                kern.narrow(codes[b], bufs[dt][r])
+                rows[b] = bufs[dt][r]
+        offsets = ws.request("batch_offsets", (n_blocks + 1,), np.int64)
+        offsets[0] = 0
+        np.cumsum(counts, out=offsets[1:])
+        if pos.size:
+            pos_dt = _minimal_uint_dtype(n - 1)
+            pos_narrow = ws.request("batch_pos_narrow", pos.shape, pos_dt)
+            kern.narrow(pos, pos_narrow)
+            zz = kern.zigzag(val)
+        else:
+            pos_narrow = pos
+            zz = val
+        codec = self.codec
+
+        def build(b: int) -> dict[str, bytes]:
+            lo, hi = int(offsets[b]), int(offsets[b + 1])
+            return {
+                "codes": codec.encode_narrowed(rows[b]),
+                "outlier_pos": _pack_outlier_pos(pos_narrow[lo:hi]),
+                "outlier_val": _deflate_channel(zz[lo:hi]),
+            }
+
+        if threads > 1 and n_blocks > 1:
+            # Lazy import: parallel.backends imports this module.
+            from repro.parallel.backends import get_backend
+
+            return get_backend("thread").map_tasks(build, range(n_blocks))
+        return [build(b) for b in range(n_blocks)]
+
+    def _quantize_encode(
+        self, arr: np.ndarray, eb: float, ws: Workspace
+    ) -> QuantizedResiduals:
+        """Single-block view of the batched front (a batch of one).
+
+        Kept for the estimator and as the historical probing surface;
+        the returned codes are a row view of the batch arena, valid
+        until ``batch_lattice_i64`` is requested again.
+        """
+        eb_arr = np.asarray([eb], dtype=np.float64)
+        codes, _counts, pos, val = self._quantize_encode_batch([arr], eb_arr, ws)
+        return QuantizedResiduals(codes[0], pos, val, self.radius)
 
     def _to_workspace(self, arr: np.ndarray, eb: float) -> tuple[np.ndarray, float]:
         """Map data into the space where the bound is absolute."""
@@ -418,6 +642,8 @@ class SZCompressor:
         return np.log(work), pw_rel_to_log_abs(eb)
 
     def _encode_payloads(self, qr: QuantizedResiduals, ws: Workspace) -> dict[str, bytes]:
+        """Single-block payload assembly (compat/reference; the batch
+        path produces byte-identical output per block)."""
         codes = qr.codes
         dt = _minimal_uint_dtype(int(codes.max()) if codes.size else 0)
         if codes.dtype == dt:
@@ -428,10 +654,11 @@ class SZCompressor:
             # full-width copy on their way to the entropy stage.
             narrow = ws.request("codes_narrow", codes.shape, dt)
             np.copyto(narrow, codes, casting="unsafe")
+        pos_dt = _minimal_uint_dtype(max(int(codes.size) - 1, 0))
         return {
-            "codes": self.codec.encode(narrow),
-            "outlier_pos": _deflate_channel(
-                qr.outlier_positions.astype(np.int64, copy=False)
+            "codes": self.codec.encode_narrowed(narrow),
+            "outlier_pos": _pack_outlier_pos(
+                qr.outlier_positions.astype(pos_dt, copy=False)
             ),
             "outlier_val": _deflate_channel(_zigzag(qr.outlier_values)),
         }
@@ -450,7 +677,7 @@ def _decompress_dual_workspace(block: CompressedBlock) -> np.ndarray:
     n = block.n_elements
     codec = get_codec(block.codec_name)
     codes = codec.decode(block.payloads["codes"], n)
-    out_pos = np.frombuffer(_inflate_channel(block.payloads["outlier_pos"]), dtype=np.int64)
+    out_pos = _decode_outlier_pos(block.payloads["outlier_pos"])
     out_val = _unzigzag(
         np.frombuffer(_inflate_channel(block.payloads["outlier_val"]), dtype=np.uint64)
     )
@@ -465,7 +692,7 @@ def _decompress_classic_workspace(block: CompressedBlock) -> np.ndarray:
     n = block.n_elements
     codec = get_codec(block.codec_name)
     codes = codec.decode(block.payloads["codes"], n)
-    out_pos = np.frombuffer(_inflate_channel(block.payloads["outlier_pos"]), dtype=np.int64)
+    out_pos = _decode_outlier_pos(block.payloads["outlier_pos"])
     out_val = np.frombuffer(_inflate_channel(block.payloads["outlier_val"]), dtype=np.float64)
     shape3d = block.shape + (1,) * (3 - len(block.shape))
     abs_eb = block.eb if block.mode == "abs" else pw_rel_to_log_abs(block.eb)

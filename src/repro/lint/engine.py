@@ -166,7 +166,9 @@ class Rule(ast.NodeVisitor):
     :meth:`flag`.  ``exempt`` lists path patterns the rule never applies
     to — a trailing ``/`` matches a package prefix anywhere in the path,
     otherwise the pattern is a path suffix (the sanctioned wrapper
-    modules exempt themselves this way).
+    modules exempt themselves this way).  ``only``, when non-empty,
+    restricts the rule to paths matching one of its patterns (same
+    matcher semantics); ``exempt`` still subtracts from that set.
     """
 
     code: ClassVar[str] = ""
@@ -174,21 +176,24 @@ class Rule(ast.NodeVisitor):
     summary: ClassVar[str] = ""
     rationale: ClassVar[str] = ""
     exempt: ClassVar[tuple[str, ...]] = ()
+    only: ClassVar[tuple[str, ...]] = ()
 
     def __init__(self, ctx: ModuleContext) -> None:
         self.ctx = ctx
         self.findings: list[Finding] = []
 
+    @staticmethod
+    def _matches(posix: str, pattern: str) -> bool:
+        if pattern.endswith("/"):
+            return pattern in posix or posix.startswith(pattern)
+        return posix.endswith(pattern)
+
     @classmethod
     def applies_to(cls, path: str) -> bool:
         posix = path.replace("\\", "/")
-        for pattern in cls.exempt:
-            if pattern.endswith("/"):
-                if pattern in posix or posix.startswith(pattern):
-                    return False
-            elif posix.endswith(pattern):
-                return False
-        return True
+        if cls.only and not any(cls._matches(posix, p) for p in cls.only):
+            return False
+        return not any(cls._matches(posix, p) for p in cls.exempt)
 
     def flag(self, node: ast.AST, message: str | None = None) -> None:
         line = getattr(node, "lineno", 1)

@@ -26,6 +26,7 @@ __all__ = [
     "MutableDefaultRule",
     "CompressorContractRule",
     "HandRolledRetryRule",
+    "HotPathAllocationRule",
 ]
 
 #: Builtins that consume an iterable without depending on its order;
@@ -610,4 +611,103 @@ class HandRolledRetryRule(Rule):
                         "while True with a broad except is a hand-rolled "
                         f"retry loop; {self.summary}",
                     )
+        self.generic_visit(node)
+
+
+@register_rule
+class HotPathAllocationRule(Rule):
+    """RL011 — compression hot paths reuse the workspace arena.
+
+    PR 2 moved every per-block scratch buffer in the compress path into
+    :class:`repro.compression.workspace.Workspace` so steady-state
+    compression allocates nothing, and PR 8 batched the per-block Python
+    loops into single kernel passes.  A fresh ``np.empty``/``np.zeros``
+    inside a workspace-accepting function, or a Python loop that calls
+    ``compress`` per block, quietly regresses both: the allocation
+    defeats the arena, the loop defeats the batching.  The rule applies
+    only under ``repro/compression/`` and only inside functions that
+    take a ``ws``/``workspace`` parameter — code that opted into the
+    arena contract.
+
+    Bad::
+
+        def _encode(self, arr, ws):
+            scratch = np.empty(arr.shape, dtype=np.int64)
+
+    Good::
+
+        def _encode(self, arr, ws):
+            scratch = ws.request("encode_scratch", arr.shape, np.int64)
+    """
+
+    code = "RL011"
+    name = "hot-path-allocation"
+    summary = (
+        "fresh array allocation / per-block compress loop inside a "
+        "workspace-accepting compression hot path"
+    )
+    rationale = (
+        "workspace-accepting functions are the steady-state compress path: "
+        "fresh np.empty/np.zeros defeats the PR 2 arena reuse and per-block "
+        "compress loops defeat the PR 8 batched kernels; route scratch "
+        "through Workspace.request and blocks through the batch entry points."
+    )
+    only = ("repro/compression/",)
+
+    _ALLOCATORS = frozenset(
+        {"numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full"}
+    )
+    _BLOCK_CALLS = frozenset({"compress", "_compress_checked"})
+    _WS_PARAMS = frozenset({"ws", "workspace"})
+
+    def _is_hot(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> bool:
+        args = node.args
+        names = [
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs
+        ]
+        return any(name in self._WS_PARAMS for name in names)
+
+    _LOOPS = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+    def _inside_loop(self, node: ast.AST, func: ast.AST) -> bool:
+        cur = self.ctx.parent(node)
+        while cur is not None and cur is not func:
+            if isinstance(cur, self._LOOPS):
+                return True
+            cur = self.ctx.parent(cur)
+        return False
+
+    def _check_hot_function(
+        self, node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    ) -> None:
+        if not self._is_hot(node):
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            target = self.ctx.resolve(sub.func)
+            if target in self._ALLOCATORS:
+                self.flag(
+                    sub,
+                    f"{target}() in workspace-accepting "
+                    f"{node.name}(); use Workspace.request",
+                )
+            elif (
+                isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in self._BLOCK_CALLS
+                and self._inside_loop(sub, node)
+            ):
+                self.flag(
+                    sub,
+                    f".{sub.func.attr}() called per block in a Python "
+                    f"loop inside {node.name}(); use the batched "
+                    "compress_many path",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_hot_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_hot_function(node)
         self.generic_visit(node)

@@ -28,6 +28,7 @@ Third-party backends can be added with :func:`register_backend`.
 
 from __future__ import annotations
 
+import inspect
 import math
 import multiprocessing as mp
 import os
@@ -420,11 +421,18 @@ def _compress_task(
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
         fault_point("backend.compress")
+        comp = _pooled_compressor(compressor_blob)
+        kwargs: dict[str, Any] = {"workspace": _WORKER_WORKSPACE}
+        # One worker process per core already: pin the compressor's
+        # entropy-stage fan-out to 1 thread (duck-typed compressors may
+        # predate the parameter).
+        if "threads" in inspect.signature(comp.compress_many).parameters:
+            kwargs["threads"] = 1
         with Timer() as timer:
-            blocks = _pooled_compressor(compressor_blob).compress_many(
+            blocks = comp.compress_many(
                 [arr[slices] for slices, _ in items],
                 [eb for _, eb in items],
-                workspace=_WORKER_WORKSPACE,
+                **kwargs,
             )
         return blocks, timer.elapsed
     finally:

@@ -1,0 +1,421 @@
+"""The kernel array-API boundary and its cross-backend byte-identity.
+
+Three layers of guarantee, weakest to strongest:
+
+1. op-level — each :class:`NumpyKernels` method matches the scalar /
+   per-block reference primitives it batches;
+2. path-level — batched ``compress_many`` produces payloads
+   byte-identical to looping single-block ``compress``, across codecs,
+   shapes (odd sides, 1-voxel slabs), dtypes and thread counts;
+3. backend-level — every registered backend (numba when installed)
+   produces the same bytes as the NumPy reference oracle.
+
+The numba leg runs in CI with numba installed; locally it skips when
+the package is absent, and the ``kernels=auto`` spec must degrade to
+NumPy silently while ``kernels=numba`` must fail loudly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pickle
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import kernels as kernels_mod
+from repro.compression.kernels import (
+    KERNEL_CHOICES,
+    ArrayKernels,
+    NumpyKernels,
+    available_kernels,
+    get_kernels,
+    register_kernels,
+    unzigzag,
+    zigzag,
+)
+from repro.compression.lorenzo import lorenzo_transform
+from repro.compression.quantizer import encode_residuals
+from repro.compression.sz import SZCompressor, decompress
+from repro.compression.workspace import Workspace
+
+HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+
+KERN = NumpyKernels()
+
+
+# -- op level: NumpyKernels vs the unbatched reference -----------------------
+
+
+class TestZigzag:
+    def test_interleaves_small_ints(self):
+        v = np.array([0, -1, 1, -2, 2, -3], dtype=np.int64)
+        assert zigzag(v).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_roundtrip_extremes(self):
+        v = np.array(
+            [0, 1, -1, 2**62, -(2**62), 2**63 - 1, -(2**63)], dtype=np.int64
+        )
+        assert np.array_equal(unzigzag(zigzag(v)), v)
+
+    @given(hnp.arrays(dtype=np.int64, shape=st.integers(0, 64)))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, v):
+        assert np.array_equal(unzigzag(zigzag(v)), v)
+        assert zigzag(v).dtype == np.uint64
+
+
+class TestQuantizeKernel:
+    def test_matches_rint_and_cast(self):
+        rng = np.random.default_rng(0)
+        work = rng.normal(0, 100, (3, 50))
+        lattice = np.empty(work.shape, dtype=np.int64)
+        assert KERN.quantize(work.copy(), lattice) is True
+        assert np.array_equal(lattice, np.rint(work).astype(np.int64))
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf, 1e300])
+    def test_reports_unrepresentable_without_raising(self, bad):
+        work = np.ones((2, 8))
+        work[1, 3] = bad
+        lattice = np.empty(work.shape, dtype=np.int64)
+        assert KERN.quantize(work, lattice) is False
+
+    def test_mask_scratch_is_optional(self):
+        work = np.ones((2, 8))
+        lattice = np.empty(work.shape, dtype=np.int64)
+        mask = np.empty(work.shape, dtype=np.bool_)
+        assert KERN.quantize(work.copy(), lattice, mask) is True
+        assert mask.all()
+
+
+class TestLorenzoKernel:
+    @pytest.mark.parametrize("shape", [(7, 5, 3), (1, 1, 1), (8, 1, 4), (2, 9, 1)])
+    def test_batch_matches_per_block_transform(self, shape):
+        rng = np.random.default_rng(1)
+        batch = rng.integers(-1000, 1000, (4,) + shape)
+        expected = np.stack([lorenzo_transform(b) for b in batch])
+        got = batch.copy()
+        KERN.lorenzo(got)
+        assert np.array_equal(got, expected)
+
+    def test_trailing_singleton_padding_is_identity(self):
+        rng = np.random.default_rng(2)
+        flat = rng.integers(-50, 50, (3, 17))
+        as_3d = flat.reshape(3, 17, 1, 1).copy()
+        expected = np.stack([lorenzo_transform(row) for row in flat])
+        KERN.lorenzo(as_3d)
+        assert np.array_equal(as_3d.reshape(3, 17), expected)
+
+
+class TestEncodeResidualsKernel:
+    def test_matches_per_block_encode(self):
+        rng = np.random.default_rng(3)
+        radius = 8
+        res = rng.integers(-30, 30, (5, 40))
+        expected = [encode_residuals(row.copy(), radius) for row in res]
+        got = res.copy()
+        counts, pos, val = KERN.encode_residuals(got, radius)
+        assert counts.tolist() == [ref.outlier_positions.size for ref in expected]
+        lo = 0
+        for b, ref in enumerate(expected):
+            hi = lo + int(counts[b])
+            assert np.array_equal(got[b], ref.codes)
+            assert np.array_equal(pos[lo:hi], ref.outlier_positions)
+            assert np.array_equal(val[lo:hi], ref.outlier_values)
+            lo = hi
+
+    def test_scratch_masks_are_optional_hints(self):
+        rng = np.random.default_rng(4)
+        res = rng.integers(-30, 30, (3, 16))
+        fits = np.empty(res.shape, dtype=np.bool_)
+        misfit = np.empty(res.shape, dtype=np.bool_)
+        a = KERN.encode_residuals(res.copy(), 8, fits, misfit)
+        b = KERN.encode_residuals(res.copy(), 8)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestNarrowAndBytePlanes:
+    def test_narrow_is_exact_cast(self):
+        src = np.array([[0, 255, 256, 65535]], dtype=np.int64)
+        out = np.empty(src.shape, dtype=np.uint16)
+        KERN.narrow(src, out)
+        assert out.tolist() == [[0, 255, 256, 65535]]
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.uint64])
+    def test_byte_planes_roundtrip(self, dtype):
+        rng = np.random.default_rng(5)
+        info = np.iinfo(dtype)
+        v = rng.integers(0, int(info.max), 33, dtype=dtype)
+        k = v.dtype.itemsize
+        out = np.empty((k, v.size), dtype=np.uint8)
+        KERN.byte_planes(v, out)
+        rebuilt = np.zeros(v.size, dtype=np.uint64)
+        for plane in range(k):
+            rebuilt |= out[plane].astype(np.uint64) << np.uint64(8 * plane)
+        assert np.array_equal(rebuilt.astype(dtype), v)
+        # Little-endian planes are exactly the C-contiguous byte layout.
+        assert out.tobytes(order="F") == v.astype(v.dtype.newbyteorder("<")).tobytes()
+
+    def test_byte_planes_validates_inputs(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            KERN.byte_planes(
+                np.ones(4, dtype=np.int64), np.empty((8, 4), dtype=np.uint8)
+            )
+        with pytest.raises(ValueError, match="shape"):
+            KERN.byte_planes(
+                np.ones(4, dtype=np.uint16), np.empty((1, 4), dtype=np.uint8)
+            )
+
+
+# -- registry and selection ---------------------------------------------------
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_kernels()
+        assert get_kernels("numpy").name == "numpy"
+        assert isinstance(get_kernels("numpy"), ArrayKernels)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernels backend"):
+            get_kernels("cuda")
+
+    def test_register_rejects_non_implementation(self):
+        with pytest.raises(TypeError, match="ArrayKernels"):
+            register_kernels(object())
+
+    def test_auto_degrades_to_numpy_without_numba(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_load_numba_kernels", lambda: None)
+        assert get_kernels("auto").name == "numpy"
+
+    def test_explicit_numba_fails_loudly_without_numba(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_load_numba_kernels", lambda: None)
+        with pytest.raises(ValueError, match="numba is not importable"):
+            get_kernels("numba")
+
+    def test_compressor_rejects_unknown_kernels_key(self):
+        with pytest.raises(ValueError, match="kernels"):
+            SZCompressor(kernels="cuda")
+
+    def test_compressor_numba_request_fails_at_construction(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_load_numba_kernels", lambda: None)
+        with pytest.raises(ValueError, match="numba is not importable"):
+            SZCompressor(kernels="numba")
+
+    def test_compressor_auto_resolves_and_reports_backend(self, monkeypatch):
+        monkeypatch.setattr(kernels_mod, "_load_numba_kernels", lambda: None)
+        comp = SZCompressor()  # kernels="auto"
+        assert comp.kernel_backend == "numpy"
+        assert dict(comp.spec.params)["kernels"] == "auto"
+
+    def test_kernel_choice_recreated_through_pickle(self):
+        comp = SZCompressor(kernels="numpy")
+        clone = pickle.loads(pickle.dumps(comp))
+        assert clone.kernels == "numpy"
+        data = np.linspace(0, 1, 64).reshape(4, 4, 4)
+        assert clone.compress(data, 0.01).payloads == comp.compress(data, 0.01).payloads
+
+
+# -- path level: batched == single-block, across everything -------------------
+
+
+def _payloads(blocks):
+    return [b.payloads for b in blocks]
+
+
+class TestBatchedByteIdentity:
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=7),
+            elements=st.floats(-1e7, 1e7, allow_nan=False, allow_infinity=False),
+        ),
+        st.floats(1e-3, 1e2),
+        st.sampled_from(["zlib", "huffman", "raw"]),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_compress_many_matches_single_compress(self, data, eb, codec, n_blocks):
+        comp = SZCompressor(codec=codec, kernels="numpy")
+        views = [data] * n_blocks
+        batched = comp.compress_many(views, [eb] * n_blocks)
+        singles = [comp.compress(v, eb) for v in views]
+        assert _payloads(batched) == _payloads(singles)
+
+    @pytest.mark.parametrize(
+        "shape", [(1,), (3,), (5, 1), (1, 1, 7), (4, 4, 4), (7, 5, 3)]
+    )
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_odd_shapes_and_dtypes(self, shape, dtype):
+        rng = np.random.default_rng(7)
+        views = [rng.normal(0, 10, shape).astype(dtype) for _ in range(3)]
+        comp = SZCompressor()
+        batched = comp.compress_many(views, [0.01] * 3)
+        singles = [comp.compress(v, 0.01) for v in views]
+        assert _payloads(batched) == _payloads(singles)
+        for blk, v in zip(batched, views):
+            assert np.max(np.abs(decompress(blk) - v)) <= 0.01 * (1 + 1e-9)
+
+    def test_mixed_shapes_group_correctly(self):
+        rng = np.random.default_rng(8)
+        shapes = [(6, 5, 4), (3, 3), (6, 5, 4), (17,), (3, 3)]
+        views = [rng.normal(0, 5, s) for s in shapes]
+        ebs = [0.01, 0.02, 0.05, 0.01, 0.03]
+        comp = SZCompressor(codec="huffman")
+        batched = comp.compress_many(views, ebs)
+        singles = [comp.compress(v, e) for v, e in zip(views, ebs)]
+        assert _payloads(batched) == _payloads(singles)
+        for blk, s in zip(batched, shapes):
+            assert blk.shape == s
+
+    def test_thread_fanout_preserves_bytes_and_order(self):
+        rng = np.random.default_rng(9)
+        views = [rng.normal(0, 1, (8, 8, 8)) for _ in range(6)]
+        comp = SZCompressor()
+        serial = comp.compress_many(views, [0.01] * 6, threads=1)
+        fanned = comp.compress_many(views, [0.01] * 6, threads=4)
+        assert _payloads(serial) == _payloads(fanned)
+
+    def test_outlier_heavy_blocks_batch_identically(self):
+        rng = np.random.default_rng(10)
+        comp = SZCompressor(radius=16)  # tiny radius forces outliers
+        views = [rng.normal(0, 100, (6, 6, 6)) for _ in range(4)]
+        batched = comp.compress_many(views, [0.01] * 4)
+        singles = [comp.compress(v, 0.01) for v in views]
+        assert _payloads(batched) == _payloads(singles)
+        assert any(b.n_outliers for b in batched)
+
+    def test_pw_rel_mode_batches_identically(self):
+        rng = np.random.default_rng(11)
+        comp = SZCompressor(mode="pw_rel")
+        views = [np.abs(rng.normal(10, 3, (5, 5, 5))) + 0.1 for _ in range(3)]
+        batched = comp.compress_many(views, [0.05] * 3)
+        singles = [comp.compress(v, 0.05) for v in views]
+        assert _payloads(batched) == _payloads(singles)
+
+    def test_classic_engine_still_loops(self):
+        rng = np.random.default_rng(12)
+        comp = SZCompressor(engine="classic")
+        views = [rng.normal(0, 1, (4, 4, 4)) for _ in range(2)]
+        batched = comp.compress_many(views, [0.05] * 2)
+        singles = [comp.compress(v, 0.05) for v in views]
+        assert _payloads(batched) == _payloads(singles)
+
+
+class TestOutlierPosFormat:
+    def test_positions_narrowed_to_block_size(self):
+        rng = np.random.default_rng(13)
+        comp = SZCompressor(radius=16)
+        block = comp.compress(rng.normal(0, 100, (6, 6, 6)), 0.01)
+        assert block.n_outliers > 0
+        blob = block.payloads["outlier_pos"]
+        assert blob[0] == 1  # 216 values -> positions fit uint8
+        stored = np.frombuffer(zlib.decompress(blob[1:]), dtype=np.uint8)
+        assert stored.size == block.n_outliers
+        big = comp.compress(rng.normal(0, 100, (8, 8, 8)), 0.01)
+        assert big.payloads["outlier_pos"][0] == 2  # 512 values -> uint16
+
+    def test_legacy_int64_position_blobs_still_decode(self):
+        rng = np.random.default_rng(14)
+        comp = SZCompressor(radius=16)
+        data = rng.normal(0, 100, (6, 6, 6))
+        block = comp.compress(data, 0.01)
+        assert block.n_outliers > 0
+        blob = block.payloads["outlier_pos"]
+        pos = np.frombuffer(
+            zlib.decompress(blob[1:]), dtype=f"u{blob[0]}"
+        ).astype(np.int64)
+        legacy = zlib.compress(pos.tobytes(), 6)
+        assert legacy[0] == 0x78  # zlib magic, distinct from any width tag
+        block.payloads["outlier_pos"] = legacy
+        recon = decompress(block)
+        assert np.max(np.abs(recon - data)) <= 0.01 * (1 + 1e-9) + 1e-12
+
+
+# -- backend level: numba == numpy, byte for byte -----------------------------
+
+
+@needs_numba
+class TestNumbaBackend:
+    def test_numba_listed_and_resolvable(self):
+        assert "numba" in available_kernels()
+        assert get_kernels("numba").name == "numba"
+        assert get_kernels("auto").name == "numba"
+
+    def test_op_level_equivalence(self):
+        rng = np.random.default_rng(15)
+        nb = get_kernels("numba")
+        work = rng.normal(0, 1000, (4, 7 * 5 * 3))
+        lat_np = np.empty(work.shape, dtype=np.int64)
+        lat_nb = np.empty(work.shape, dtype=np.int64)
+        assert KERN.quantize(work.copy(), lat_np) == nb.quantize(work.copy(), lat_nb)
+        assert np.array_equal(lat_np, lat_nb)
+        a = lat_np.reshape(4, 7, 5, 3).copy()
+        b = lat_np.reshape(4, 7, 5, 3).copy()
+        KERN.lorenzo(a)
+        nb.lorenzo(b)
+        assert np.array_equal(a, b)
+        ra, rb = a.reshape(4, -1).copy(), b.reshape(4, -1).copy()
+        out_np = KERN.encode_residuals(ra, 8)
+        out_nb = nb.encode_residuals(rb, 8)
+        assert np.array_equal(ra, rb)
+        for x, y in zip(out_np, out_nb):
+            assert np.array_equal(x, y)
+
+    def test_quantize_reports_nonfinite(self):
+        nb = get_kernels("numba")
+        work = np.ones((2, 8))
+        work[0, 1] = np.nan
+        assert nb.quantize(work.copy(), np.empty(work.shape, np.int64)) is False
+        work[0, 1] = 1e300
+        assert nb.quantize(work.copy(), np.empty(work.shape, np.int64)) is False
+
+    @pytest.mark.parametrize("codec", ["zlib", "huffman", "raw"])
+    def test_payload_bytes_match_numpy_backend(self, codec):
+        rng = np.random.default_rng(16)
+        views = [rng.normal(0, 10, (7, 6, 5)) for _ in range(4)]
+        views += [rng.normal(0, 10, (9, 1, 3)).astype(np.float32)]
+        ebs = [0.01, 0.5, 1e-4, 0.01, 0.02]
+        ref = SZCompressor(codec=codec, kernels="numpy")
+        alt = SZCompressor(codec=codec, kernels="numba")
+        assert _payloads(ref.compress_many(views, ebs)) == _payloads(
+            alt.compress_many(views, ebs)
+        )
+
+    def test_outlier_heavy_bytes_match(self):
+        rng = np.random.default_rng(17)
+        views = [rng.normal(0, 100, (8, 8, 8)) for _ in range(3)]
+        ref = SZCompressor(radius=16, kernels="numpy")
+        alt = SZCompressor(radius=16, kernels="numba")
+        a = ref.compress_many(views, [0.01] * 3)
+        b = alt.compress_many(views, [0.01] * 3)
+        assert any(blk.n_outliers for blk in a)
+        assert _payloads(a) == _payloads(b)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=6),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        ),
+        st.floats(1e-3, 1e1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_bytes_match_numpy_backend(self, data, eb):
+        ref = SZCompressor(kernels="numpy")
+        alt = SZCompressor(kernels="numba")
+        ws = Workspace()
+        a = ref.compress_many([data], [eb], workspace=ws)
+        b = alt.compress_many([data], [eb], workspace=ws)
+        assert _payloads(a) == _payloads(b)
+
+
+def test_kernel_choices_cover_registry_names():
+    assert set(available_kernels()) <= set(KERNEL_CHOICES)

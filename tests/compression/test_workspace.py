@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.compression.codecs import get_codec
+from repro.compression.codecs import _minimal_uint_dtype, get_codec
 from repro.compression.lorenzo import lorenzo_transform, lorenzo_transform_inplace
 from repro.compression.quantizer import encode_residuals, quantize_abs
 from repro.compression.sz import SZCompressor, _zigzag, decompress
@@ -32,7 +32,10 @@ def reference_compress_payloads(
 
     Mirrors the original (pre-workspace) implementation step for step:
     float64 upcast, allocating quantize, ``np.diff``-style Lorenzo,
-    allocating residual encode, codec over int64 codes.
+    allocating residual encode, codec over int64 codes.  The outlier
+    position channel follows the serialization contract: positions
+    narrowed to the smallest uint covering the block size, prefixed by
+    a 1-byte itemsize tag.
     """
     work = np.asarray(data, dtype=np.float64)
     if mode == "pw_rel":
@@ -43,11 +46,13 @@ def reference_compress_payloads(
     q = quantize_abs(work, abs_eb)
     residuals = lorenzo_transform(q)
     qr = encode_residuals(residuals.ravel(), radius)
+    pos_dt = _minimal_uint_dtype(max(int(qr.codes.size) - 1, 0))
+    pos = qr.outlier_positions.astype(pos_dt)
     return {
         "codes": get_codec(codec).encode(qr.codes),
         "outlier_pos": (
-            zlib.compress(qr.outlier_positions.tobytes(), 6)
-            if qr.outlier_positions.size
+            bytes([pos_dt.itemsize]) + zlib.compress(pos.tobytes(), 6)
+            if pos.size
             else b""
         ),
         "outlier_val": (

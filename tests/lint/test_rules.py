@@ -239,6 +239,50 @@ class TestRuleEdges:
         )
         assert "RL010" in codes(loop)
 
+    def test_rl011_only_fires_in_compression_package(self):
+        src = (
+            "import numpy as np\n"
+            "def encode(arr, ws):\n"
+            "    scratch = np.empty(arr.shape, dtype=np.int64)\n"
+        )
+        assert codes(src, path="src/repro/compression/sz.py") == ["RL011"]
+        # Outside the compression package the arena contract doesn't apply.
+        assert codes(src) == []
+
+    def test_rl011_workspace_request_is_the_clean_form(self):
+        src = (
+            "import numpy as np\n"
+            "def encode(arr, ws):\n"
+            "    scratch = ws.request('encode_scratch', arr.shape, np.int64)\n"
+        )
+        assert codes(src, path="src/repro/compression/sz.py") == []
+
+    def test_rl011_requires_workspace_param(self):
+        # Decoders and one-shot helpers own their output arrays.
+        src = (
+            "import numpy as np\n"
+            "def decompress(block):\n"
+            "    return np.zeros(block.shape)\n"
+        )
+        assert codes(src, path="src/repro/compression/sz.py") == []
+
+    def test_rl011_per_block_compress_loop(self):
+        src = (
+            "class C:\n"
+            "    def compress_many(self, views, ebs, workspace=None):\n"
+            "        return [self.compress(v, e) for v, e in zip(views, ebs)]\n"
+        )
+        assert codes(src, path="src/repro/compression/api.py") == ["RL011"]
+
+    def test_rl011_single_dispatch_call_not_flagged(self):
+        # One call outside a loop IS the batched path's entry point.
+        src = (
+            "class C:\n"
+            "    def compress(self, data, eb, workspace=None):\n"
+            "        return self._compress_checked(data, eb, workspace)\n"
+        )
+        assert codes(src, path="src/repro/compression/api.py") == []
+
     def test_rl010_bounded_while_not_flagged(self):
         # The loop condition itself bounds the attempts — not `while True`.
         src = (

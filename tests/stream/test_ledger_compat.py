@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.compression.api import CompressorSpec
+from repro.compression.api import REGISTRY, CompressorSpec
 from repro.core.config import FieldSpec
 from repro.stream.controller import replay_ledger
 from repro.stream.ledger import (
@@ -112,7 +112,11 @@ class TestMixedCompressorLedger:
     def test_mixed_ledger_replays_with_specs(self, mixed_ledger_path):
         decisions = replay_ledger(mixed_ledger_path, verify=True)
         by_field = {d.field: d.compressor for d in decisions}
-        assert by_field["baryon_density"] == CompressorSpec.sz(codec="huffman")
+        # Freshly written ledgers record the *full* instance config, so
+        # compare against the registry-canonical form of the request.
+        assert by_field["baryon_density"] == REGISTRY.canonical(
+            CompressorSpec.sz(codec="huffman")
+        )
         assert by_field["temperature"].family == "sz_adaptive"
 
     def test_mixed_ledger_tamper_detected(self, mixed_ledger_path, tmp_path):
