@@ -28,16 +28,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.compression.codecs import _minimal_uint_dtype, get_codec
+from repro import telemetry
+from repro.compression.codecs import get_codec
 from repro.compression.kernels import available_kernels
 from repro.compression.quantizer import DEFAULT_RADIUS
-from repro.compression.sz import (
-    SZCompressor,
-    _deflate_channel,
-    _pack_outlier_pos,
-    _zigzag,
-)
+from repro.compression.sz import SZCompressor, _zigzag
 from repro.models.calibration import calibrate_rate_model
+from repro.telemetry.report import stage_summary
 from repro.parallel.decomposition import BlockDecomposition
 from repro.sim.nyx import NyxSimulator
 from repro.util.tables import format_table
@@ -245,59 +242,24 @@ _STAGES = ("map", "quantize", "lorenzo", "residual", "entropy", "side_channels")
 def _stage_times(comp: SZCompressor, views, eb: float) -> dict[str, float]:
     """Best-of-ROUNDS per-stage breakdown of one batched compress pass.
 
-    Mirrors ``_quantize_encode_batch`` + ``_encode_payloads_batch`` stage
-    for stage over the compressor's selected kernel backend: eb-space
-    mapping (host NumPy by design), batched quantize, batched Lorenzo,
-    batched residual encode, per-block entropy coding, and the outlier
-    side channels.
+    Runs the *real* ``compress_many`` under an armed tracer and reads
+    the ``sz.*`` stage spans the batched path emits (eb-space mapping,
+    batched quantize, batched Lorenzo, batched residual encode, the
+    outlier side channels, and per-block entropy coding).  Measuring
+    the production spans instead of a hand-rolled re-implementation
+    means the breakdown cannot drift from the pipeline it describes;
+    the span overhead itself is bounded by
+    ``benchmarks/test_telemetry_overhead.py``.
     """
-    kern = comp._kernels()
-    ws = comp.workspace
-    n_blocks = len(views)
-    shape = views[0].shape
-    n = int(np.prod(shape))
-    shape3 = tuple(shape) + (1,) * (3 - len(shape))
+    ebs = [eb] * len(views)
     best = dict.fromkeys(_STAGES, float("inf"))
     for _ in range(ROUNDS):
-        marks = [time.perf_counter()]
-        work = ws.request("bench_work", (n_blocks, n), np.float64)
-        for b, view in enumerate(views):
-            np.divide(
-                np.asarray(view, dtype=np.float64).reshape(-1),
-                2.0 * eb,
-                out=work[b],
-            )
-        marks.append(time.perf_counter())
-        lattice = ws.request("bench_lattice", (n_blocks, n), np.int64)
-        if not kern.quantize(work, lattice):
-            raise ValueError("benchmark data not quantizable")
-        marks.append(time.perf_counter())
-        kern.lorenzo(lattice.reshape((n_blocks,) + shape3))
-        marks.append(time.perf_counter())
-        counts, pos, val = kern.encode_residuals(lattice, comp.radius)
-        marks.append(time.perf_counter())
-        narrow = ws.request(
-            "bench_narrow", (n_blocks, n), _minimal_uint_dtype(int(lattice.max()))
-        )
-        kern.narrow(lattice, narrow)
-        for b in range(n_blocks):
-            comp.codec.encode_narrowed(narrow[b])
-        marks.append(time.perf_counter())
-        if pos.size:
-            pos_narrow = ws.request(
-                "bench_pos", pos.shape, _minimal_uint_dtype(n - 1)
-            )
-            kern.narrow(pos, pos_narrow)
-            zz = kern.zigzag(val)
-            lo = 0
-            for b in range(n_blocks):
-                hi = lo + int(counts[b])
-                _pack_outlier_pos(pos_narrow[lo:hi])
-                _deflate_channel(zz[lo:hi])
-                lo = hi
-        marks.append(time.perf_counter())
-        for stage, t0, t1 in zip(_STAGES, marks, marks[1:]):
-            best[stage] = min(best[stage], t1 - t0)
+        with telemetry.armed(track="bench") as tracer:
+            comp.compress_many(views, ebs)
+            stages = stage_summary(tracer.export_spans())
+        for stage in _STAGES:
+            seconds = float(stages.get(stage, {}).get("seconds", 0.0))
+            best[stage] = min(best[stage], seconds)
     return best
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
@@ -456,6 +457,44 @@ def _cmd_list_compressors(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import load_spans
+    from repro.telemetry.report import render_trace_report
+
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(spans))
+    return 0
+
+
+@contextmanager
+def _telemetry_sink(path: str | None):
+    """Arm telemetry for one command and export the trace at the end.
+
+    The export format follows the suffix (``.trace.json``/``.chrome.json``
+    → Chrome trace, ``.prom``/``.txt`` → Prometheus text, else canonical
+    JSONL); the trace is written even when the command fails, so crashed
+    runs keep their spans for post-mortems.
+    """
+    if path is None:
+        yield
+        return
+    from repro import telemetry
+    from repro.telemetry.export import write_export
+
+    with telemetry.armed() as tracer:
+        try:
+            yield
+        finally:
+            fmt = write_export(
+                path, tracer.export_spans(), telemetry.get_registry().snapshot()
+            )
+            print(f"telemetry: wrote {fmt} trace to {path}")
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the lint engine is pure stdlib-AST and must stay
     # usable even while the rest of the package is being refactored.
@@ -469,6 +508,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_baseline=args.write_baseline,
         output=args.output,
         list_rules=args.list_rules,
+    )
+
+
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="arm tracing/metrics for this command and write the trace to "
+        "PATH on exit (suffix selects the format: .trace.json/.chrome.json "
+        "for a Perfetto-loadable Chrome trace, .prom/.txt for Prometheus "
+        "text, anything else for canonical JSON lines); telemetry is "
+        "out-of-band — ledgers and outputs are byte-identical either way",
     )
 
 
@@ -524,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
         "or predict rates from code histograms (estimate, faster)",
     )
     c.add_argument("--out", required=True)
+    _add_telemetry_flag(c)
     c.set_defaults(fn=_cmd_compress)
 
     a = sub.add_parser("analyze", help="verify a compressed field")
@@ -566,6 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend fanning out the per-(field, eb) quality "
         "evaluations (rate probing always runs inline)",
     )
+    _add_telemetry_flag(s)
     s.set_defaults(fn=_cmd_sweep)
 
     st = sub.add_parser(
@@ -670,7 +724,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fsync every ledger append (crash-safety against power loss, "
         "one disk sync per event)",
     )
+    _add_telemetry_flag(st)
     st.set_defaults(fn=_cmd_stream)
+
+    tr = sub.add_parser(
+        "trace-report",
+        help="render per-stage/per-field summaries and the paper's §4.3 "
+        "overhead ratio from a --telemetry trace file",
+    )
+    tr.add_argument("trace", help="trace file (JSONL or Chrome trace) to summarize")
+    tr.set_defaults(fn=_cmd_trace_report)
 
     lc = sub.add_parser(
         "list-compressors",
@@ -695,7 +758,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with _telemetry_sink(getattr(args, "telemetry", None)):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

@@ -226,6 +226,18 @@ def available_kernels() -> tuple[str, ...]:
     return tuple(names)
 
 
+def _note_resolution(requested: str, resolved: str) -> None:
+    """Record a backend-resolution event (armed runs only): a counter
+    per (requested, resolved) pair plus a gauge naming the last pick, so
+    traces show when ``auto`` silently degraded to the NumPy reference."""
+    from repro import telemetry  # lazy: telemetry is a leaf, this module is not
+
+    if telemetry.enabled():
+        reg = telemetry.get_registry()
+        reg.counter(f"kernels.resolve.{requested}->{resolved}").inc()
+        reg.gauge("kernels.backend_is_numba").set(1.0 if resolved == "numba" else 0.0)
+
+
 def get_kernels(name: str = "auto") -> ArrayKernels:
     """Resolve a kernel backend by spec key.
 
@@ -235,7 +247,9 @@ def get_kernels(name: str = "auto") -> ArrayKernels:
     """
     if name == "auto":
         impl = _load_numba_kernels()
-        return impl if impl is not None else _BACKENDS["numpy"]
+        resolved = impl if impl is not None else _BACKENDS["numpy"]
+        _note_resolution(name, resolved.name)
+        return resolved
     if name == "numba":
         impl = _load_numba_kernels()
         if impl is None:
@@ -243,9 +257,12 @@ def get_kernels(name: str = "auto") -> ArrayKernels:
                 "kernels='numba' requested but numba is not importable in this "
                 "environment; install numba or select kernels='auto'/'numpy'"
             )
+        _note_resolution(name, impl.name)
         return impl
     try:
-        return _BACKENDS[name]
+        impl = _BACKENDS[name]
+        _note_resolution(name, impl.name)
+        return impl
     except KeyError:
         raise ValueError(
             f"unknown kernels backend {name!r}; options: "

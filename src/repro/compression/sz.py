@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.compression.api import SZ_CAPABILITIES, CompressorSpec
 from repro.compression.codecs import Codec, _minimal_uint_dtype, get_codec
 from repro.compression.estimator import (
@@ -502,41 +503,47 @@ class SZCompressor:
         is requested again.
         """
         kern = self._kernels()
+        tracer = telemetry.get_tracer()  # null object when disarmed
         n_blocks = len(arrs)
         shape = arrs[0].shape
         n = int(arrs[0].size)
         work = ws.request("batch_work_f64", (n_blocks, n), np.float64)
         mask = ws.request("batch_quant_mask", (n_blocks, n), np.bool_)
-        if self.mode == "abs":
-            for b, arr in enumerate(arrs):
-                np.isfinite(arr, out=mask[b].reshape(shape))
-            if not mask.all():
-                raise ValueError("data contains non-finite values (NaN or Inf)")
-            with np.errstate(over="ignore"):
+        with tracer.span("sz.map", blocks=n_blocks, mode=self.mode):
+            if self.mode == "abs":
                 for b, arr in enumerate(arrs):
-                    np.divide(
-                        arr,
-                        2.0 * float(eb_arr[b]),
-                        out=work[b].reshape(shape),
-                        dtype=np.float64,
-                    )
-        else:
-            for b, arr in enumerate(arrs):
-                np.less_equal(arr, 0, out=mask[b].reshape(shape))
-            if mask.any():
-                raise ValueError("pw_rel mode requires strictly positive data")
-            for b, arr in enumerate(arrs):
-                np.log(arr, out=work[b].reshape(shape), dtype=np.float64)
-            np.isfinite(work, out=mask)
-            if not mask.all():
-                raise ValueError("data contains non-finite values (NaN or Inf)")
-            with np.errstate(over="ignore"):
-                for b in range(n_blocks):
-                    np.divide(
-                        work[b], 2.0 * pw_rel_to_log_abs(float(eb_arr[b])), out=work[b]
-                    )
+                    np.isfinite(arr, out=mask[b].reshape(shape))
+                if not mask.all():
+                    raise ValueError("data contains non-finite values (NaN or Inf)")
+                with np.errstate(over="ignore"):
+                    for b, arr in enumerate(arrs):
+                        np.divide(
+                            arr,
+                            2.0 * float(eb_arr[b]),
+                            out=work[b].reshape(shape),
+                            dtype=np.float64,
+                        )
+            else:
+                for b, arr in enumerate(arrs):
+                    np.less_equal(arr, 0, out=mask[b].reshape(shape))
+                if mask.any():
+                    raise ValueError("pw_rel mode requires strictly positive data")
+                for b, arr in enumerate(arrs):
+                    np.log(arr, out=work[b].reshape(shape), dtype=np.float64)
+                np.isfinite(work, out=mask)
+                if not mask.all():
+                    raise ValueError("data contains non-finite values (NaN or Inf)")
+                with np.errstate(over="ignore"):
+                    for b in range(n_blocks):
+                        np.divide(
+                            work[b],
+                            2.0 * pw_rel_to_log_abs(float(eb_arr[b])),
+                            out=work[b],
+                        )
         lattice = ws.request("batch_lattice_i64", (n_blocks, n), np.int64)
-        if not kern.quantize(work, lattice, mask):
+        with tracer.span("sz.quantize", blocks=n_blocks, kernels=kern.name):
+            ok = kern.quantize(work, lattice, mask)
+        if not ok:
             raise ValueError(
                 "error bound too small relative to data magnitude: quantization "
                 "lattice exceeds int64 range"
@@ -545,10 +552,12 @@ class SZCompressor:
         # under the zero-boundary difference, so padding is free.
         shape3d = shape + (1,) * (3 - len(shape))
         scratch = ws.request("batch_lorenzo_scratch", (n_blocks * n,), np.int64)
-        kern.lorenzo(lattice.reshape((n_blocks,) + shape3d), scratch)
+        with tracer.span("sz.lorenzo", blocks=n_blocks, kernels=kern.name):
+            kern.lorenzo(lattice.reshape((n_blocks,) + shape3d), scratch)
         fits = ws.request("batch_fits_mask", (n_blocks, n), np.bool_)
         misfit = ws.request("batch_misfit_mask", (n_blocks, n), np.bool_)
-        counts, pos, val = kern.encode_residuals(lattice, self.radius, fits, misfit)
+        with tracer.span("sz.residual", blocks=n_blocks, kernels=kern.name):
+            counts, pos, val = kern.encode_residuals(lattice, self.radius, fits, misfit)
         return lattice, counts, pos, val
 
     def _encode_payloads_batch(
@@ -568,40 +577,42 @@ class SZCompressor:
         (zlib/DEFLATE releases the GIL) when ``threads > 1``.
         """
         kern = self._kernels()
+        tracer = telemetry.get_tracer()
         n_blocks, n = codes.shape
-        maxes = codes.max(axis=1)
-        dts = [_minimal_uint_dtype(int(m)) for m in maxes]
-        rows: list[np.ndarray] = [codes[0]] * n_blocks
-        distinct = list(dict.fromkeys(dts))
-        if len(distinct) == 1:
-            # The common case — one exact-cast pass over the whole group.
-            buf = ws.request("batch_codes_narrow", (n_blocks, n), distinct[0])
-            kern.narrow(codes, buf)
-            rows = [buf[b] for b in range(n_blocks)]
-        else:
-            # Mixed widths: one arena slot per width (slots are keyed by
-            # dtype), each block narrowed into its width's stack.
-            cursor = dict.fromkeys(distinct, 0)
-            bufs = {
-                dt: ws.request("batch_codes_narrow", (dts.count(dt), n), dt)
-                for dt in distinct
-            }
-            for b, dt in enumerate(dts):
-                r = cursor[dt]
-                cursor[dt] = r + 1
-                kern.narrow(codes[b], bufs[dt][r])
-                rows[b] = bufs[dt][r]
-        offsets = ws.request("batch_offsets", (n_blocks + 1,), np.int64)
-        offsets[0] = 0
-        np.cumsum(counts, out=offsets[1:])
-        if pos.size:
-            pos_dt = _minimal_uint_dtype(n - 1)
-            pos_narrow = ws.request("batch_pos_narrow", pos.shape, pos_dt)
-            kern.narrow(pos, pos_narrow)
-            zz = kern.zigzag(val)
-        else:
-            pos_narrow = pos
-            zz = val
+        with tracer.span("sz.side_channels", blocks=n_blocks):
+            maxes = codes.max(axis=1)
+            dts = [_minimal_uint_dtype(int(m)) for m in maxes]
+            rows: list[np.ndarray] = [codes[0]] * n_blocks
+            distinct = list(dict.fromkeys(dts))
+            if len(distinct) == 1:
+                # The common case — one exact-cast pass over the whole group.
+                buf = ws.request("batch_codes_narrow", (n_blocks, n), distinct[0])
+                kern.narrow(codes, buf)
+                rows = [buf[b] for b in range(n_blocks)]
+            else:
+                # Mixed widths: one arena slot per width (slots are keyed by
+                # dtype), each block narrowed into its width's stack.
+                cursor = dict.fromkeys(distinct, 0)
+                bufs = {
+                    dt: ws.request("batch_codes_narrow", (dts.count(dt), n), dt)
+                    for dt in distinct
+                }
+                for b, dt in enumerate(dts):
+                    r = cursor[dt]
+                    cursor[dt] = r + 1
+                    kern.narrow(codes[b], bufs[dt][r])
+                    rows[b] = bufs[dt][r]
+            offsets = ws.request("batch_offsets", (n_blocks + 1,), np.int64)
+            offsets[0] = 0
+            np.cumsum(counts, out=offsets[1:])
+            if pos.size:
+                pos_dt = _minimal_uint_dtype(n - 1)
+                pos_narrow = ws.request("batch_pos_narrow", pos.shape, pos_dt)
+                kern.narrow(pos, pos_narrow)
+                zz = kern.zigzag(val)
+            else:
+                pos_narrow = pos
+                zz = val
         codec = self.codec
 
         def build(b: int) -> dict[str, bytes]:
@@ -612,12 +623,13 @@ class SZCompressor:
                 "outlier_val": _deflate_channel(zz[lo:hi]),
             }
 
-        if threads > 1 and n_blocks > 1:
-            # Lazy import: parallel.backends imports this module.
-            from repro.parallel.backends import get_backend
+        with tracer.span("sz.entropy", blocks=n_blocks, codec=codec.name):
+            if threads > 1 and n_blocks > 1:
+                # Lazy import: parallel.backends imports this module.
+                from repro.parallel.backends import get_backend
 
-            return get_backend("thread").map_tasks(build, range(n_blocks))
-        return [build(b) for b in range(n_blocks)]
+                return get_backend("thread").map_tasks(build, range(n_blocks))
+            return [build(b) for b in range(n_blocks)]
 
     def _quantize_encode(
         self, arr: np.ndarray, eb: float, ws: Workspace

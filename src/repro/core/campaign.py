@@ -125,6 +125,9 @@ class CampaignReport:
                 "raw_bytes": self.raw_bytes,
                 "compressed_bytes": self.compressed_bytes,
                 "overall_ratio": self.overall_ratio if self.outcomes else None,
+                # Additive since PR 9: per-phase seconds *and* counts
+                # (as_dict() would drop the counts).
+                "timings": self.timings.phase_stats(),
                 "outcomes": [
                     dict(zip(_REPORT_COLUMNS, row)) for row in self.as_rows()
                 ],

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.catalog import compare_catalogs
 from repro.analysis.halos import find_halos
 from repro.analysis.metrics import FieldMoments, error_summary
@@ -73,9 +74,18 @@ class FieldReference:
             state["_data"] = state["_f64"]
         return state
 
+    @staticmethod
+    def _note_cache(analysis: str, hit: bool) -> None:
+        """Count reference-cache hits/misses (armed runs only): the rate
+        is the amortization the Foresight-style sweep design claims."""
+        if telemetry.enabled():
+            outcome = "hits" if hit else "misses"
+            telemetry.get_registry().counter(f"foresight.cache.{analysis}.{outcome}").inc()
+
     @property
     def f64(self) -> np.ndarray:
         """The field as float64 (cast once, shared by every analysis)."""
+        self._note_cache("f64", self._f64 is not None)
         if self._f64 is None:
             self._f64 = np.asarray(self._data, dtype=np.float64)
         return self._f64
@@ -83,12 +93,14 @@ class FieldReference:
     @property
     def moments(self) -> FieldMoments:
         """Fused (min, max, sum, sum-of-squares) reduction moments."""
+        self._note_cache("moments", self._moments is not None)
         if self._moments is None:
             self._moments = FieldMoments.from_field(self.f64)
         return self._moments
 
     def spectrum(self, nbins: int | None = None) -> PowerSpectrum:
         """Binned power spectrum of the original, cached per ``nbins``."""
+        self._note_cache("spectrum", nbins in self._spectra)
         if nbins not in self._spectra:
             self._spectra[nbins] = power_spectrum(self.f64, nbins=nbins)
         return self._spectra[nbins]
@@ -96,6 +108,7 @@ class FieldReference:
     def halos(self, t_boundary: float, t_halo: float | None = None):
         """Halo catalog of the original, cached per threshold pair."""
         key = (float(t_boundary), None if t_halo is None else float(t_halo))
+        self._note_cache("halos", key in self._catalogs)
         if key not in self._catalogs:
             self._catalogs[key] = find_halos(self.f64, t_boundary, t_halo)
         return self._catalogs[key]

@@ -27,6 +27,7 @@ __all__ = [
     "CompressorContractRule",
     "HandRolledRetryRule",
     "HotPathAllocationRule",
+    "AdHocTelemetryRule",
 ]
 
 #: Builtins that consume an iterable without depending on its order;
@@ -710,4 +711,84 @@ class HotPathAllocationRule(Rule):
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_hot_function(node)
+        self.generic_visit(node)
+
+
+@register_rule
+class AdHocTelemetryRule(Rule):
+    """RL012 — metrics/spans come from the ``repro.telemetry`` factories.
+
+    Telemetry primitives constructed outside the registry — a
+    module-level ``Counter("x")``, a private ``Tracer()``, a
+    hand-assembled span dict — are invisible to the exporters, survive
+    test resets, and fragment the one process-wide trace the
+    observability layer promises.  Inside ``repro/telemetry/`` the
+    constructors are the implementation; everywhere else, metrics come
+    from ``get_registry().counter/gauge/histogram(...)`` and spans from
+    ``get_tracer().span(...)``.
+
+    Bad::
+
+        from repro.telemetry import Counter
+        RETRIES = Counter("retries")           # ad-hoc module metric
+        rec = {"span_id": 1, "parent_id": 0, "name": "x"}  # bare span dict
+
+    Good::
+
+        telemetry.get_registry().counter("retries").inc()
+        with telemetry.get_tracer().span("x"): ...
+    """
+
+    code = "RL012"
+    name = "ad-hoc-telemetry"
+    summary = (
+        "telemetry primitive constructed outside the repro.telemetry "
+        "factories; use get_registry()/get_tracer()"
+    )
+    rationale = (
+        "metrics and spans not owned by the process registry/tracer never "
+        "reach the exporters and cannot be reset between tests; the "
+        "get_registry()/get_tracer() factories are the only sanctioned "
+        "constructors outside the telemetry package itself."
+    )
+    exempt = ("repro/telemetry/",)
+
+    _PRIMITIVES = frozenset(
+        {
+            f"repro.telemetry{mod}.{cls}"
+            for mod in ("", ".registry", ".tracer")
+            for cls in ("Counter", "Gauge", "Histogram", "Span", "Tracer",
+                        "MetricsRegistry")
+        }
+    )
+
+    #: Key combinations that identify a hand-assembled span record
+    #: (the tracer wire format, and the Chrome trace_event shape).
+    _SPAN_KEY_SETS = (
+        frozenset({"span_id", "parent_id"}),
+        frozenset({"ph", "ts", "dur"}),
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = self.ctx.resolve(node.func)
+        if target in self._PRIMITIVES:
+            self.flag(
+                node,
+                f"direct {target.rsplit('.', 1)[-1]}(...) construction; "
+                f"{self.summary}",
+            )
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        keys = {
+            k.value
+            for k in node.keys
+            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+        }
+        if any(wanted <= keys for wanted in self._SPAN_KEY_SETS):
+            self.flag(
+                node,
+                "bare span-record dict literal; spans come from "
+                "get_tracer().span(...) and export via Tracer.export_spans()",
+            )
         self.generic_visit(node)

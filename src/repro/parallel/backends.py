@@ -44,6 +44,7 @@ from typing import Any, ClassVar
 
 import numpy as np
 
+from repro import telemetry
 from repro.compression.api import Compressor
 from repro.compression.sz import CompressedBlock
 from repro.compression.workspace import Workspace
@@ -208,15 +209,17 @@ class SerialBackend(ExecutionBackend):
 
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
         timings = TimingBreakdown()
-        with timings.phase("features"):
-            fault_point("backend.features")
-            features = [task.extract(rank) for rank in range(task.n_ranks)]
-        with timings.phase("optimize"):
-            opt = task.optimize(features)
-        views = task.decomposition.partition_views(task.data)
-        with timings.phase("compress"):
-            fault_point("backend.compress")
-            blocks = task.compressor.compress_many(views, opt.ebs)
+        tracer = telemetry.get_tracer()
+        with tracer.span("backend.snapshot", backend=self.name, ranks=task.n_ranks):
+            with tracer.span("features"), timings.phase("features"):
+                fault_point("backend.features")
+                features = [task.extract(rank) for rank in range(task.n_ranks)]
+            with tracer.span("optimize"), timings.phase("optimize"):
+                opt = task.optimize(features)
+            views = task.decomposition.partition_views(task.data)
+            with tracer.span("compress"), timings.phase("compress"):
+                fault_point("backend.compress")
+                blocks = task.compressor.compress_many(views, opt.ebs)
         return BackendOutcome(
             features=features, ebs=opt.ebs, blocks=blocks, optimization=opt,
             timings=timings,
@@ -255,17 +258,22 @@ class ThreadBackend(ExecutionBackend):
             return list(pool.map(fn, items))
 
     def run_snapshot(self, task: SnapshotTask) -> BackendOutcome:
+        tracer = telemetry.get_tracer()
+
         def rank_fn(comm):
+            # Rank threads each carry their own span stack (the tracer's
+            # nesting state is thread-local), so per-rank spans merge
+            # into one trace without cross-talk.
             tb = TimingBreakdown()
             rank = comm.rank
-            with tb.phase("features"):
+            with tracer.span("features", rank=rank), tb.phase("features"):
                 feat = task.extract(rank)
             if task.uses_local_protocol():
                 # The paper's cheap protocol: one allreduce of the mean,
                 # every rank solves its own bound locally.
                 with tb.phase("collective"):
                     total = comm.allreduce(feat.mean_abs, op="sum")
-                with tb.phase("optimize"):
+                with tracer.span("optimize", rank=rank), tb.phase("optimize"):
                     eb = local_protocol_bound(
                         feat.mean_abs,
                         total / comm.size,
@@ -279,18 +287,19 @@ class ThreadBackend(ExecutionBackend):
                 # solves the deterministic optimization once, bcast.
                 with tb.phase("collective"):
                     all_feats = comm.allgather(feat)
-                with tb.phase("optimize"):
+                with tracer.span("optimize", rank=rank), tb.phase("optimize"):
                     opt = task.optimize(all_feats) if rank == 0 else None
                 with tb.phase("collective"):
                     opt = comm.bcast(opt, root=0)
                 eb = float(opt.ebs[rank])
             view = task.decomposition[rank].view(task.data)
-            with tb.phase("compress"):
+            with tracer.span("compress", rank=rank), tb.phase("compress"):
                 fault_point("backend.compress")
                 block = task.compressor.compress(view, eb)
             return feat, eb, block, opt, tb
 
-        results = run_spmd(task.n_ranks, rank_fn)
+        with tracer.span("backend.snapshot", backend=self.name, ranks=task.n_ranks):
+            results = run_spmd(task.n_ranks, rank_fn)
         features = [r[0] for r in results]
         ebs = np.array([r[1] for r in results], dtype=np.float64)
         blocks = [r[2] for r in results]
@@ -384,27 +393,47 @@ def _release_shm(shm: shared_memory.SharedMemory) -> None:
             pass
 
 
+def _worker_tracing(export: bool):
+    """Arm a fresh worker-local tracer when the parent asked for spans.
+
+    The worker's clock epoch differs from the parent's (``perf_counter``
+    is per-process), so the exported records are rebased by the parent's
+    :meth:`~repro.telemetry.tracer.Tracer.adopt`.
+    """
+    if export:
+        return telemetry.arm(track=f"worker-{os.getpid()}")
+    return telemetry.get_tracer()
+
+
 def _features_task(
     shm_name: str,
     shape: tuple[int, ...],
     dtype: str,
     items: list[tuple[int, tuple[slice, ...]]],
     halo_args: tuple[float, float] | None,
-) -> tuple[list[PartitionFeatures], float]:
+    export_telemetry: bool = False,
+) -> tuple[list[PartitionFeatures], float, list[dict]]:
     """Pool worker: features for a batch of partitions (rank, slices)."""
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
         fault_point("backend.features")
         t_boundary, reference_eb = halo_args if halo_args else (None, 1.0)
-        with Timer() as timer:
-            feats = [
-                extract_features(
-                    arr[slices], rank=rank, t_boundary=t_boundary,
-                    reference_eb=reference_eb,
-                )
-                for rank, slices in items
-            ]
-        return feats, timer.elapsed
+        tracer = _worker_tracing(export_telemetry)
+        try:
+            with tracer.span("features", ranks=[r for r, _ in items]):
+                with Timer() as timer:
+                    feats = [
+                        extract_features(
+                            arr[slices], rank=rank, t_boundary=t_boundary,
+                            reference_eb=reference_eb,
+                        )
+                        for rank, slices in items
+                    ]
+            spans = tracer.export_spans() if export_telemetry else []
+        finally:
+            if export_telemetry:
+                telemetry.disarm()
+        return feats, timer.elapsed, spans
     finally:
         del arr
         _release_shm(shm)
@@ -416,7 +445,8 @@ def _compress_task(
     dtype: str,
     items: list[tuple[tuple[slice, ...], float]],
     compressor_blob: bytes,
-) -> tuple[list[CompressedBlock], float]:
+    export_telemetry: bool = False,
+) -> tuple[list[CompressedBlock], float, list[dict]]:
     """Pool worker: compress a batch of partitions (slices, eb)."""
     shm, arr = _attach_shm(shm_name, shape, dtype)
     try:
@@ -428,13 +458,20 @@ def _compress_task(
         # predate the parameter).
         if "threads" in inspect.signature(comp.compress_many).parameters:
             kwargs["threads"] = 1
-        with Timer() as timer:
-            blocks = comp.compress_many(
-                [arr[slices] for slices, _ in items],
-                [eb for _, eb in items],
-                **kwargs,
-            )
-        return blocks, timer.elapsed
+        tracer = _worker_tracing(export_telemetry)
+        try:
+            with tracer.span("compress", blocks=len(items)):
+                with Timer() as timer:
+                    blocks = comp.compress_many(
+                        [arr[slices] for slices, _ in items],
+                        [eb for _, eb in items],
+                        **kwargs,
+                    )
+            spans = tracer.export_spans() if export_telemetry else []
+        finally:
+            if export_telemetry:
+                telemetry.disarm()
+        return blocks, timer.elapsed, spans
     finally:
         del arr
         _release_shm(shm)
@@ -535,6 +572,8 @@ class ProcessBackend(ExecutionBackend):
         pool, self._pool = self._pool, None
         if pool is not None:
             self.n_pool_rebuilds += 1
+            if telemetry.enabled():
+                telemetry.get_registry().counter("resilience.pool_rebuilds").inc()
             pool.shutdown(wait=False, cancel_futures=True)
 
     @property
@@ -582,8 +621,22 @@ class ProcessBackend(ExecutionBackend):
         self, site: str, attempt: int, exc: BaseException, delay: float
     ) -> None:
         self.n_retries += 1
+        if telemetry.enabled():
+            telemetry.get_registry().counter("resilience.backend_retries").inc()
         if self.on_retry is not None:
             self.on_retry(site, attempt, exc, delay)
+
+    @staticmethod
+    def _adopt_worker_spans(tracer, parent_span, spans: list[dict]) -> None:
+        """Merge a worker batch's exported spans under the snapshot span,
+        rebased to its clock (worker ``perf_counter`` epochs differ)."""
+        if spans:
+            tracer.adopt(
+                spans,
+                parent_id=parent_span.span_id,
+                rebase_to=parent_span.start,
+                track="worker",
+            )
 
     def _run_batch(self, task_fn: Callable[..., Any], args: tuple) -> Any:
         """Re-execute one batch on a (possibly rebuilt) pool."""
@@ -653,6 +706,8 @@ class ProcessBackend(ExecutionBackend):
         dec = task.decomposition
         n = task.n_ranks
         timings = TimingBreakdown()
+        tracer = telemetry.get_tracer()
+        export_spans = telemetry.enabled()
         compressor_blob = self._serialize_compressor(task.compressor)
         halo_args = (
             (task.halo.t_boundary, task.halo.reference_eb) if task.halo else None
@@ -664,47 +719,55 @@ class ProcessBackend(ExecutionBackend):
         shm = None
         shared = None
         pending: list[Future] = []
+        snapshot_span = tracer.span(
+            "backend.snapshot", backend=self.name, ranks=n, batches=len(batches)
+        )
         try:
-            with timings.phase("scatter"):
-                shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
-                shared = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
-                np.copyto(shared, data)
-            meta = (shm.name, tuple(data.shape), data.dtype.str)
+            with snapshot_span:
+                with tracer.span("scatter"), timings.phase("scatter"):
+                    shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+                    shared = np.ndarray(data.shape, dtype=data.dtype, buffer=shm.buf)
+                    np.copyto(shared, data)
+                meta = (shm.name, tuple(data.shape), data.dtype.str)
 
-            feat_args = [
-                (*meta, [(r, dec[r].slices) for r in ranks], halo_args)
-                for ranks in batches
-            ]
-            futures = self._submit_all(_features_task, feat_args, pending)
-            features: list[PartitionFeatures] = [None] * n  # type: ignore[list-item]
-            for ranks, fut, args in zip(batches, futures, feat_args):
-                feats, seconds = self._collect(
-                    fut, "backend.features", _features_task, args
-                )
-                timings.add("features", seconds)
-                for rank, feat in zip(ranks, feats):
-                    features[rank] = feat
+                feat_args = [
+                    (*meta, [(r, dec[r].slices) for r in ranks], halo_args,
+                     export_spans)
+                    for ranks in batches
+                ]
+                futures = self._submit_all(_features_task, feat_args, pending)
+                features: list[PartitionFeatures] = [None] * n  # type: ignore[list-item]
+                for ranks, fut, args in zip(batches, futures, feat_args):
+                    feats, seconds, spans = self._collect(
+                        fut, "backend.features", _features_task, args
+                    )
+                    timings.add("features", seconds)
+                    self._adopt_worker_spans(tracer, snapshot_span, spans)
+                    for rank, feat in zip(ranks, feats):
+                        features[rank] = feat
 
-            with timings.phase("optimize"):
-                opt = task.optimize(features)
+                with tracer.span("optimize"), timings.phase("optimize"):
+                    opt = task.optimize(features)
 
-            comp_args = [
-                (
-                    *meta,
-                    [(dec[r].slices, float(opt.ebs[r])) for r in ranks],
-                    compressor_blob,
-                )
-                for ranks in batches
-            ]
-            futures = self._submit_all(_compress_task, comp_args, pending)
-            blocks: list[CompressedBlock] = [None] * n  # type: ignore[list-item]
-            for ranks, fut, args in zip(batches, futures, comp_args):
-                blks, seconds = self._collect(
-                    fut, "backend.compress", _compress_task, args
-                )
-                timings.add("compress", seconds)
-                for rank, block in zip(ranks, blks):
-                    blocks[rank] = block
+                comp_args = [
+                    (
+                        *meta,
+                        [(dec[r].slices, float(opt.ebs[r])) for r in ranks],
+                        compressor_blob,
+                        export_spans,
+                    )
+                    for ranks in batches
+                ]
+                futures = self._submit_all(_compress_task, comp_args, pending)
+                blocks: list[CompressedBlock] = [None] * n  # type: ignore[list-item]
+                for ranks, fut, args in zip(batches, futures, comp_args):
+                    blks, seconds, spans = self._collect(
+                        fut, "backend.compress", _compress_task, args
+                    )
+                    timings.add("compress", seconds)
+                    self._adopt_worker_spans(tracer, snapshot_span, spans)
+                    for rank, block in zip(ranks, blks):
+                        blocks[rank] = block
         finally:
             # On error, outstanding batches must not outlive the segment:
             # cancel the queued ones, drain the running ones, and retrieve

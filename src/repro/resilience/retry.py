@@ -30,6 +30,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
+from repro import telemetry
 from repro.util.rng import default_rng
 
 __all__ = ["TransientError", "RetryExhaustedError", "RetryPolicy"]
@@ -205,6 +206,8 @@ class RetryPolicy:
                 if attempt == self.max_attempts:
                     break
                 delay = schedule[attempt - 1]
+                if telemetry.enabled():
+                    telemetry.get_registry().counter(f"resilience.retries.{site}").inc()
                 if on_retry is not None:
                     on_retry(site, attempt, exc, delay)
                 if delay > 0:

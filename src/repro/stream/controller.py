@@ -45,6 +45,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.compression.api import (
     Compressor,
     CompressorSpec,
@@ -88,6 +89,7 @@ from repro.stream.ledger import (
 )
 from repro.stream.source import SnapshotStream, as_stream
 from repro.util.tables import format_table
+from repro.util.timer import TimingBreakdown
 
 __all__ = [
     "derive_eb_budget",
@@ -232,6 +234,10 @@ class StreamReport:
     n_recoveries: int = 0
     n_degradations: int = 0
     degraded_fields: list[str] = dataclass_field(default_factory=list)
+    #: Per-phase wall time merged across every field result the run
+    #: produced (features/optimize/compress/..., rank-summed like the
+    #: backends' own accounting).
+    timings: TimingBreakdown = dataclass_field(default_factory=TimingBreakdown)
 
     @property
     def raw_bytes(self) -> int:
@@ -291,6 +297,9 @@ class StreamReport:
                 "n_recoveries": self.n_recoveries,
                 "n_degradations": self.n_degradations,
                 "degraded_fields": list(self.degraded_fields),
+                # Additive since PR 9: per-phase seconds *and* counts
+                # (as_dict() would drop the counts).
+                "timings": self.timings.phase_stats(),
                 "raw_bytes": self.raw_bytes,
                 "compressed_bytes": self.compressed_bytes,
                 "overall_ratio": self.overall_ratio if self.outcomes else None,
@@ -1199,23 +1208,33 @@ class InSituController:
             )
         self._ensure_started()
         index = self._snapshot_index
-        outcomes = [
-            self._process_field(index, snapshot.redshift, name, data)
-            for name, data in snapshot.fields.items()
-        ]
-        if self._governor is not None:
-            snapshot_bytes = sum(o.compressed_bytes for o in outcomes)
-            exponent_mean = self._exponent_mean()
-            scale_next = self._governor.observe(snapshot_bytes, exponent_mean)
-            self._append(
-                "budget",
-                snapshot=index,
-                snapshot_bytes=snapshot_bytes,
-                spent=self._governor.spent,
-                exponent_mean=exponent_mean,
-                scale_next=scale_next,
-                utilization=self._governor.utilization,
-            )
+        # The span carries the ledger seq window this snapshot appended
+        # (attributes only — telemetry never writes INTO the ledger, so
+        # armed runs replay byte-identically to disarmed ones).
+        with telemetry.get_tracer().span(
+            "stream.snapshot",
+            snapshot=index,
+            redshift=float(snapshot.redshift),
+            seq_first=self.ledger.next_seq,
+        ) as span:
+            outcomes = [
+                self._process_field(index, snapshot.redshift, name, data)
+                for name, data in snapshot.fields.items()
+            ]
+            if self._governor is not None:
+                snapshot_bytes = sum(o.compressed_bytes for o in outcomes)
+                exponent_mean = self._exponent_mean()
+                scale_next = self._governor.observe(snapshot_bytes, exponent_mean)
+                self._append(
+                    "budget",
+                    snapshot=index,
+                    snapshot_bytes=snapshot_bytes,
+                    spent=self._governor.spent,
+                    exponent_mean=exponent_mean,
+                    scale_next=scale_next,
+                    utilization=self._governor.utilization,
+                )
+            span.set_attr("seq_last", self.ledger.next_seq - 1)
         self._snapshot_index += 1
         self.report.n_snapshots += 1
         return outcomes
@@ -1275,6 +1294,8 @@ class InSituController:
         assert self.fallback_compressor is not None
         self._quarantined.add(name)
         self.report.n_degradations += 1
+        if telemetry.enabled():
+            telemetry.get_registry().counter("resilience.degradations").inc()
         if name not in self.report.degraded_fields:
             self.report.degraded_fields.append(name)
         self._append(
@@ -1292,6 +1313,12 @@ class InSituController:
         )
 
     def _process_field(
+        self, index: int, redshift: float, name: str, data: np.ndarray
+    ) -> StreamOutcome:
+        with telemetry.get_tracer().span("stream.field", field=name, snapshot=index):
+            return self._process_field_inner(index, redshift, name, data)
+
+    def _process_field_inner(
         self, index: int, redshift: float, name: str, data: np.ndarray
     ) -> StreamOutcome:
         spec = self.spec_for(name)
@@ -1442,6 +1469,7 @@ class InSituController:
             drift_signal=signal,
         )
         self.report.outcomes.append(outcome)
+        self.report.timings.merge(result.timings)
         return outcome
 
 

@@ -1,0 +1,109 @@
+"""Out-of-band observability: tracing spans + a process metrics registry.
+
+The paper's §4.3 headline is an *overhead* claim (adaptive machinery
+costs ~1-1.5% of compression), so the instrumentation that substantiates
+it must itself be close to free.  This package keeps that bargain with
+one module-level switch:
+
+- **Disarmed (default)**: :func:`get_tracer` returns the shared
+  :data:`~repro.telemetry.tracer.NULL_TRACER` whose spans allocate
+  nothing and never read the clock; :func:`enabled` is a single global
+  load.  Instrumented code stays permanently in place.
+- **Armed** (:func:`arm`, or the CLI's ``--telemetry``): a real
+  :class:`~repro.telemetry.tracer.Tracer` plus the process
+  :class:`~repro.telemetry.registry.MetricsRegistry` record everything,
+  exported at the end via :mod:`repro.telemetry.export`.
+
+The hot-loop idiom — fetch once, guard batches, never per-element::
+
+    from repro import telemetry
+
+    def compress_batch(views):
+        tracer = telemetry.get_tracer()     # null object when disarmed
+        with tracer.span("sz.quantize", blocks=len(views)):
+            ...
+        if telemetry.enabled():             # rare-event metrics only
+            telemetry.get_registry().counter("sz.batches").inc()
+
+Telemetry is strictly *out-of-band*: nothing here is ever written into
+the run ledger, so an armed streamed run produces byte-identical ledger
+lines to a disarmed one and replay stays bitwise-faithful.  Clocks are
+routed exclusively through :func:`repro.util.timer.monotonic`, keeping
+lint rule RL005 authoritative; creating metrics or spans outside this
+package's factories is flagged by RL012.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "arm",
+    "armed",
+    "disarm",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+]
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """Fast path for hot loops: is telemetry currently armed?"""
+    return _tracer.enabled
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process tracer — null object unless :func:`arm` was called."""
+    return _tracer
+
+
+def get_registry() -> MetricsRegistry:
+    """The process metrics registry (always real; callers guard hot
+    paths with :func:`enabled` so a disarmed run records nothing)."""
+    return _registry
+
+
+def arm(track: str = "main") -> Tracer:
+    """Install a fresh armed tracer (and return it).
+
+    Metrics accumulate in the standing registry; spans start from a
+    clean tracer so each armed window exports exactly its own trace.
+    """
+    global _tracer
+    _tracer = Tracer(track=track)
+    return _tracer
+
+
+def disarm() -> None:
+    """Restore the zero-overhead null tracer.  The last armed tracer's
+    spans remain readable from the reference returned by :func:`arm`."""
+    global _tracer
+    _tracer = NULL_TRACER
+
+
+@contextmanager
+def armed(track: str = "main", reset_metrics: bool = True) -> Iterator[Tracer]:
+    """Scoped arming for benches and tests: arm, yield the tracer,
+    always disarm.  ``reset_metrics`` clears the registry on entry so
+    the window's counters start from zero."""
+    if reset_metrics:
+        _registry.reset()
+    tracer = arm(track=track)
+    try:
+        yield tracer
+    finally:
+        disarm()

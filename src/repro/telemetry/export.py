@@ -1,0 +1,189 @@
+"""Trace/metric serialization: canonical JSONL, Chrome ``trace_event``,
+Prometheus-style text.
+
+All three formats are deterministic given the same spans and metrics:
+JSON is always written with sorted keys and compact separators (the
+repo-wide RL004 contract), span order is start-time-then-id, metric
+order is sorted name, and histogram buckets are fixed at creation.
+
+Formats
+-------
+- **JSONL** (``*.jsonl``): one object per line; spans as
+  ``{"type": "span", ...}`` followed by metrics as
+  ``{"type": "metric", ...}``.  The lossless format — ``load_spans``
+  round-trips it, and it is the input ``repro.cli trace-report`` and the
+  hot-path bench consume.
+- **Chrome trace** (``*.trace.json``): a ``{"traceEvents": [...]}``
+  document of complete (``"ph": "X"``) events, loadable in
+  ``about:tracing`` or Perfetto.  Tracks map to thread rows; timestamps
+  are rebased to the earliest span and expressed in microseconds.
+- **Prometheus text**: ``# TYPE`` headers plus ``name value`` lines,
+  metrics only (spans have no Prometheus analogue).  Metric names are
+  sanitized (``.``/``-`` → ``_``) and histograms expand to cumulative
+  ``_bucket{le="..."}`` series plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "load_spans",
+    "prometheus_text",
+    "write_export",
+]
+
+
+def jsonl_lines(
+    spans: Iterable[dict[str, Any]], metrics: Iterable[dict[str, Any]] = ()
+) -> list[str]:
+    """Canonical-JSON lines: spans first, then metrics."""
+    lines = [
+        json.dumps({"type": "span", **rec}, sort_keys=True, separators=(",", ":"))
+        for rec in spans
+    ]
+    lines += [
+        json.dumps({"type": "metric", **rec}, sort_keys=True, separators=(",", ":"))
+        for rec in metrics
+    ]
+    return lines
+
+
+def chrome_trace(
+    spans: Iterable[dict[str, Any]], metrics: Iterable[dict[str, Any]] = ()
+) -> dict[str, Any]:
+    """Chrome ``trace_event`` document (complete events, one pid)."""
+    records = list(spans)
+    base = min((r["start"] for r in records), default=0.0)
+    tracks = sorted({r.get("track", "main") for r in records})
+    tid = {track: i + 1 for i, track in enumerate(tracks)}
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    for rec in records:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": tid[rec.get("track", "main")],
+                "name": rec["name"],
+                "cat": "repro",
+                "ts": (rec["start"] - base) * 1e6,
+                "dur": (rec["end"] - rec["start"]) * 1e6,
+                "args": {
+                    "span_id": rec["span_id"],
+                    "parent_id": rec["parent_id"],
+                    **rec.get("attrs", {}),
+                },
+            }
+        )
+    metric_list = list(metrics)
+    doc: dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metric_list:
+        doc["otherData"] = {"metrics": metric_list}
+    return doc
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(metrics: Iterable[dict[str, Any]]) -> str:
+    """Prometheus-style exposition text (metrics only)."""
+    out: list[str] = []
+    for rec in metrics:
+        name = _prom_name(rec["name"])
+        kind = rec["kind"]
+        out.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            cumulative = 0
+            for edge, count in zip(rec["edges"], rec["buckets"]):
+                cumulative += count
+                out.append(f'{name}_bucket{{le="{edge!r}"}} {cumulative}')
+            cumulative += rec["buckets"][-1]
+            out.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            out.append(f"{name}_sum {rec['sum']!r}")
+            out.append(f"{name}_count {rec['count']}")
+        else:
+            out.append(f"{name} {rec['value']!r}")
+    return "\n".join(out) + "\n"
+
+
+def write_export(
+    path: str | Path,
+    spans: Iterable[dict[str, Any]],
+    metrics: Iterable[dict[str, Any]] = (),
+) -> str:
+    """Write a trace file, format chosen by suffix.
+
+    ``*.trace.json`` / ``*.chrome.json`` → Chrome trace document,
+    ``*.prom`` / ``*.txt`` → Prometheus text, anything else → JSONL.
+    Returns the format name written.
+    """
+    path = Path(path)
+    suffixes = "".join(path.suffixes)
+    if suffixes.endswith((".trace.json", ".chrome.json")):
+        doc = chrome_trace(spans, metrics)
+        path.write_text(json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n")
+        return "chrome"
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(prometheus_text(metrics))
+        return "prometheus"
+    path.write_text("\n".join(jsonl_lines(spans, metrics)) + "\n")
+    return "jsonl"
+
+
+def load_spans(path: str | Path) -> list[dict[str, Any]]:
+    """Read span records back from a JSONL or Chrome trace file.
+
+    Chrome traces lose the original second-domain clock (timestamps come
+    back in seconds relative to the trace start), which is fine for the
+    duration arithmetic ``trace-report`` does.
+    """
+    text = Path(path).read_text()
+    # A Chrome trace is one JSON document with "traceEvents"; JSONL lines
+    # also start with "{", so sniff by parsing, not by first character.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        spans = []
+        for ev in doc.get("traceEvents", []):
+            if ev.get("ph") != "X":
+                continue
+            args = dict(ev.get("args", {}))
+            span_id = args.pop("span_id", None)
+            parent_id = args.pop("parent_id", None)
+            spans.append(
+                {
+                    "span_id": span_id,
+                    "parent_id": parent_id,
+                    "name": ev["name"],
+                    "start": ev["ts"] / 1e6,
+                    "end": (ev["ts"] + ev["dur"]) / 1e6,
+                    "attrs": args,
+                    "track": f"tid-{ev.get('tid', 1)}",
+                }
+            )
+        return spans
+    spans = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        if rec.get("type") == "span":
+            rec.pop("type")
+            spans.append(rec)
+    return spans

@@ -1,0 +1,144 @@
+"""Summaries computed from exported trace files.
+
+``repro.cli trace-report`` renders three tables from any trace a
+``--telemetry`` run wrote:
+
+- **per-stage**: total seconds and call counts per compression stage
+  (the ``sz.*`` spans: map/quantize/lorenzo/residual/entropy/
+  side_channels) — the cuSZ-style breakdown that makes kernel work
+  tractable.
+- **per-field**: wall time per simulation field, from the controller's
+  per-field spans.
+- **overhead**: the paper's §4.3 headline ratio — adaptive machinery
+  (``features`` + ``optimize``) over ``compress`` — computed directly
+  from span durations, no bench-side plumbing.
+
+All functions take plain span records (``Span.to_record()`` shape) as
+returned by :func:`repro.telemetry.export.load_spans`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Iterable
+
+from repro.util.tables import format_table
+
+__all__ = [
+    "field_summary",
+    "overhead_summary",
+    "render_trace_report",
+    "stage_summary",
+]
+
+#: Span-name prefix of the SZ compression-stage spans.
+STAGE_PREFIX = "sz."
+
+#: Phase spans the §4.3 ratio is computed from: adaptive machinery over
+#: the compression it steers.
+OVERHEAD_PHASES = ("features", "optimize")
+BASE_PHASE = "compress"
+
+
+def _duration(rec: dict[str, Any]) -> float:
+    return rec["end"] - rec["start"]
+
+
+def stage_summary(spans: Iterable[dict[str, Any]]) -> dict[str, dict[str, float | int]]:
+    """``{stage: {"seconds", "count"}}`` for the ``sz.*`` stage spans."""
+    out: dict[str, dict[str, float | int]] = {}
+    for rec in spans:
+        name = rec["name"]
+        if not name.startswith(STAGE_PREFIX):
+            continue
+        stage = name[len(STAGE_PREFIX):]
+        stats = out.setdefault(stage, {"seconds": 0.0, "count": 0})
+        stats["seconds"] += _duration(rec)
+        stats["count"] += 1
+    return out
+
+
+def field_summary(spans: Iterable[dict[str, Any]]) -> dict[str, dict[str, float | int]]:
+    """``{field: {"seconds", "count"}}`` from spans carrying a ``field``
+    attribute (the controller's per-field spans)."""
+    out: dict[str, dict[str, float | int]] = {}
+    for rec in spans:
+        field = rec.get("attrs", {}).get("field")
+        if field is None or rec["name"] != "stream.field":
+            continue
+        stats = out.setdefault(str(field), {"seconds": 0.0, "count": 0})
+        stats["seconds"] += _duration(rec)
+        stats["count"] += 1
+    return out
+
+
+def overhead_summary(spans: Iterable[dict[str, Any]]) -> dict[str, float]:
+    """§4.3 accounting: phase totals plus ``overhead_ratio``.
+
+    ``overhead_ratio`` is ``(features + optimize) / compress``; 0.0 when
+    no compress spans were recorded (empty/foreign trace).
+    """
+    totals: dict[str, float] = defaultdict(float)
+    for rec in spans:
+        if rec["name"] in OVERHEAD_PHASES or rec["name"] == BASE_PHASE:
+            totals[rec["name"]] += _duration(rec)
+    base = totals.get(BASE_PHASE, 0.0)
+    overhead = math.fsum(totals.get(p, 0.0) for p in OVERHEAD_PHASES)
+    return {
+        **{p: totals.get(p, 0.0) for p in (*OVERHEAD_PHASES, BASE_PHASE)},
+        "overhead_ratio": overhead / base if base > 0 else 0.0,
+    }
+
+
+def render_trace_report(spans: Iterable[dict[str, Any]]) -> str:
+    """The full text report ``repro.cli trace-report`` prints."""
+    records = list(spans)
+    sections: list[str] = []
+
+    stages = stage_summary(records)
+    if stages:
+        total = sum(s["seconds"] for s in stages.values())
+        rows = [
+            (stage, stats["seconds"], stats["count"],
+             stats["seconds"] / total if total > 0 else 0.0)
+            for stage, stats in sorted(
+                stages.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        sections.append(
+            format_table(
+                ("stage", "seconds", "count", "share"),
+                rows,
+                title="Compression stages (sz.*)",
+            )
+        )
+
+    fields = field_summary(records)
+    if fields:
+        rows = [
+            (field, stats["seconds"], stats["count"])
+            for field, stats in sorted(
+                fields.items(), key=lambda kv: -kv[1]["seconds"]
+            )
+        ]
+        sections.append(
+            format_table(
+                ("field", "seconds", "count"), rows, title="Per-field wall time"
+            )
+        )
+
+    overhead = overhead_summary(records)
+    rows = [(name, overhead[name]) for name in (*OVERHEAD_PHASES, BASE_PHASE)]
+    rows.append(("overhead_ratio", overhead["overhead_ratio"]))
+    sections.append(
+        format_table(
+            ("phase", "seconds"),
+            rows,
+            title="Adaptive overhead (paper §4.3: (features+optimize)/compress)",
+        )
+    )
+
+    if not records:
+        sections.insert(0, "trace contains no spans")
+    return "\n\n".join(sections)

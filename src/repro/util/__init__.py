@@ -1,7 +1,7 @@
 """Shared utilities: RNG handling, timers, ascii tables, validation."""
 
 from repro.util.rng import default_rng, spawn_rngs
-from repro.util.timer import Timer, TimingBreakdown
+from repro.util.timer import Timer, TimingBreakdown, monotonic
 from repro.util.tables import format_table
 from repro.util.validation import (
     check_3d,
@@ -15,6 +15,7 @@ __all__ = [
     "spawn_rngs",
     "Timer",
     "TimingBreakdown",
+    "monotonic",
     "format_table",
     "check_3d",
     "check_finite",

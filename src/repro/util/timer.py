@@ -14,7 +14,18 @@ from collections import defaultdict
 from collections.abc import Iterator
 from contextlib import contextmanager
 
-__all__ = ["Timer", "TimingBreakdown"]
+__all__ = ["Timer", "TimingBreakdown", "monotonic"]
+
+
+def monotonic() -> float:
+    """The repo's one true monotonic clock (seconds, arbitrary epoch).
+
+    Every timing consumer — :class:`Timer`, :class:`TimingBreakdown`,
+    ``repro.telemetry`` spans — reads wall time through this function so
+    lint rule RL005 (wall-clock calls confined to ``util.timer``) stays
+    authoritative over the whole stack.
+    """
+    return time.perf_counter()
 
 
 class Timer:
@@ -103,3 +114,15 @@ class TimingBreakdown:
 
     def as_dict(self) -> dict[str, float]:
         return dict(self.totals)
+
+    def phase_stats(self) -> dict[str, dict[str, float | int]]:
+        """Counts-preserving export: ``{phase: {"seconds", "count"}}``.
+
+        ``as_dict()`` keeps its historical seconds-only shape for existing
+        consumers; reports that also want the number of times each phase
+        ran (per-snapshot call counts, amortized cost) use this one.
+        """
+        return {
+            name: {"seconds": self.totals[name], "count": self.counts.get(name, 0)}
+            for name in self.totals
+        }

@@ -120,6 +120,20 @@ CASES = [
         "            if n == 0:\n"
         "                raise\n",
     ),
+    (
+        "RL012",
+        "from repro.telemetry import Counter\n"
+        "RETRIES = Counter('retries')\n",
+        "from repro import telemetry\n"
+        "def note():\n"
+        "    telemetry.get_registry().counter('retries').inc()\n",
+    ),
+    (
+        "RL012",
+        "rec = {'span_id': 1, 'parent_id': None, 'name': 'compress'}\n",
+        # A metric-snapshot-shaped dict is not a span record.
+        "rec = {'kind': 'counter', 'name': 'retries', 'value': 3}\n",
+    ),
 ]
 
 

@@ -1,0 +1,17 @@
+"""Telemetry tests always leave the process disarmed with an empty
+registry — module-level tracer state must never leak across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    telemetry.disarm()
+    telemetry.get_registry().reset()
+    yield
+    telemetry.disarm()
+    telemetry.get_registry().reset()

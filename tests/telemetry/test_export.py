@@ -1,0 +1,103 @@
+"""Exporters: JSONL round-trip, Chrome trace_event structure,
+Prometheus text, and suffix-dispatched file writes."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.telemetry.export import (
+    chrome_trace,
+    jsonl_lines,
+    load_spans,
+    prometheus_text,
+    write_export,
+)
+
+
+def _sample():
+    with telemetry.armed() as tracer:
+        reg = telemetry.get_registry()
+        reg.counter("hits").inc(3)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat", [0.1, 1.0]).observe(0.5)
+        with tracer.span("outer", field="temperature"):
+            with tracer.span("inner"):
+                pass
+        return tracer.export_spans(), reg.snapshot()
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        spans, metrics = _sample()
+        path = tmp_path / "run.jsonl"
+        assert write_export(path, spans, metrics) == "jsonl"
+        assert load_spans(path) == spans
+
+    def test_lines_are_canonical_json(self):
+        spans, metrics = _sample()
+        for line in jsonl_lines(spans, metrics):
+            doc = json.loads(line)
+            assert line == json.dumps(doc, sort_keys=True, separators=(",", ":"))
+            assert doc["type"] in ("span", "metric")
+
+    def test_deterministic_given_same_records(self):
+        spans, metrics = _sample()
+        assert jsonl_lines(spans, metrics) == jsonl_lines(spans, metrics)
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        spans, metrics = _sample()
+        doc = chrome_trace(spans, metrics)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert [e["args"]["name"] for e in meta] == ["main"]
+        assert len(complete) == 2
+        for ev in complete:
+            assert ev["pid"] == 1
+            assert ev["ts"] >= 0.0
+            assert ev["dur"] >= 0.0
+        assert doc["otherData"]["metrics"] == metrics
+
+    def test_timestamps_rebased_to_earliest_span(self):
+        spans, _ = _sample()
+        complete = [e for e in chrome_trace(spans)["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in complete) == 0.0
+
+    def test_load_spans_from_chrome_file(self, tmp_path):
+        spans, metrics = _sample()
+        path = tmp_path / "run.trace.json"
+        assert write_export(path, spans, metrics) == "chrome"
+        loaded = load_spans(path)
+        assert [s["name"] for s in loaded] == [s["name"] for s in spans]
+        # Durations survive the microsecond round-trip.
+        for a, b in zip(loaded, spans):
+            assert abs((a["end"] - a["start"]) - (b["end"] - b["start"])) < 1e-9
+            assert a["attrs"] == b["attrs"]
+
+
+class TestPrometheus:
+    def test_text_format(self):
+        _, metrics = _sample()
+        text = prometheus_text(metrics)
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE hits counter" in text
+        assert "# TYPE lat histogram" in text
+        assert "hits 3.0" in text
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_names_sanitized(self):
+        reg = telemetry.MetricsRegistry()
+        reg.counter("sz.batches-total").inc()
+        assert "sz_batches_total 1.0" in prometheus_text(reg.snapshot())
+
+    def test_write_prom_suffix(self, tmp_path):
+        spans, metrics = _sample()
+        path = tmp_path / "metrics.prom"
+        assert write_export(path, spans, metrics) == "prometheus"
+        assert path.read_text() == prometheus_text(metrics)

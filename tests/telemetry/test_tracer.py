@@ -1,0 +1,151 @@
+"""Tracer: nesting, the disarmed null fast path, worker-span adoption,
+and the module-level arm/disarm switch."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import telemetry
+
+
+class TestNullFastPath:
+    def test_disarmed_by_default(self):
+        assert telemetry.enabled() is False
+        assert isinstance(telemetry.get_tracer(), telemetry.NullTracer)
+
+    def test_null_span_is_shared_singleton(self):
+        tracer = telemetry.get_tracer()
+        a = tracer.span("x", attr=1)
+        b = tracer.span("y")
+        assert a is b  # no allocation per call
+
+    def test_null_span_noop_protocol(self):
+        with telemetry.get_tracer().span("x") as span:
+            span.set_attr("k", "v")
+        assert telemetry.get_tracer().export_spans() == []
+
+    def test_null_adopt_is_noop(self):
+        telemetry.get_tracer().adopt([{"span_id": 0, "start": 0.0, "end": 1.0}])
+        assert telemetry.get_tracer().export_spans() == []
+
+
+class TestArmDisarm:
+    def test_arm_installs_fresh_tracer(self):
+        t1 = telemetry.arm()
+        assert telemetry.enabled() is True
+        assert telemetry.get_tracer() is t1
+        t2 = telemetry.arm()
+        assert t2 is not t1
+        assert telemetry.get_tracer() is t2
+
+    def test_disarm_restores_null(self):
+        telemetry.arm()
+        telemetry.disarm()
+        assert telemetry.enabled() is False
+
+    def test_armed_context_disarms_on_exception(self):
+        try:
+            with telemetry.armed() as tracer:
+                with tracer.span("boom"):
+                    raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert telemetry.enabled() is False
+        # The span still closed and is exportable from the reference.
+        assert [s["name"] for s in tracer.export_spans()] == ["boom"]
+
+
+class TestNesting:
+    def test_parent_links(self):
+        with telemetry.armed() as tracer:
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    pass
+                with tracer.span("sibling") as sibling:
+                    pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+
+    def test_span_ids_unique_and_times_ordered(self):
+        with telemetry.armed() as tracer:
+            for i in range(5):
+                with tracer.span("s", i=i):
+                    pass
+        records = tracer.export_spans()
+        ids = [r["span_id"] for r in records]
+        assert len(set(ids)) == 5
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+        assert all(r["end"] >= r["start"] for r in records)
+
+    def test_attrs_and_set_attr(self):
+        with telemetry.armed() as tracer:
+            with tracer.span("s", blocks=8) as span:
+                span.set_attr("codec", "zlib")
+        rec = tracer.export_spans()[0]
+        assert rec["attrs"] == {"blocks": 8, "codec": "zlib"}
+        assert rec["track"] == "main"
+
+    def test_per_thread_parent_stacks(self):
+        # Two threads nest independently: neither sees the other's
+        # open span as a parent (ThreadBackend rank isolation).
+        with telemetry.armed() as tracer:
+            barrier = threading.Barrier(2)
+
+            def rank(name):
+                with tracer.span(name):
+                    barrier.wait()
+                    with tracer.span(f"{name}.child"):
+                        pass
+
+            threads = [
+                threading.Thread(target=rank, args=(f"rank{i}",)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        by_name = {r["name"]: r for r in tracer.export_spans()}
+        for i in range(2):
+            assert by_name[f"rank{i}"]["parent_id"] is None
+            assert (
+                by_name[f"rank{i}.child"]["parent_id"]
+                == by_name[f"rank{i}"]["span_id"]
+            )
+
+
+class TestAdopt:
+    def _worker_records(self):
+        worker = telemetry.Tracer(track="worker-pid")
+        with worker.span("task") as task:
+            with worker.span("task.step"):
+                pass
+        return worker.export_spans(), task
+
+    def test_ids_reassigned_and_parents_remapped(self):
+        records, _ = self._worker_records()
+        with telemetry.armed() as tracer:
+            with tracer.span("snapshot") as snap:
+                pass
+            tracer.adopt(records, parent_id=snap.span_id, track="worker")
+        merged = {r["name"]: r for r in tracer.export_spans()}
+        assert merged["task"]["parent_id"] == snap.span_id
+        assert merged["task.step"]["parent_id"] == merged["task"]["span_id"]
+        ids = [r["span_id"] for r in merged.values()]
+        assert len(set(ids)) == 3
+        assert merged["task"]["track"] == "worker"
+
+    def test_rebase_shifts_batch_preserving_durations(self):
+        records, _ = self._worker_records()
+        durations = [r["end"] - r["start"] for r in records]
+        with telemetry.armed() as tracer:
+            tracer.adopt(records, rebase_to=1000.0)
+        adopted = tracer.export_spans()
+        assert min(r["start"] for r in adopted) == 1000.0
+        assert [r["end"] - r["start"] for r in adopted] == durations
+
+    def test_adopt_empty_batch(self):
+        with telemetry.armed() as tracer:
+            tracer.adopt([])
+        assert tracer.export_spans() == []

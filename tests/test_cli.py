@@ -282,3 +282,80 @@ class TestStreamCommand:
         rc = main(["stream"])
         assert rc == 2
         assert "need a source" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    @pytest.fixture()
+    def snap_path(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        rc = main(["generate", "--shape", "16", "--redshift", "1.0", "--out", str(path)])
+        assert rc == 0
+        return path
+
+    def test_stream_writes_trace_and_report_renders(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        trace = tmp_path / "run.trace.json"
+        rc = main(
+            [
+                "stream",
+                "--simulate",
+                "--shape", "16",
+                "--redshifts", "2.0,1.0",
+                "--blocks", "2",
+                "--fields", "temperature",
+                "--telemetry", str(trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry: wrote chrome trace" in out
+        assert trace.exists()
+
+        rc = main(["trace-report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Compression stages (sz.*)" in out
+        assert "§4.3" in out
+        assert "overhead_ratio" in out
+        assert "temperature" in out
+
+    def test_telemetry_disarmed_after_command(self, tmp_path, capsys):
+        from repro import telemetry
+
+        rc = main(
+            [
+                "stream",
+                "--simulate",
+                "--shape", "16",
+                "--redshifts", "2.0",
+                "--blocks", "2",
+                "--fields", "temperature",
+                "--telemetry", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert rc == 0
+        assert telemetry.enabled() is False
+
+    def test_compress_telemetry_jsonl(self, snap_path, tmp_path, capsys):
+        trace = tmp_path / "compress.jsonl"
+        rc = main(
+            [
+                "compress",
+                "--snapshot", str(snap_path),
+                "--field", "temperature",
+                "--blocks", "2",
+                "--out", str(tmp_path / "blocks.npz"),
+                "--telemetry", str(trace),
+            ]
+        )
+        assert rc == 0
+        assert "telemetry: wrote jsonl trace" in capsys.readouterr().out
+        from repro.telemetry.export import load_spans
+
+        spans = load_spans(trace)
+        assert any(s["name"].startswith("sz.") for s in spans)
+
+    def test_trace_report_missing_file(self, tmp_path, capsys):
+        rc = main(["trace-report", str(tmp_path / "nope.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
