@@ -571,9 +571,10 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--probe-mode",
         default="exact",
-        choices=["exact", "estimate"],
-        help="rate-model calibration probes: run the full codec (exact) "
-        "or predict rates from code histograms (estimate, faster)",
+        choices=["exact", "estimate", "model"],
+        help="rate-model calibration probes: run the full codec (exact), "
+        "predict rates from code histograms (estimate, faster), or the "
+        "closed-form ratio-quality model (model)",
     )
     c.add_argument("--out", required=True)
     _add_telemetry_flag(c)
@@ -608,9 +609,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument(
         "--probe-mode",
         default="exact",
-        choices=["exact", "estimate"],
-        help="estimate rates from code histograms instead of running the "
-        "entropy codec (implies --rate-only)",
+        choices=["exact", "estimate", "model"],
+        help="estimate rates from code histograms (estimate, implies "
+        "--rate-only) or predict rate AND quality analytically with the "
+        "ratio-quality model (model) instead of running the codec",
     )
     s.add_argument(
         "--backend",
@@ -662,9 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument(
         "--probe-mode",
         default="exact",
-        choices=["exact", "estimate"],
-        help="rate-model (re)calibration probes: full codec or codec-free "
-        "histogram estimates",
+        choices=["exact", "estimate", "model"],
+        help="rate-model (re)calibration probes: full codec, codec-free "
+        "histogram estimates, or the closed-form ratio-quality model",
     )
     st.add_argument(
         "--budget-bytes",

@@ -47,12 +47,23 @@ __all__ = [
     "HEADER_BYTES",
     "PAYLOAD_CONTAINER_BYTES",
     "OUTLIER_BYTES",
+    "UNIFORM_MSE_FACTOR",
     "RateEstimate",
+    "RQEstimate",
+    "code_census",
+    "code_census_rows",
     "code_histogram",
     "shannon_bits_per_value",
     "byte_plane_bits",
+    "byte_plane_bits_sparse",
     "estimate_code_bits",
+    "estimate_code_bits_sparse",
     "estimate_nbytes",
+    "estimate_nbytes_rows",
+    "estimate_nbytes_sparse",
+    "predicted_quantization_mse",
+    "predicted_psnr_db",
+    "predicted_nrmse",
 ]
 
 # Fixed per-block header cost charged to every compressed block: shape,
@@ -111,6 +122,11 @@ _HUFF_TABLE_BASE = 56.0
 _HUFF_TABLE_PER_SYMBOL = 0.35
 
 
+#: Per-point error variance of ``U[-eb, eb]`` in units of ``eb**2``
+#: (:class:`repro.models.error_distribution.UniformErrorModel` squared).
+UNIFORM_MSE_FACTOR = 1.0 / 3.0
+
+
 @dataclass(frozen=True)
 class RateEstimate:
     """Predicted size of one compressed block, without running a codec."""
@@ -130,6 +146,76 @@ class RateEstimate:
     def ratio(self) -> float:
         """Predicted compression ratio vs. the uncompressed source."""
         return self.source_itemsize * self.n_elements / self.est_nbytes
+
+
+def predicted_quantization_mse(
+    n_elements: int,
+    n_outliers: int,
+    eb: float,
+    std_factor: float | None = None,
+) -> float:
+    """Predicted reconstruction MSE from quantization statistics alone.
+
+    Quantized points carry error ~``U[-eb, eb]`` (variance ``eb**2/3``,
+    the §3.2 uniform model); outliers are stored exactly and contribute
+    nothing.  ``std_factor`` overrides the per-point error std in units
+    of ``eb`` (default ``sqrt(1/3)``) for the §3.5 revised distribution.
+    """
+    if n_elements <= 0:
+        raise ValueError("n_elements must be positive")
+    if not 0 <= n_outliers <= n_elements:
+        raise ValueError("n_outliers must be in [0, n_elements]")
+    var = eb * eb * (UNIFORM_MSE_FACTOR if std_factor is None else std_factor**2)
+    return float((n_elements - n_outliers) / n_elements * var)
+
+
+def predicted_psnr_db(mse: float, value_range: float) -> float:
+    """PSNR (dB) from a predicted MSE and the original's value range.
+
+    The same formula :func:`repro.analysis.metrics.error_summary` applies
+    to the measured error; zero MSE (or a degenerate constant field)
+    predicts infinite PSNR, matching the measured-path convention.
+    """
+    if mse < 0:
+        raise ValueError("mse must be non-negative")
+    if mse == 0 or value_range <= 0:
+        return float("inf")
+    return float(20.0 * np.log10(value_range) - 10.0 * np.log10(mse))
+
+
+def predicted_nrmse(mse: float, value_range: float) -> float:
+    """NRMSE from a predicted MSE and the original's value range."""
+    if mse < 0:
+        raise ValueError("mse must be non-negative")
+    if mse == 0 or value_range <= 0:
+        return 0.0
+    return float(np.sqrt(mse) / value_range)
+
+
+@dataclass(frozen=True)
+class RQEstimate(RateEstimate):
+    """A :class:`RateEstimate` extended with predicted quality.
+
+    One quantization-statistics probe yields both halves of the
+    ratio-quality trade (Jin et al.'s R-Q modeling follow-up): the rate
+    fields inherited from :class:`RateEstimate` plus a closed-form
+    distortion prediction from the outlier census and the uniform error
+    model — no Lorenzo decode, no entropy codec, no decompression.
+    """
+
+    eb: float  #: absolute error bound the probe quantized at
+    value_range: float  #: original min-max range (PSNR/NRMSE normalizer)
+    predicted_mse: float  #: closed-form MSE (uniform model, outliers exact)
+
+    @property
+    def predicted_psnr_db(self) -> float:
+        """Predicted PSNR in dB against the probed original."""
+        return predicted_psnr_db(self.predicted_mse, self.value_range)
+
+    @property
+    def predicted_nrmse(self) -> float:
+        """Predicted range-normalized RMS error."""
+        return predicted_nrmse(self.predicted_mse, self.value_range)
 
 
 def code_histogram(codes: np.ndarray, radius: int) -> np.ndarray:
@@ -166,6 +252,18 @@ def _minimal_itemsize(max_symbol: int) -> int:
     return 8
 
 
+def code_census(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(symbols, counts)`` of a code stream, sorted by symbol.
+
+    The sparse analogue of :func:`code_histogram`: ``O(n log n)`` in the
+    stream length instead of ``O(symbol span)``, which is what the hot
+    probe path wants — at tight bounds a 16^3 partition's residual codes
+    can span 1e5+ values, making dense histogram passes (build, scan,
+    regroup) cost 25x the stream itself.
+    """
+    return np.unique(np.reshape(codes, -1), return_counts=True)
+
+
 def byte_plane_bits(hist: np.ndarray, hist_offset: int = 0) -> tuple[float, int, int]:
     """Sum of per-byte-plane marginal entropies of the narrowed codes.
 
@@ -184,6 +282,22 @@ def byte_plane_bits(hist: np.ndarray, hist_offset: int = 0) -> tuple[float, int,
     freqs = hist[syms].astype(np.float64)
     if hist_offset:
         syms = syms + hist_offset
+    return byte_plane_bits_sparse(syms, freqs)
+
+
+def byte_plane_bits_sparse(
+    syms: np.ndarray, counts: np.ndarray
+) -> tuple[float, int, int]:
+    """:func:`byte_plane_bits` from a sparse ``(symbols, counts)`` census.
+
+    ``syms`` must be sorted ascending (as :func:`code_census` returns);
+    only the occupied symbols are touched, so the cost is independent of
+    the code span.
+    """
+    if len(syms) == 0:
+        return 0.0, 1, 0
+    syms = np.asarray(syms)
+    freqs = np.asarray(counts, dtype=np.float64)
     itemsize = _minimal_itemsize(int(syms[-1]))
     total = 0.0
     distinct = 0
@@ -203,22 +317,34 @@ def estimate_code_bits(
     ``hist`` may be compact (bin ``i`` = symbol ``i + hist_offset``).
     """
     hist = np.asarray(hist)
-    n = int(hist.sum())
+    syms = np.flatnonzero(hist)
+    counts = hist[syms]
+    if hist_offset:
+        syms = syms + hist_offset
+    return estimate_code_bits_sparse(syms, counts, codec_name)
+
+
+def estimate_code_bits_sparse(
+    syms: np.ndarray, counts: np.ndarray, codec_name: str = "zlib"
+) -> float:
+    """:func:`estimate_code_bits` from a sparse ``(symbols, counts)``
+    census (sorted by symbol, as :func:`code_census` returns)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    n = float(counts.sum())
     if n == 0:
         return 0.0
     if codec_name == "raw":
-        syms = np.flatnonzero(hist)
-        top = (int(syms[-1]) + hist_offset) if syms.size else 0
+        top = int(syms[-1]) if len(syms) else 0
         return 8.0 * _minimal_itemsize(top)
     if codec_name == "huffman":
-        h = shannon_bits_per_value(hist)
+        p = counts / n
+        h = float(-(p * np.log2(p)).sum())
         gain = float(np.interp(h, _HUFF_ZLIB_H, _HUFF_ZLIB_G))
-        n_used = int((hist > 0).sum())
-        table_bits = 8.0 * (_HUFF_TABLE_BASE + _HUFF_TABLE_PER_SYMBOL * n_used) / n
+        table_bits = 8.0 * (_HUFF_TABLE_BASE + _HUFF_TABLE_PER_SYMBOL * len(syms)) / n
         return h * gain + table_bits
     # zlib / DEFLATE (also the fallback for unknown codecs: every
     # entropy stage in this library is deflate-backed).
-    hb, itemsize, distinct = byte_plane_bits(hist, hist_offset)
+    hb, itemsize, distinct = byte_plane_bits_sparse(syms, counts)
     h_per_byte = hb / itemsize
     eff = float(np.interp(h_per_byte, _DEFLATE_EFF_H, _DEFLATE_EFF_G))
     chunks = max(1.0, np.ceil(n * itemsize / _DEFLATE_CHUNK_BYTES))
@@ -252,6 +378,138 @@ def estimate_nbytes(
     if n_outliers < 0:
         raise ValueError("n_outliers must be non-negative")
     bits = estimate_code_bits(hist, codec_name, hist_offset)
+    return _nbytes_from_bits(bits, n_elements, n_outliers, header_bytes), bits
+
+
+def estimate_nbytes_sparse(
+    syms: np.ndarray,
+    counts: np.ndarray,
+    n_elements: int,
+    n_outliers: int,
+    codec_name: str = "zlib",
+    *,
+    header_bytes: int = HEADER_BYTES,
+) -> tuple[float, float]:
+    """:func:`estimate_nbytes` from a sparse ``(symbols, counts)`` census
+    (see :func:`code_census`) — the hot-probe entry point whose cost is
+    independent of the code span."""
+    if n_elements <= 0:
+        raise ValueError("n_elements must be positive")
+    if n_outliers < 0:
+        raise ValueError("n_outliers must be non-negative")
+    bits = estimate_code_bits_sparse(syms, counts, codec_name)
+    return _nbytes_from_bits(bits, n_elements, n_outliers, header_bytes), bits
+
+
+def code_census_rows(
+    codes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row sparse census of a ``(B, n)`` code matrix.
+
+    Returns ``(symbols, counts, row_ids)`` — the concatenation of every
+    row's :func:`code_census`, with ``row_ids`` mapping each entry back
+    to its row.  **Sorts the rows of ``codes`` in place** (callers pass
+    a workspace view they own); one group-wide sort plus a handful of
+    flat passes replaces ``B`` interpreter round-trips.
+    """
+    if codes.ndim != 2:
+        raise ValueError(f"expected a (B, n) code matrix, got {codes.ndim}-D")
+    n = codes.shape[1]
+    codes.sort(axis=1)
+    flat = codes.reshape(-1)
+    start = np.empty(flat.size, dtype=bool)
+    start[0] = True
+    np.not_equal(flat[1:], flat[:-1], out=start[1:])
+    start[::n] = True  # a run never spans a row boundary
+    pos = np.flatnonzero(start)
+    counts = np.diff(pos, append=flat.size)
+    return flat[pos], counts, pos // n
+
+
+def estimate_nbytes_rows(
+    codes: np.ndarray,
+    n_outliers: np.ndarray,
+    codec_name: str = "zlib",
+    *,
+    header_bytes: int = HEADER_BYTES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`estimate_nbytes` over the rows of a ``(B, n)``
+    code matrix (sorted in place — see :func:`code_census_rows`).
+
+    Returns ``(est_nbytes (B,), code_bits_per_value (B,))``.  This is
+    the probe-side analogue of the batched compression kernels: the
+    whole group's size predictions come from one census and a few
+    group-wide reductions, so probing 64 partitions costs barely more
+    than probing one.
+    """
+    n_rows, n = codes.shape
+    syms, counts, row_ids = code_census_rows(codes)
+    counts_f = counts.astype(np.float64)
+    nf = float(n)
+    row_max = codes[:, -1]  # rows are now sorted ascending
+    itemsize = np.select(
+        [row_max <= 0xFF, row_max <= 0xFFFF, row_max <= 0xFFFFFFFF],
+        [1, 2, 4],
+        8,
+    )
+    if codec_name == "raw":
+        bits = 8.0 * itemsize.astype(np.float64)
+    elif codec_name == "huffman":
+        # -sum(p log2 p) == log2 n - sum(c log2 c)/n; counts >= 1 so the
+        # log never sees zero.
+        sum_clog = np.bincount(
+            row_ids, weights=counts_f * np.log2(counts_f), minlength=n_rows
+        )
+        h = np.log2(nf) - sum_clog / nf
+        gain = np.interp(h, _HUFF_ZLIB_H, _HUFF_ZLIB_G)
+        n_used = np.bincount(row_ids, minlength=n_rows)
+        bits = h * gain + 8.0 * (
+            _HUFF_TABLE_BASE + _HUFF_TABLE_PER_SYMBOL * n_used
+        ) / nf
+    else:
+        # zlib / DEFLATE: per-byte-plane marginal entropies, summed over
+        # each row's narrowed width.
+        hb = np.zeros(n_rows)
+        distinct = np.zeros(n_rows, dtype=np.int64)
+        for k in range(int(itemsize.max())):
+            active = itemsize > k
+            m = active[row_ids]
+            key = row_ids[m] * 256 + ((syms[m] >> (8 * k)) & 0xFF)
+            plane = np.bincount(
+                key, weights=counts_f[m], minlength=n_rows * 256
+            ).reshape(n_rows, 256)
+            occupied = plane > 0
+            clog = np.where(
+                occupied, plane * np.log2(np.maximum(plane, 1.0)), 0.0
+            )
+            ent = np.log2(nf) - clog.sum(axis=1) / nf
+            hb += np.where(active, ent, 0.0)
+            distinct += np.where(active, occupied.sum(axis=1), 0)
+        h_per_byte = hb / itemsize
+        eff = np.interp(h_per_byte, _DEFLATE_EFF_H, _DEFLATE_EFF_G)
+        chunks = np.maximum(1.0, np.ceil(nf * itemsize / _DEFLATE_CHUNK_BYTES))
+        ent_bytes = hb / 8.0 * nf
+        tree_per_chunk = np.minimum(
+            _DEFLATE_TREE_BASE + _DEFLATE_TREE_PER_BYTE_SYMBOL * distinct,
+            _DEFLATE_TREE_CAP_FRACTION * ent_bytes / chunks + _DEFLATE_TREE_CAP_BASE,
+        )
+        bits = np.minimum(
+            eff * hb + 8.0 * chunks * tree_per_chunk / nf, 8.06 * itemsize
+        )
+    n_out = np.asarray(n_outliers)
+    total = header_bytes + nf * bits / 8.0 + PAYLOAD_CONTAINER_BYTES
+    pos_itemsize = _minimal_itemsize(max(n - 1, 0))
+    total = total + np.where(
+        n_out > 0,
+        n_out * (8 + pos_itemsize) + 1 + 2 * PAYLOAD_CONTAINER_BYTES,
+        0.0,
+    )
+    return total, bits
+
+
+def _nbytes_from_bits(
+    bits: float, n_elements: int, n_outliers: int, header_bytes: int
+) -> float:
     total = float(header_bytes)
     total += n_elements * bits / 8.0 + PAYLOAD_CONTAINER_BYTES
     if n_outliers:
@@ -259,4 +517,4 @@ def estimate_nbytes(
         # (plus a 1-byte width tag on the channel); values stay 8 bytes.
         pos_itemsize = _minimal_itemsize(max(n_elements - 1, 0))
         total += n_outliers * (8 + pos_itemsize) + 1 + 2 * PAYLOAD_CONTAINER_BYTES
-    return total, bits
+    return total

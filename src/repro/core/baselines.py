@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.compression.api import (
     Compressor,
     CompressorSpec,
+    capabilities_of,
     decompress_any,
     resolve_compressor,
 )
@@ -118,6 +119,22 @@ class TrialAndErrorSearch:
         analyses are computed once instead of once per trial.  A trial
         passes when the full report does; the recorded metric is the
         worst spectrum deviation.
+    probe_mode:
+        ``"exact"`` (default) runs the full compress→decompress→analyze
+        pass per trial.  ``"model"`` screens candidates with the
+        closed-form ratio-quality engine (:mod:`repro.models.rq_model`)
+        — one batched quantization probe per candidate, no codec, no
+        decompression — and only ever *compresses* the predicted winner.
+        Requires ``criteria`` (the engine predicts criteria verdicts,
+        not arbitrary callables) and a compressor with the
+        ``supports_estimate`` capability.
+    confirm:
+        Exact-confirmation policy for ``probe_mode="model"``:
+        ``"always"`` (default) runs one real trial on the predicted
+        winner and falls through to the next candidate if it fails —
+        the result is then *verified*, with the whole grid still probed
+        analytically; ``"never"`` trusts the prediction outright (the
+        returned result is compressed but its quality never measured).
     """
 
     def __init__(
@@ -125,12 +142,33 @@ class TrialAndErrorSearch:
         quality_check: Callable[[np.ndarray, np.ndarray], tuple[bool, float]] | None = None,
         compressor: "Compressor | CompressorSpec | str | None" = None,
         criteria: "QualityCriteria | None" = None,
+        probe_mode: str = "exact",
+        confirm: str = "always",
     ) -> None:
         if (quality_check is None) == (criteria is None):
             raise ValueError("provide exactly one of quality_check or criteria")
+        if probe_mode not in ("exact", "model"):
+            raise ValueError(
+                f"probe_mode must be 'exact' or 'model', got {probe_mode!r}"
+            )
+        if confirm not in ("always", "never"):
+            raise ValueError(f"confirm must be 'always' or 'never', got {confirm!r}")
+        if probe_mode == "model" and criteria is None:
+            raise ValueError(
+                'probe_mode="model" needs criteria (the ratio-quality engine '
+                "predicts criteria verdicts, not arbitrary quality callables)"
+            )
         self.quality_check = quality_check
         self.criteria = criteria
         self.compressor = resolve_compressor(compressor)
+        self.probe_mode = probe_mode
+        self.confirm = confirm
+        if probe_mode == "model":
+            capabilities_of(self.compressor).require(
+                "supports_estimate",
+                'probe_mode="model" (closed-form ratio-quality prediction)',
+                who=self.compressor,
+            )
         self.trials: list[TrialRecord] = []
 
     def search(
@@ -151,6 +189,8 @@ class TrialAndErrorSearch:
         if any(e <= 0 for e in candidates):
             raise ValueError("candidate error bounds must be positive")
         baseline = StaticBaseline(self.compressor)
+        if self.probe_mode == "model":
+            return self._model_search(data, decomposition, candidates, baseline)
         evaluator = None
         if self.criteria is not None:
             from repro.foresight.evaluator import QualityEvaluator
@@ -172,6 +212,68 @@ class TrialAndErrorSearch:
                 TrialRecord(eb=eb, passed=passed, ratio=result.overall_ratio, quality_metric=metric)
             )
             if passed:
+                return result
+        raise ValueError(
+            "no candidate error bound satisfied the quality check; smallest "
+            f"tried was {candidates[-1]}"
+        )
+
+    def _model_search(
+        self,
+        data: np.ndarray,
+        decomposition: BlockDecomposition,
+        candidates: list[float],
+        baseline: StaticBaseline,
+    ) -> StaticResult:
+        """The predicted-quality fast path: probe the whole grid
+        analytically, compress only (predicted) winners.
+
+        Failing candidates are recorded with their *predicted* ratio and
+        metric — nothing was compressed for them, which is the point.
+        """
+        from repro.foresight.evaluator import FieldReference, QualityEvaluator
+        from repro.models.rq_model import RQModel
+
+        ref = FieldReference(data)
+        rq = RQModel(ref, self.criteria)
+        views = decomposition.partition_views(data)
+        evaluator: QualityEvaluator | None = None
+        for eb in candidates:
+            pred = rq.probe(self.compressor, views, eb)
+            if not pred.passed:
+                self.trials.append(
+                    TrialRecord(
+                        eb=eb,
+                        passed=False,
+                        ratio=pred.predicted_ratio,
+                        quality_metric=pred.spectrum_worst_deviation,
+                    )
+                )
+                continue
+            result = baseline.run(data, decomposition, eb)
+            if self.confirm == "never":
+                self.trials.append(
+                    TrialRecord(
+                        eb=eb,
+                        passed=True,
+                        ratio=result.overall_ratio,
+                        quality_metric=pred.spectrum_worst_deviation,
+                    )
+                )
+                return result
+            recon = result.reconstruct(decomposition)
+            if evaluator is None:
+                evaluator = QualityEvaluator(data, self.criteria, reference=ref)
+            report = evaluator.evaluate(recon)
+            self.trials.append(
+                TrialRecord(
+                    eb=eb,
+                    passed=report.passed,
+                    ratio=result.overall_ratio,
+                    quality_metric=report.spectrum_worst_deviation,
+                )
+            )
+            if report.passed:
                 return result
         raise ValueError(
             "no candidate error bound satisfied the quality check; smallest "

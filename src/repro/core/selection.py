@@ -27,6 +27,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.compression.api import (
     Compressor,
     CompressorSpec,
@@ -36,11 +37,13 @@ from repro.compression.api import (
 )
 from repro.core.config import FieldSpec
 from repro.foresight.evaluator import FieldReference
+from repro.foresight.quality import QualityCriteria
 from repro.models.calibration import CalibrationResult, RateModelBank
 from repro.models.fft_error import (
     spectrum_ratio_tolerance_to_eb,
     sub_threshold_power_estimate,
 )
+from repro.models.rq_model import RQModel, RQPrediction
 from repro.parallel.decomposition import BlockDecomposition
 from repro.util.rng import default_rng
 
@@ -127,13 +130,21 @@ class CandidateVerdict:
     measured_bit_rate: float | None = None
     max_abs_error: float | None = None
     eb_violation: float | None = None
+    predicted_psnr_db: float | None = None
+    predicted_quality: RQPrediction | None = dataclass_field(
+        default=None, repr=False, compare=False
+    )
     calibration: CalibrationResult | None = dataclass_field(
         default=None, repr=False, compare=False
     )
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready summary (what the stream ledger records)."""
-        return {
+        """JSON-ready summary (what the stream ledger records).
+
+        Model-mode keys appear only when predictions were made, so
+        exact/estimate-mode ledger records keep their pre-R-Q shape.
+        """
+        out: dict[str, Any] = {
             "spec": self.spec.to_dict(),
             "eligible": self.eligible,
             "reason": self.reason,
@@ -142,6 +153,11 @@ class CandidateVerdict:
             "max_abs_error": self.max_abs_error,
             "eb_violation": self.eb_violation,
         }
+        if self.predicted_psnr_db is not None:
+            out["predicted_psnr_db"] = self.predicted_psnr_db
+        if self.predicted_quality is not None:
+            out["predicted_quality"] = self.predicted_quality.to_dict()
+        return out
 
 
 @dataclass
@@ -182,6 +198,34 @@ class SelectionResult:
         }
 
 
+#: Relative slack on the model-mode quality gate.  The admissible bound
+#: comes from bisecting the *same* spectrum-distortion model to equality
+#: with the tolerance, so a field probed at its own budget predicts a
+#: deviation of exactly the tolerance up to bisection error; the slack
+#: keeps that boundary case eligible (matching exact mode) while still
+#: rejecting bounds that clearly overshoot the quality target.
+_QUALITY_GATE_SLACK = 0.05
+
+
+def _sample_views(
+    views: list[np.ndarray], sample_partitions: int, seed: int
+) -> list[np.ndarray]:
+    """The seeded partition sample both measured and modeled probes use."""
+    if len(views) <= sample_partitions:
+        return [np.asarray(v) for v in views]
+    rng = default_rng(seed)
+    idx = np.sort(
+        rng.choice(np.arange(len(views)), size=sample_partitions, replace=False)
+    )
+    return [np.asarray(views[i]) for i in idx]
+
+
+def _count_probe(kind: str) -> None:
+    """Telemetry counter for one candidate probe (no-op when disarmed)."""
+    if telemetry.enabled():
+        telemetry.get_registry().counter(f"selection.probes.{kind}").inc()
+
+
 def _measure_fixed_rate(
     comp: Any,
     views: list[np.ndarray],
@@ -196,15 +240,10 @@ def _measure_fixed_rate(
     error-bound behaviour are *measured*, exactly the §4.1 empirical
     methodology scoped down to a few partitions.
     """
-    rng = default_rng(seed)
-    idx = np.arange(len(views))
-    if len(views) > sample_partitions:
-        idx = np.sort(rng.choice(idx, size=sample_partitions, replace=False))
     total_bytes = 0
     total_elems = 0
     max_err = 0.0
-    for i in idx:
-        view = np.asarray(views[i])
+    for view in _sample_views(views, sample_partitions, seed):
         block = comp.compress(view, eb_avg)
         recon = comp.decompress(block)
         total_bytes += int(block.nbytes)
@@ -251,14 +290,34 @@ def select_compressor(
     needs a *guarantee*, not a sample — which is what the streaming
     controller passes.
 
+    ``probe_mode="model"`` swaps the trial compressions for the
+    closed-form ratio-quality engine (:mod:`repro.models.rq_model`):
+    error-bounded candidates are calibrated codec-free, probed once at
+    the admissible bound (one batched quantization pass over a seeded
+    partition sample), and gated on the *predicted* quality-at-bound —
+    their verdicts carry the predicted PSNR and spectrum/halo verdicts.
+    Error-bounded candidates without the ``supports_estimate``
+    capability raise
+    :class:`~repro.compression.api.UnsupportedCapabilityError`.
+    Fixed-rate candidates are still measured (a codec with no
+    quantization stage has nothing to model), which keeps their §2.2
+    violation quantified and the slate's verdicts identical to exact
+    mode while eliminating every error-bounded trial compression.
+
     Raises ``ValueError`` when no candidate is eligible, with every
     verdict in the message.
     """
     if not candidates:
         candidates = default_candidates()
+    if probe_mode not in ("exact", "estimate", "model"):
+        raise ValueError(
+            f"probe_mode must be 'exact', 'estimate' or 'model', got {probe_mode!r}"
+        )
+    model_mode = probe_mode == "model"
     field_spec = field_spec or FieldSpec()
+    ref = reference
     if eb_avg is None:
-        ref = reference if reference is not None else FieldReference(data)
+        ref = ref if ref is not None else FieldReference(data)
         eb_avg = derive_eb_budget(field_spec, ref)
     eb_avg = float(eb_avg)
     if eb_avg <= 0:
@@ -269,6 +328,20 @@ def select_compressor(
         )
     views = decomposition.partition_views(data)
 
+    rq: RQModel | None = None
+    if model_mode:
+        ref = ref if ref is not None else FieldReference(data)
+        rq = RQModel(
+            ref,
+            QualityCriteria(
+                spectrum_tolerance=field_spec.spectrum_tolerance,
+                spectrum_k_max=field_spec.spectrum_k_max,
+            ),
+            field=field,
+            confidence_z=field_spec.confidence_z,
+            correlated_fraction=field_spec.correlated_fraction,
+        )
+
     verdicts: list[CandidateVerdict] = []
     scored: list[tuple[float, int, Any]] = []  # (predicted rate, index, instance)
     for cand in candidates:
@@ -276,6 +349,12 @@ def select_compressor(
         caps = capabilities_of(comp)
         spec = spec_of(comp) or CompressorSpec.make(type(comp).__name__)
         if caps.error_bounded:
+            if rq is not None:
+                caps.require(
+                    "supports_estimate",
+                    'probe_mode="model" (closed-form ratio-quality prediction)',
+                    who=comp,
+                )
             try:
                 calibration = bank.calibrate(
                     field, views, compressor=comp, eb_scale=eb_avg
@@ -293,20 +372,59 @@ def select_compressor(
             predicted = float(
                 np.mean(model.predict_bitrate(calibration.features, eb_avg))
             )
+            prediction: RQPrediction | None = None
+            if rq is not None:
+                _count_probe("model")
+                prediction = rq.probe(
+                    comp, _sample_views(views, sample_partitions, seed), eb_avg
+                )
+                gate = rq.criteria.spectrum_tolerance * (1.0 + _QUALITY_GATE_SLACK)
+                if not prediction.passed and prediction.spectrum_worst_deviation > gate:
+                    verdicts.append(
+                        CandidateVerdict(
+                            spec=spec,
+                            eligible=False,
+                            reason=(
+                                f"rejected: predicted spectrum deviation "
+                                f"{prediction.spectrum_worst_deviation:.4g} exceeds "
+                                f"tolerance {rq.criteria.spectrum_tolerance:.4g} "
+                                f"at eb={eb_avg:.4g}"
+                            ),
+                            predicted_bit_rate=predicted,
+                            predicted_psnr_db=prediction.predicted_psnr_db,
+                            predicted_quality=prediction,
+                            calibration=calibration,
+                        )
+                    )
+                    continue
+            else:
+                _count_probe(probe_mode)
+            reason = (
+                f"error-bounded; predicted {predicted:.3f} bits/value "
+                f"at eb={eb_avg:.4g}"
+            )
+            if prediction is not None:
+                reason += (
+                    f"; predicted quality {prediction.predicted_psnr_db:.1f} dB "
+                    f"PSNR, spectrum deviation "
+                    f"{prediction.spectrum_worst_deviation:.4g}"
+                )
             verdicts.append(
                 CandidateVerdict(
                     spec=spec,
                     eligible=True,
-                    reason=(
-                        f"error-bounded; predicted {predicted:.3f} bits/value "
-                        f"at eb={eb_avg:.4g}"
-                    ),
+                    reason=reason,
                     predicted_bit_rate=predicted,
+                    predicted_psnr_db=(
+                        None if prediction is None else prediction.predicted_psnr_db
+                    ),
+                    predicted_quality=prediction,
                     calibration=calibration,
                 )
             )
             scored.append((predicted, len(verdicts) - 1, comp))
         else:
+            _count_probe("exact")
             measured_rate, max_err = _measure_fixed_rate(
                 comp, views, eb_avg, sample_partitions, seed
             )

@@ -9,7 +9,13 @@ Rate-curve studies don't need the quality half (or even the compressed
 bytes): ``rate_only=True`` skips decompression and quality evaluation,
 and ``probe_mode="estimate"`` additionally skips the entropy codec,
 reading each bit rate off the quantization-code histogram
-(:mod:`repro.compression.estimator`) instead.
+(:mod:`repro.compression.estimator`) instead.  ``probe_mode="model"``
+goes one step further: each ``(field, eb)`` cell gets a *predicted*
+quality report from the closed-form ratio-quality engine
+(:mod:`repro.models.rq_model`) — one batched quantization probe, no
+compression, no decompression, no reconstruction analysis — with an
+exact-confirmation knob (``confirm=``) that re-runs borderline cells
+through the real pipeline.
 
 Quality sweeps share one :class:`~repro.foresight.evaluator.QualityEvaluator`
 per field, so the original-side analyses (``rfftn`` power spectrum, halo
@@ -37,8 +43,9 @@ from repro.compression.api import (
     spec_of,
 )
 from repro.compression.sz import CompressedBlock
-from repro.foresight.evaluator import QualityEvaluator
+from repro.foresight.evaluator import FieldReference, QualityEvaluator
 from repro.foresight.quality import QualityCriteria, QualityReport
+from repro.models.rq_model import RQModel
 from repro.parallel.backends import ExecutionBackend, get_backend
 from repro.parallel.decomposition import BlockDecomposition
 
@@ -123,6 +130,7 @@ def run_sweep(
     probe_mode: str = "exact",
     backend: str | ExecutionBackend | None = None,
     compressors: "Sequence[Compressor | CompressorSpec | str] | None" = None,
+    confirm: str = "never",
 ) -> list[SweepRecord]:
     """Evaluate every (field, eb) — or (compressor, field, eb) — combination.
 
@@ -150,10 +158,14 @@ def run_sweep(
     probe_mode:
         ``"exact"`` (default) runs the full compressor; ``"estimate"``
         predicts rates from code histograms without running the entropy
-        codec — codec-free sweeps are inherently rate-only, and require
-        every swept compressor to declare the ``supports_estimate``
-        capability (:class:`~repro.compression.api.
-        UnsupportedCapabilityError` otherwise).
+        codec; ``"model"`` predicts rate *and* quality — each record's
+        ``quality`` is the ratio-quality engine's predicted
+        :class:`QualityReport` (predicted PSNR/NRMSE, predicted spectrum
+        and halo verdicts), from one batched quantization probe per
+        ``(field, eb)``.  Both codec-free modes require every swept
+        compressor to declare the ``supports_estimate`` capability
+        (:class:`~repro.compression.api.UnsupportedCapabilityError`
+        otherwise); ``"estimate"`` sweeps are inherently rate-only.
     backend:
         Execution backend (registry name or instance) for the quality
         evaluations, which are independent per ``(field, eb)``.  ``None``
@@ -165,14 +177,32 @@ def run_sweep(
         family-ablation mode).  Mutually exclusive with ``compressor``;
         each record then carries the originating
         :class:`~repro.compression.api.CompressorSpec` in ``record.spec``.
+    confirm:
+        Exact-confirmation policy for ``probe_mode="model"``:
+        ``"never"`` (default) trusts every prediction, ``"boundary"``
+        re-runs cells whose predicted verdicts sit within
+        :data:`~repro.models.rq_model.BOUNDARY_BAND_FACTOR` of a
+        threshold through the real compress→decompress→analyze pipeline
+        (replacing both the rate and the quality of that record with
+        measurements), ``"always"`` confirms every cell (predictions
+        become a cross-check only).
     """
     if not fields:
         raise ValueError("need at least one field")
     if len(ebs) == 0:
         raise ValueError("need at least one error bound")
-    if probe_mode not in ("exact", "estimate"):
+    if probe_mode not in ("exact", "estimate", "model"):
         raise ValueError(
-            f"probe_mode must be 'exact' or 'estimate', got {probe_mode!r}"
+            f"probe_mode must be 'exact', 'estimate' or 'model', got {probe_mode!r}"
+        )
+    if confirm not in ("never", "boundary", "always"):
+        raise ValueError(
+            f"confirm must be 'never', 'boundary' or 'always', got {confirm!r}"
+        )
+    if confirm != "never" and probe_mode != "model":
+        raise ValueError(
+            'confirm applies only to probe_mode="model" '
+            f"(got confirm={confirm!r} with probe_mode={probe_mode!r})"
         )
     if compressors is not None and compressor is not None:
         raise ValueError("pass either compressor or compressors, not both")
@@ -186,16 +216,33 @@ def run_sweep(
         if multi
         else [resolve_compressor(compressor)]
     )
-    if probe_mode == "estimate":
+    if probe_mode in ("estimate", "model"):
         for comp in comps:
             capabilities_of(comp).require(
                 "supports_estimate",
-                'probe_mode="estimate" (codec-free histogram rate prediction)',
+                f'probe_mode="{probe_mode}" (codec-free quantization probing)',
                 who=comp,
             )
     owns_backend = isinstance(backend, str)
     exec_backend = get_backend(backend) if backend is not None else None
     records: list[SweepRecord] = []
+    # One lazily-built FieldReference per field, shared across every
+    # compressor (and with the R-Q models), so the original-side
+    # analyses run at most once per field per sweep — and not at all on
+    # rate-only / estimate paths, which never touch a reference.
+    refs: dict[str, FieldReference] = {}
+
+    def field_ref(name: str, data: np.ndarray) -> FieldReference:
+        if name not in refs:
+            refs[name] = FieldReference(data)
+        return refs[name]
+
+    def batched_estimates(comp, views, eb):
+        many = getattr(comp, "estimate_many", None)
+        if callable(many):
+            return many(views, [eb] * len(views))
+        return [comp.estimate(v, eb) for v in views]
+
     try:
         for comp in comps:
             # Tag records with the spec only in multi-compressor mode, so
@@ -214,6 +261,7 @@ def run_sweep(
                 # benefit.
                 fan_out = exec_backend is not None and exec_backend.parallelism > 1
                 evaluator: QualityEvaluator | None = None
+                rq: RQModel | None = None
                 rates: list[tuple[float, int, int, int]] = []  # (eb, nbytes, n, itemsize)
                 per_eb_blocks: list[list[CompressedBlock]] = []
                 qualities: list[QualityReport | None] = []
@@ -221,10 +269,36 @@ def run_sweep(
                     eb = float(eb)
                     quality: QualityReport | None = None
                     if probe_mode == "estimate":
-                        ests = [comp.estimate(v, eb) for v in views]
+                        ests = batched_estimates(comp, views, eb)
                         nbytes = sum(e.est_nbytes for e in ests)
                         n = sum(e.n_elements for e in ests)
                         itemsize = ests[0].source_itemsize
+                    elif probe_mode == "model":
+                        ests = batched_estimates(comp, views, eb)
+                        nbytes = sum(e.est_nbytes for e in ests)
+                        n = sum(e.n_elements for e in ests)
+                        itemsize = ests[0].source_itemsize
+                        if not rate_only:
+                            if rq is None:
+                                rq = RQModel(
+                                    field_ref(name, data), crit, field=name
+                                )
+                            pred = rq.predict(eb, ests)
+                            quality = pred.to_quality_report()
+                            if confirm == "always" or (
+                                confirm == "boundary" and pred.near_boundary(crit)
+                            ):
+                                blocks = [comp.compress(v, eb) for v in views]
+                                nbytes = sum(b.nbytes for b in blocks)
+                                n = sum(b.n_elements for b in blocks)
+                                itemsize = blocks[0].source_itemsize
+                                if evaluator is None:
+                                    evaluator = QualityEvaluator(
+                                        data, crit, reference=field_ref(name, data)
+                                    )
+                                (_, quality), = _evaluate_chunk(
+                                    (evaluator, decomposition, [(0, blocks)])
+                                )
                     else:
                         blocks = [comp.compress(v, eb) for v in views]
                         nbytes = sum(b.nbytes for b in blocks)
@@ -235,14 +309,18 @@ def run_sweep(
                                 per_eb_blocks.append(blocks)
                             else:
                                 if evaluator is None:
-                                    evaluator = QualityEvaluator(data, crit)
+                                    evaluator = QualityEvaluator(
+                                        data, crit, reference=field_ref(name, data)
+                                    )
                                 (_, quality), = _evaluate_chunk(
                                     (evaluator, decomposition, [(0, blocks)])
                                 )
                     rates.append((eb, nbytes, n, itemsize))
                     qualities.append(quality)
                 if per_eb_blocks:
-                    evaluator = QualityEvaluator(data, crit)
+                    evaluator = QualityEvaluator(
+                        data, crit, reference=field_ref(name, data)
+                    )
                     qualities = _quality_reports(
                         evaluator, decomposition, per_eb_blocks, exec_backend
                     )

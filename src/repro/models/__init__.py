@@ -12,7 +12,10 @@
   model ``b_m = C_m * eb**c`` (Eq. 15) and the closed-form optimum
   (Eq. 16),
 - :mod:`repro.models.calibration` — fits the rate model's shared
-  exponent and coefficient-vs-mean relation from sampled partitions.
+  exponent and coefficient-vs-mean relation from sampled partitions,
+- :mod:`repro.models.rq_model` — the closed-form ratio-quality engine
+  composing the above into per-``(field, eb)`` predicted
+  bitrate/PSNR/spectrum/halo verdicts from one quantization probe.
 """
 
 from repro.models.error_distribution import (
@@ -39,6 +42,7 @@ from repro.models.calibration import (
     RateModelBank,
     calibrate_rate_model,
 )
+from repro.models.rq_model import BOUNDARY_BAND_FACTOR, RQModel, RQPrediction
 
 __all__ = [
     "UniformErrorModel",
@@ -59,4 +63,7 @@ __all__ = [
     "CalibrationResult",
     "RateModelBank",
     "calibrate_rate_model",
+    "BOUNDARY_BAND_FACTOR",
+    "RQModel",
+    "RQPrediction",
 ]

@@ -13,19 +13,26 @@ simulation campaign); the in situ path only ever evaluates the fitted
 model.
 
 Probing only needs the *bit rate* of each (partition, bound), not the
-compressed bytes, so ``probe_mode="estimate"`` reads the rate off the
-quantization-code histogram (:mod:`repro.compression.estimator`) and
-skips the entropy codec entirely — the histogram-based size prediction
-of the ratio-quality modeling follow-up (Jin et al., "Improving
+compressed bytes, so ``probe_mode="estimate"`` (and its superset
+``"model"``, the full ratio-quality engine of
+:mod:`repro.models.rq_model`) reads the rate off the quantization-code
+histogram (:mod:`repro.compression.estimator`) and skips the entropy
+codec entirely — the histogram-based size prediction of the
+ratio-quality modeling follow-up (Jin et al., "Improving
 Prediction-Based Lossy Compression Dramatically via Ratio-Quality
 Modeling").  Several times faster per probe, with fitted coefficients
-within the estimator's accuracy band of the exact-mode fit.
+within the estimator's accuracy band of the exact-mode fit.  All probe
+bounds for one partition run as a *single* batched quantization pass
+(:meth:`~repro.compression.sz.SZCompressor.estimate_many`), and
+residual probe work can fan over the
+:mod:`repro.parallel.backends` registry via ``backend=``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,12 +46,76 @@ from repro.compression.api import (
 from repro.models.rate_model import RateModel, fit_power_law
 from repro.util.rng import default_rng
 
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.parallel.backends import ExecutionBackend
+
 __all__ = [
     "CalibrationResult",
     "RateModelBank",
     "calibrate_rate_model",
     "partition_feature",
 ]
+
+#: Probe modes that read rates off quantization statistics instead of
+#: running the entropy codec (both require ``supports_estimate``).
+_CODEC_FREE_MODES = ("estimate", "model")
+_PROBE_MODES = ("exact",) + _CODEC_FREE_MODES
+
+
+def _probe_rates(
+    comp: Compressor, part: np.ndarray, probe_ebs: Sequence[float], probe_mode: str
+) -> np.ndarray:
+    """Bit rate at each probe bound for one partition.
+
+    Codec-free modes push all bounds through one batched
+    ``estimate_many`` call — a single kernel pass over a ``(n_ebs, n)``
+    batch — when the compressor provides it.
+    """
+    if probe_mode == "exact":
+        return np.array([comp.compress(part, eb).bit_rate for eb in probe_ebs])
+    many = getattr(comp, "estimate_many", None)
+    if callable(many):
+        ests = many([part] * len(probe_ebs), list(probe_ebs))
+        return np.array([e.bit_rate for e in ests])
+    return np.array([comp.estimate_bitrate(part, eb) for eb in probe_ebs])
+
+
+def _probe_partition(task: tuple) -> np.ndarray:
+    """Backend task: probe one partition (module-level, hence picklable)."""
+    part, probe_ebs, spec_dict, probe_mode = task
+    comp = resolve_compressor(CompressorSpec.from_dict(spec_dict))
+    return _probe_rates(comp, np.asarray(part), probe_ebs, probe_mode)
+
+
+def _fan_probes(
+    comp: Compressor,
+    probed: "list[np.ndarray]",
+    probe_ebs: Sequence[float],
+    probe_mode: str,
+    backend: "ExecutionBackend | str | None",
+) -> "list[np.ndarray]":
+    """Probe every sampled partition, serially or over a backend."""
+    if backend is None:
+        return [_probe_rates(comp, part, probe_ebs, probe_mode) for part in probed]
+    spec = spec_of(comp)
+    if spec is None:
+        raise ValueError(
+            "backend-fanned calibration needs a registry-resolvable "
+            "compressor spec (workers rebuild the compressor from it); "
+            "pass backend=None for ad-hoc compressor instances"
+        )
+    from repro.parallel.backends import get_backend
+
+    owned = isinstance(backend, str)
+    bk = get_backend(backend) if owned else backend
+    try:
+        tasks = [
+            (part, list(probe_ebs), spec.to_dict(), probe_mode) for part in probed
+        ]
+        return list(bk.map_tasks(_probe_partition, tasks))
+    finally:
+        if owned:
+            bk.close()
 
 
 def partition_feature(partition: np.ndarray) -> float:
@@ -82,6 +153,7 @@ def calibrate_rate_model(
     max_partitions: int = 32,
     seed: int | np.random.Generator | None = 0,
     probe_mode: str = "exact",
+    backend: "ExecutionBackend | str | None" = None,
 ) -> CalibrationResult:
     """Fit Eq. 15 from sampled partitions.
 
@@ -108,16 +180,27 @@ def calibrate_rate_model(
         a user would pick); centres the probe range.
     probe_mode:
         ``"exact"`` runs the full compressor per probe and reads the
-        real bit rate; ``"estimate"`` predicts it from the
-        quantization-code histogram without running the entropy codec
-        (:meth:`~repro.compression.sz.SZCompressor.estimate_bitrate`) —
+        real bit rate; ``"estimate"`` and ``"model"`` predict it from
+        the quantization-code histogram without running the entropy
+        codec — all probe bounds in one batched pass
+        (:meth:`~repro.compression.sz.SZCompressor.estimate_many`) —
         several times faster, accurate to the estimator's tolerance.
+        (For calibration the two codec-free modes are equivalent; the
+        distinction matters downstream where ``"model"`` also predicts
+        quality — see :mod:`repro.models.rq_model`.)
+    backend:
+        Optional :mod:`repro.parallel.backends` backend (instance or
+        registry name) to fan the per-partition probes over.  Requires
+        a registry-resolvable compressor spec (workers rebuild the
+        compressor from it); a backend created here from a name is
+        closed before returning.
     """
     if not partitions:
         raise ValueError("need at least one partition to calibrate")
-    if probe_mode not in ("exact", "estimate"):
+    if probe_mode not in _PROBE_MODES:
         raise ValueError(
-            f"probe_mode must be 'exact' or 'estimate', got {probe_mode!r}"
+            f"probe_mode must be one of {', '.join(map(repr, _PROBE_MODES))}, "
+            f"got {probe_mode!r}"
         )
     comp = resolve_compressor(compressor)
     caps = capabilities_of(comp)
@@ -126,17 +209,12 @@ def calibrate_rate_model(
         "rate-model calibration (bitrate as a function of the error bound)",
         who=comp,
     )
-    if probe_mode == "estimate":
+    if probe_mode in _CODEC_FREE_MODES:
         caps.require(
             "supports_estimate",
-            'probe_mode="estimate" (codec-free histogram rate prediction)',
+            f'probe_mode="{probe_mode}" (codec-free histogram rate prediction)',
             who=comp,
         )
-    probe = (
-        (lambda part, eb: comp.compress(part, eb).bit_rate)
-        if probe_mode == "exact"
-        else comp.estimate_bitrate
-    )
     if probe_ebs is None:
         probe_ebs = [eb_scale * f for f in (0.25, 0.5, 1.0, 2.0, 4.0)]
     probe_ebs = [float(e) for e in probe_ebs]
@@ -150,18 +228,17 @@ def calibrate_rate_model(
     if len(partitions) > max_partitions:
         idx = np.sort(rng.choice(idx, size=max_partitions, replace=False))
 
+    probed = [np.asarray(partitions[i]) for i in idx]
+    all_rates = _fan_probes(comp, probed, probe_ebs, probe_mode, backend)
+
     exps: list[float] = []
     feats: list[float] = []
     r2s: list[float] = []
-    all_rates: list[np.ndarray] = []
-    for i in idx:
-        part = np.asarray(partitions[i])
-        rates = np.array([probe(part, eb) for eb in probe_ebs])
+    for part, rates in zip(probed, all_rates):
         _, exp, r2 = fit_power_law(np.asarray(probe_ebs), rates)
         exps.append(exp)
         feats.append(partition_feature(part))
         r2s.append(r2)
-        all_rates.append(rates)
 
     exps_arr = np.array(exps)
     feats_arr = np.array(feats)
@@ -242,10 +319,12 @@ class RateModelBank:
         probe_mode: str = "exact",
         max_partitions: int = 32,
         seed: int = 0,
+        backend: "ExecutionBackend | str | None" = None,
     ) -> None:
         self.probe_mode = probe_mode
         self.max_partitions = int(max_partitions)
         self.seed = int(seed)
+        self.backend = backend
         self._cache: dict[tuple, CalibrationResult] = {}
 
     def __len__(self) -> int:
@@ -307,6 +386,7 @@ class RateModelBank:
             max_partitions=self.max_partitions,
             seed=self.seed,
             probe_mode=self.probe_mode,
+            backend=self.backend,
         )
         if key is not None:
             self._cache[key] = result

@@ -394,8 +394,12 @@ class InSituController:
         data every snapshot (batch-campaign semantics) while still
         keeping the rate model warm.
     probe_mode:
-        Rate-model calibration probes: ``"exact"`` or the codec-free
-        ``"estimate"`` (PR 2's histogram estimator).
+        Rate-model calibration probes: ``"exact"``, the codec-free
+        ``"estimate"`` (PR 2's histogram estimator), or ``"model"`` —
+        the closed-form ratio-quality engine
+        (:mod:`repro.models.rq_model`), which additionally gates
+        drift-triggered re-selection on *predicted* quality-at-bound
+        instead of trial compressions.
     check_quality:
         Decompress and measure each field's achieved spectrum deviation
         (feeds the drift detector's quality channel; implied by a
@@ -510,6 +514,11 @@ class InSituController:
         self.drift = drift or DriftConfig()
         self.recalibrate = recalibrate
         self.warm_start = bool(warm_start)
+        if probe_mode not in ("exact", "estimate", "model"):
+            raise ValueError(
+                f"probe_mode must be 'exact', 'estimate' or 'model', "
+                f"got {probe_mode!r}"
+            )
         self.probe_mode = probe_mode
         self.max_partitions = int(max_partitions)
         self.seed = int(seed)
@@ -711,6 +720,7 @@ class InSituController:
                     max_partitions=self.max_partitions,
                     seed=self.seed,
                 ),
+                probe_mode=self.probe_mode,
                 require_error_bounded=True,
             )
             self._selections[name] = selection

@@ -12,6 +12,9 @@
 - **overhead**: the paper's §4.3 headline ratio — adaptive machinery
   (``features`` + ``optimize``) over ``compress`` — computed directly
   from span durations, no bench-side plumbing.
+- **R-Q probes**: the ``rq.probe`` spans of the closed-form
+  ratio-quality engine — how much probing replaced trial compressions,
+  and what it cost.
 
 All functions take plain span records (``Span.to_record()`` shape) as
 returned by :func:`repro.telemetry.export.load_spans`.
@@ -28,9 +31,13 @@ from repro.util.tables import format_table
 __all__ = [
     "field_summary",
     "overhead_summary",
+    "probe_summary",
     "render_trace_report",
     "stage_summary",
 ]
+
+#: Span name of the ratio-quality quantization probe.
+PROBE_SPAN = "rq.probe"
 
 #: Span-name prefix of the SZ compression-stage spans.
 STAGE_PREFIX = "sz."
@@ -91,6 +98,26 @@ def overhead_summary(spans: Iterable[dict[str, Any]]) -> dict[str, float]:
     }
 
 
+def probe_summary(spans: Iterable[dict[str, Any]]) -> dict[str, float | int]:
+    """Totals for the ratio-quality ``rq.probe`` spans.
+
+    ``{"seconds", "count", "blocks"}`` — ``blocks`` sums the spans'
+    ``blocks`` attribute (partition views probed), quantifying how many
+    trial compressions the model replaced.  Empty dict when the trace
+    has no probes.
+    """
+    out: dict[str, float | int] = {}
+    for rec in spans:
+        if rec["name"] != PROBE_SPAN:
+            continue
+        if not out:
+            out = {"seconds": 0.0, "count": 0, "blocks": 0}
+        out["seconds"] += _duration(rec)
+        out["count"] += 1
+        out["blocks"] += int(rec.get("attrs", {}).get("blocks", 0))
+    return out
+
+
 def render_trace_report(spans: Iterable[dict[str, Any]]) -> str:
     """The full text report ``repro.cli trace-report`` prints."""
     records = list(spans)
@@ -125,6 +152,17 @@ def render_trace_report(spans: Iterable[dict[str, Any]]) -> str:
         sections.append(
             format_table(
                 ("field", "seconds", "count"), rows, title="Per-field wall time"
+            )
+        )
+
+    probes = probe_summary(records)
+    if probes:
+        sections.append(
+            format_table(
+                ("probes", "blocks", "seconds"),
+                [(probes["count"], probes["blocks"], probes["seconds"])],
+                title="Ratio-quality probes (rq.probe: codec-free, "
+                "replaces trial compressions)",
             )
         )
 

@@ -1,0 +1,115 @@
+"""Model-mode sweeps: predicted records, confirmation, lazy references."""
+
+import numpy as np
+import pytest
+
+import repro.foresight.sweep as sweep_mod
+from repro.foresight.evaluator import FieldReference
+from repro.foresight.quality import QualityCriteria
+from repro.foresight.sweep import run_sweep
+from repro.parallel.decomposition import BlockDecomposition
+
+
+@pytest.fixture
+def field():
+    rng = np.random.default_rng(11)
+    return rng.normal(1.0, 0.3, (32, 32, 32)) + 2.0
+
+
+@pytest.fixture
+def crit():
+    return {"d": QualityCriteria(spectrum_tolerance=0.01, spectrum_k_max=8)}
+
+
+EBS = [2e-4, 1e-3, 5e-3, 2e-2]
+
+
+class TestModelMode:
+    def test_model_records_carry_predicted_quality(self, field, crit):
+        records = run_sweep({"d": field}, EBS, crit, probe_mode="model")
+        assert len(records) == len(EBS)
+        for rec in records:
+            assert rec.quality is not None
+            assert rec.passed is not None
+            assert np.isfinite(rec.quality.psnr_db)
+            assert rec.quality.spectrum_worst_deviation >= 0
+
+    def test_model_matches_exact_verdicts(self, field, crit):
+        dec = BlockDecomposition(field.shape, (2, 2, 2))
+        exact = run_sweep({"d": field}, EBS, crit, decomposition=dec)
+        model = run_sweep(
+            {"d": field}, EBS, crit, decomposition=dec, probe_mode="model"
+        )
+        assert [r.passed for r in exact] == [r.passed for r in model]
+        for re_, rm in zip(exact, model):
+            assert rm.quality.psnr_db == pytest.approx(re_.quality.psnr_db, abs=1.0)
+            assert rm.ratio == pytest.approx(re_.ratio, rel=0.15)
+
+    def test_model_never_compresses_without_confirm(self, field, crit, monkeypatch):
+        from repro.compression.sz import SZCompressor
+
+        def boom(self, *a, **k):  # pragma: no cover - must not run
+            raise AssertionError("model-mode sweep ran the codec")
+
+        monkeypatch.setattr(SZCompressor, "compress", boom)
+        monkeypatch.setattr(SZCompressor, "decompress", boom)
+        records = run_sweep({"d": field}, EBS, crit, probe_mode="model")
+        assert all(r.quality is not None for r in records)
+
+    def test_confirm_always_measures(self, field, crit):
+        dec = BlockDecomposition(field.shape, (2, 2, 2))
+        exact = run_sweep({"d": field}, EBS, crit, decomposition=dec)
+        confirmed = run_sweep(
+            {"d": field}, EBS, crit, decomposition=dec,
+            probe_mode="model", confirm="always",
+        )
+        # Confirmed cells are real measurements: identical to exact mode.
+        for re_, rc in zip(exact, confirmed):
+            assert rc.quality.psnr_db == re_.quality.psnr_db
+            assert rc.ratio == re_.ratio
+
+    def test_confirm_boundary_only_reruns_borderline(self, field, crit):
+        dec = BlockDecomposition(field.shape, (2, 2, 2))
+        exact = run_sweep({"d": field}, EBS, crit, decomposition=dec)
+        boundary = run_sweep(
+            {"d": field}, EBS, crit, decomposition=dec,
+            probe_mode="model", confirm="boundary",
+        )
+        assert [r.passed for r in exact] == [r.passed for r in boundary]
+
+
+class TestLazyReferences:
+    def _forbid_references(self, monkeypatch):
+        def boom(*a, **k):  # pragma: no cover - must not run
+            raise AssertionError("rate-only sweep built a FieldReference")
+
+        monkeypatch.setattr(sweep_mod, "FieldReference", boom)
+        monkeypatch.setattr(FieldReference, "spectrum", boom)
+        monkeypatch.setattr(FieldReference, "halos", boom)
+
+    def test_rate_only_builds_no_reference(self, field, crit, monkeypatch):
+        self._forbid_references(monkeypatch)
+        records = run_sweep({"d": field}, EBS, crit, rate_only=True)
+        assert all(r.quality is None for r in records)
+
+    def test_estimate_builds_no_reference(self, field, crit, monkeypatch):
+        self._forbid_references(monkeypatch)
+        records = run_sweep({"d": field}, EBS, crit, probe_mode="estimate")
+        assert all(r.quality is None for r in records)
+
+    def test_quality_sweep_shares_one_reference_across_compressors(
+        self, field, crit, monkeypatch
+    ):
+        built = []
+        real = sweep_mod.FieldReference
+
+        def counting(data):
+            built.append(1)
+            return real(data)
+
+        monkeypatch.setattr(sweep_mod, "FieldReference", counting)
+        run_sweep(
+            {"d": field}, EBS[:2], crit,
+            compressors=["sz", "sz:codec=huffman"],
+        )
+        assert len(built) == 1

@@ -1,0 +1,230 @@
+"""The closed-form ratio-quality engine: predictions vs measurements.
+
+Three property families pin the model down:
+
+- predicted PSNR is monotonically non-increasing in the error bound
+  (more allowed error can never *improve* predicted fidelity),
+- predicted PSNR agrees with the measured PSNR of the real
+  compress→decompress pipeline within the model's tolerance band,
+  across dtypes and shapes,
+- ``probe_mode="model"`` fails loudly (capability error) on compressors
+  that cannot supply quantization statistics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import error_summary
+from repro.compression.api import UnsupportedCapabilityError
+from repro.compression.estimator import (
+    RQEstimate,
+    predicted_nrmse,
+    predicted_psnr_db,
+    predicted_quantization_mse,
+)
+from repro.compression.sz import SZCompressor
+from repro.core.baselines import TrialAndErrorSearch
+from repro.core.selection import select_compressor
+from repro.foresight.quality import QualityCriteria
+from repro.foresight.sweep import run_sweep
+from repro.models.calibration import calibrate_rate_model
+from repro.models.rq_model import RQModel, RQPrediction
+from repro.parallel.decomposition import BlockDecomposition
+
+
+def _smooth_field(seed: int, shape=(16, 16, 16), dtype=np.float64) -> np.ndarray:
+    """A compressible positive field: broad correlations + mild noise."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(1.0, 0.25, shape)
+    k = np.ones((3,) * len(shape)) / 3 ** len(shape)
+    try:
+        from scipy.ndimage import convolve
+
+        base = convolve(base, k, mode="wrap")
+    except ImportError:  # pragma: no cover - scipy is a baked-in dep
+        pass
+    return (base + 2.0).astype(dtype)
+
+
+class TestPredictionHelpers:
+    def test_mse_formula(self):
+        # 10% outliers stored exactly: MSE = 0.9 * eb^2 / 3
+        assert predicted_quantization_mse(100, 10, 0.3) == pytest.approx(
+            0.9 * 0.09 / 3.0
+        )
+
+    def test_mse_validates(self):
+        with pytest.raises(ValueError):
+            predicted_quantization_mse(0, 0, 0.1)
+        with pytest.raises(ValueError):
+            predicted_quantization_mse(10, 11, 0.1)
+
+    def test_psnr_nrmse_degenerate(self):
+        assert predicted_psnr_db(0.0, 1.0) == np.inf
+        assert predicted_nrmse(0.0, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            predicted_psnr_db(-1.0, 1.0)
+
+    @given(
+        eb=st.floats(1e-6, 1.0),
+        frac=st.floats(0.0, 1.0),
+        rng=st.floats(0.5, 100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_psnr_consistent_with_nrmse(self, eb, frac, rng):
+        mse = predicted_quantization_mse(1000, int(1000 * frac), eb)
+        psnr = predicted_psnr_db(mse, rng)
+        nr = predicted_nrmse(mse, rng)
+        if mse > 0:
+            assert psnr == pytest.approx(-20.0 * np.log10(nr))
+
+
+class TestRQEstimate:
+    def test_estimate_returns_rq(self):
+        data = _smooth_field(0)
+        est = SZCompressor().estimate(data, 1e-3)
+        assert isinstance(est, RQEstimate)
+        assert est.predicted_psnr_db > 0
+        assert 0 <= est.predicted_nrmse < 1
+        assert est.eb == 1e-3
+
+    def test_estimate_many_matches_estimate(self):
+        comp = SZCompressor()
+        views = [_smooth_field(s) for s in range(3)]
+        ebs = [1e-3, 5e-3, 2e-2]
+        many = comp.estimate_many(views, ebs)
+        for v, eb, got in zip(views, ebs, many):
+            single = comp.estimate(v, eb)
+            assert got.est_nbytes == single.est_nbytes
+            assert got.predicted_mse == single.predicted_mse
+
+    @given(seed=st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_predicted_psnr_monotone_in_eb(self, seed):
+        """More allowed error never improves predicted fidelity."""
+        data = _smooth_field(seed)
+        comp = SZCompressor()
+        ebs = [1e-4, 1e-3, 1e-2, 1e-1]
+        psnrs = [
+            e.predicted_psnr_db
+            for e in comp.estimate_many([data] * len(ebs), ebs)
+        ]
+        assert all(a >= b for a, b in zip(psnrs, psnrs[1:]))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("shape", [(4096,), (64, 64), (16, 16, 16)])
+    def test_predicted_matches_measured_psnr(self, dtype, shape):
+        """The uniform-error model lands within ~1 dB of measurement."""
+        data = _smooth_field(7, shape=shape, dtype=dtype)
+        comp = SZCompressor()
+        for eb in (1e-3, 1e-2):
+            est = comp.estimate(data, eb)
+            block = comp.compress(data, eb)
+            measured = error_summary(data, comp.decompress(block))
+            assert est.predicted_psnr_db == pytest.approx(
+                measured.psnr_db, abs=1.0
+            )
+            assert est.ratio == pytest.approx(block.ratio, rel=0.15)
+
+
+class TestRQModel:
+    def test_prediction_shape(self):
+        data = _smooth_field(1)
+        crit = QualityCriteria(spectrum_tolerance=0.01, spectrum_k_max=6)
+        model = RQModel(data, crit, field="d")
+        pred = model.probe(SZCompressor(), [data], 1e-3)
+        assert isinstance(pred, RQPrediction)
+        assert pred.field == "d"
+        report = pred.to_quality_report()
+        assert report.passed == pred.passed
+        assert report.psnr_db == pred.predicted_psnr_db
+        d = pred.to_dict()
+        assert d["eb"] == 1e-3 and d["passed"] == pred.passed
+
+    def test_spectrum_verdict_monotone(self):
+        data = _smooth_field(2)
+        crit = QualityCriteria(spectrum_tolerance=0.01, spectrum_k_max=6)
+        model = RQModel(data, crit)
+        devs = [model.predicted_spectrum_deviation(eb) for eb in (1e-4, 1e-2, 1.0)]
+        assert devs[0] < devs[1] < devs[2]
+
+    def test_halo_verdict_present_when_checked(self):
+        data = _smooth_field(3)
+        data[4:9, 4:9, 4:9] += 10.0  # one dense blob: a guaranteed halo
+        t = float(np.percentile(data, 90.0))
+        crit = QualityCriteria(
+            spectrum_tolerance=0.05, spectrum_k_max=6, check_halos=True, t_boundary=t
+        )
+        model = RQModel(data, crit)
+        pred = model.probe(SZCompressor(), [data], 1e-4)
+        assert pred.halo_ok is not None
+        assert pred.halo_mass_fraction is not None and pred.halo_mass_fraction >= 0
+
+    def test_near_boundary_band(self):
+        data = _smooth_field(4)
+        crit = QualityCriteria(spectrum_tolerance=0.01, spectrum_k_max=6)
+        model = RQModel(data, crit)
+        inside = RQPrediction(
+            field="d", eb=1.0, predicted_bit_rate=1.0, predicted_ratio=1.0,
+            predicted_mse=0.0, predicted_psnr_db=np.inf, predicted_nrmse=0.0,
+            spectrum_worst_deviation=0.011, spectrum_ok=False,
+        )
+        far = RQPrediction(
+            field="d", eb=1.0, predicted_bit_rate=1.0, predicted_ratio=1.0,
+            predicted_mse=0.0, predicted_psnr_db=np.inf, predicted_nrmse=0.0,
+            spectrum_worst_deviation=1e-6, spectrum_ok=True,
+        )
+        assert inside.near_boundary(model.criteria)
+        assert not far.near_boundary(model.criteria)
+
+
+class TestCapabilityGates:
+    """probe_mode="model" must refuse compressors with no statistics."""
+
+    def test_calibration_rejects(self):
+        parts = [_smooth_field(s) for s in range(2)]
+        with pytest.raises(UnsupportedCapabilityError, match="supports_estimate"):
+            calibrate_rate_model(
+                parts, "sz_adaptive", eb_scale=1e-2, probe_mode="model"
+            )
+
+    def test_sweep_rejects(self):
+        data = _smooth_field(5)
+        with pytest.raises(UnsupportedCapabilityError, match="supports_estimate"):
+            run_sweep(
+                {"d": data}, [1e-3], {}, compressor="sz_adaptive", probe_mode="model"
+            )
+
+    def test_selection_rejects(self):
+        data = _smooth_field(6)
+        dec = BlockDecomposition(data.shape, (2, 2, 2))
+        with pytest.raises(UnsupportedCapabilityError, match="supports_estimate"):
+            select_compressor(
+                data, dec, candidates=["sz_adaptive"], probe_mode="model",
+                eb_avg=1e-2,
+            )
+
+    def test_trial_search_rejects(self):
+        crit = QualityCriteria(spectrum_tolerance=0.01, spectrum_k_max=6)
+        with pytest.raises(UnsupportedCapabilityError, match="supports_estimate"):
+            TrialAndErrorSearch(
+                criteria=crit, compressor="sz_adaptive", probe_mode="model"
+            )
+
+    def test_trial_search_needs_criteria(self):
+        with pytest.raises(ValueError, match="criteria"):
+            TrialAndErrorSearch(
+                quality_check=lambda a, b: (True, 0.0), probe_mode="model"
+            )
+
+    def test_unknown_modes_rejected(self):
+        data = _smooth_field(8)
+        dec = BlockDecomposition(data.shape, (2, 2, 2))
+        with pytest.raises(ValueError, match="probe_mode"):
+            select_compressor(data, dec, probe_mode="psychic", eb_avg=1e-2)
+        with pytest.raises(ValueError, match="confirm"):
+            run_sweep({"d": data}, [1e-3], {}, confirm="sometimes")
+        with pytest.raises(ValueError, match="confirm"):
+            run_sweep({"d": data}, [1e-3], {}, probe_mode="exact", confirm="always")
